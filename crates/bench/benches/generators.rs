@@ -1,0 +1,60 @@
+//! Bench: generator throughput — construction cost of every family
+//! used by the experiments at ~4k nodes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_4k");
+    group.bench_function("torus_64x64", |b| {
+        b.iter(|| fx_graph::generators::torus(&[64, 64]))
+    });
+    group.bench_function("hypercube_12", |b| {
+        b.iter(|| fx_graph::generators::hypercube(12))
+    });
+    group.bench_function("butterfly_9", |b| {
+        b.iter(|| fx_graph::generators::butterfly(9))
+    });
+    group.bench_function("de_bruijn_12", |b| {
+        b.iter(|| fx_graph::generators::de_bruijn(12))
+    });
+    group.bench_function("margulis_64", |b| {
+        b.iter(|| fx_graph::generators::margulis(64))
+    });
+    group.bench_function("random_regular_4096_4", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            fx_graph::generators::random_regular(4096, 4, &mut rng)
+        })
+    });
+    group.bench_function("gnp_4096", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            fx_graph::generators::gnp(4096, 4.0 / 4096.0, &mut rng)
+        })
+    });
+    group.bench_function("subdivide_k8_of_rr512", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let base = fx_graph::generators::random_regular(512, 4, &mut rng);
+        b.iter(|| fx_graph::generators::subdivide(&base, 8))
+    });
+    group.finish();
+}
+
+
+/// Shortened criterion cycle: the suite has many groups and several
+/// seconds-long iterations; 1.5s windows keep the full run tractable
+/// while still averaging enough samples for stable medians.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_generators
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Bench: `Prune2` (Fig. 2) under random faults — the E5 pipeline,
+//! including the compactification step's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fx_faults::{FaultModel, RandomNodeFaults};
+use fx_graph::NodeSet;
+use fx_prune::{compactify, prune2, CutStrategy};
+use fx_graph::traversal::bfs_ball;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_prune2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune2_random");
+    group.sample_size(10);
+    for side in [16usize, 24, 32] {
+        let g = fx_graph::generators::torus(&[side, side]);
+        let n = g.num_nodes();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let failed = RandomNodeFaults { p: 0.03 }.sample(&g, &mut rng);
+        let alive = {
+            let mut a = NodeSet::full(n);
+            a.difference_with(&failed);
+            a
+        };
+        group.bench_with_input(BenchmarkId::new("torus2d", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(6);
+                prune2(&g, &alive, 1.0, 0.125, CutStrategy::SpectralRefined, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compactify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compactify");
+    let g = fx_graph::generators::torus(&[32, 32]);
+    let alive = NodeSet::full(1024);
+    // an S whose complement is disconnected: a ring-shaped ball
+    let ball = bfs_ball(&g, &alive, 0, 300);
+    group.bench_function("torus_1024_ball300", |b| {
+        b.iter(|| compactify(&g, &alive, &ball))
+    });
+    group.finish();
+}
+
+
+/// Shortened criterion cycle: the suite has many groups and several
+/// seconds-long iterations; 1.5s windows keep the full run tractable
+/// while still averaging enough samples for stable medians.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_prune2, bench_compactify
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Bench: span machinery — Steiner duo (ablation A4), mesh
+//! constructive trees, and compact-set sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fx_graph::generators::MeshShape;
+use fx_graph::tree::{dreyfus_wagner_cost, mehlhorn_steiner};
+use fx_graph::NodeSet;
+use fx_span::compact_sets::random_compact_set;
+use fx_span::mesh::mesh_boundary_tree;
+use fx_span::span::sampled_span;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A4: exact Dreyfus–Wagner vs Mehlhorn 2-approx on a mesh boundary
+/// terminal set.
+fn bench_steiner_duo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_8terms_mesh100");
+    let g = fx_graph::generators::mesh(&[10, 10]);
+    let alive = NodeSet::full(100);
+    // 8 spread-out terminals
+    let terms: Vec<u32> = vec![0, 9, 90, 99, 44, 27, 72, 55];
+    group.bench_function("dreyfus_wagner_exact", |b| {
+        b.iter(|| dreyfus_wagner_cost(&g, &alive, &terms))
+    });
+    group.bench_function("mehlhorn_2approx", |b| {
+        b.iter(|| mehlhorn_steiner(&g, &alive, &terms))
+    });
+    group.finish();
+}
+
+/// The Theorem 3.6 constructive witness tree.
+fn bench_mesh_boundary_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_boundary_tree");
+    for dims in [vec![16usize, 16], vec![6, 6, 6]] {
+        let shape = MeshShape::new(&dims);
+        let g = fx_graph::generators::mesh(&dims);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let u = random_compact_set(&g, g.num_nodes() / 3, 200, &mut rng).expect("sample");
+        group.bench_function(format!("mesh{dims:?}"), |b| {
+            b.iter(|| mesh_boundary_tree(&shape, &g, &u))
+        });
+    }
+    group.finish();
+}
+
+/// Sampled span estimation end to end.
+fn bench_sampled_span(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampled_span_40");
+    group.sample_size(10);
+    for (name, g) in [
+        ("butterfly_5", fx_graph::generators::butterfly(5)),
+        ("debruijn_9", fx_graph::generators::de_bruijn(9)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(8);
+                sampled_span(&g, 40, g.num_nodes() / 4, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Shortened criterion cycle: the suite has many groups and several
+/// seconds-long iterations; 1.5s windows keep the full run tractable
+/// while still averaging enough samples for stable medians.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_steiner_duo, bench_mesh_boundary_tree, bench_sampled_span
+}
+criterion_main!(benches);

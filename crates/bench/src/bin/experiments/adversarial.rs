@@ -1,0 +1,208 @@
+//! E1–E3: the adversarial-fault experiments (§2 of the paper).
+
+use crate::Opts;
+use fx_bench::{f, record, Table};
+use fx_core::{analyze_adversarial, subdivided_expander, AnalyzerConfig, Family};
+use fx_expansion::certificate::{node_expansion_bounds, Effort};
+use fx_faults::{apply_faults, ChainCenterAdversary, FaultModel, SparseCutAdversary};
+use fx_graph::components::components;
+use fx_graph::NodeSet;
+use fx_prune::bounds::{theorem23_component_bound, theorem25_removal_bound};
+use fx_prune::{dissect, CutStrategy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// E1 — Theorem 2.1: adversarial faults vs. the pruned core.
+///
+/// For each network and fault budget `f` (a fraction of the theorem's
+/// maximum `α·n/(4k)`, k = 2): number of faults, γ after faults, the
+/// pruned core's size vs. the guaranteed `n − k·f/α`, and its
+/// expansion vs. the guaranteed `(1−1/k)·α`.
+pub fn e1_theorem21(opts: &Opts) {
+    let k = 2.0;
+    let scale = if opts.quick { 6 } else { 10 };
+    let families = vec![
+        Family::Hypercube { d: scale },
+        Family::Margulis { m: 1 << (scale / 2) },
+        Family::RandomRegular { n: 1 << scale, d: 4 },
+    ];
+    let mut t = Table::new(
+        "E1",
+        "Theorem 2.1: adversarial faults vs pruned expansion (k=2, sparse-cut adversary)",
+        &[
+            "network", "n", "alpha", "f", "gamma", "kept", "min_kept", "alphaH_up",
+            "alphaH_low", "min_alpha", "ok",
+        ],
+    );
+    let cfg = AnalyzerConfig {
+        strategy: CutStrategy::SpectralRefined,
+        effort: Effort::SpectralRefined,
+        seed: 11,
+        ..Default::default()
+    };
+    for fam in families {
+        let net = fam.build(17);
+        let n = net.n();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ab = node_expansion_bounds(&net.graph, &net.full_mask(), cfg.effort, &mut rng);
+        let alpha = ab.upper;
+        let f_max = (alpha * n as f64 / (4.0 * k)).floor().max(1.0) as usize;
+        // stay at ≤ 0.9·f_max: α is re-measured inside the analyzer
+        // (same estimator, fresh seed), so the exact ceiling can flip
+        // the precondition by a hair and report NaN guarantees
+        for frac in [0.25, 0.5, 0.9] {
+            let budget = ((f_max as f64) * frac).round().max(1.0) as usize;
+            let r = analyze_adversarial(&net, &SparseCutAdversary { budget }, k, &cfg);
+            let min_kept = r.guaranteed_min_kept.unwrap_or(f64::NAN);
+            let min_alpha = r.guaranteed_min_expansion.unwrap_or(f64::NAN);
+            // "ok" = both guarantee dimensions hold for the *witnessed*
+            // quantities (upper bound of H's expansion ≥ guarantee is
+            // the honest check for a heuristic oracle; see DESIGN.md)
+            let size_ok = (r.kept as f64) >= min_kept - 1e-9;
+            let exp_ok = r.alpha_after.upper.unwrap_or(f64::INFINITY) >= min_alpha - 1e-9;
+            let ok = !min_kept.is_nan() && size_ok && exp_ok;
+            if opts.check && !min_kept.is_nan() {
+                assert!(size_ok, "E1 size guarantee violated: {r:?}");
+                assert!(exp_ok, "E1 expansion guarantee violated: {r:?}");
+            }
+            t.row(vec![
+                net.name.clone(),
+                n.to_string(),
+                f(alpha),
+                r.faults.to_string(),
+                f(r.gamma_after_faults),
+                r.kept.to_string(),
+                f(min_kept),
+                r.alpha_after.upper.map_or("-".into(), f),
+                f(r.alpha_after.lower),
+                f(min_alpha),
+                if ok { "yes".into() } else { "?".into() },
+            ]);
+        }
+    }
+    t.print();
+    record(&t);
+}
+
+/// E2 — Theorem 2.3 + Claim 2.4: the subdivided-expander lower bound.
+///
+/// (a) `H_k` has expansion `Θ(1/k)` (measured upper bound vs. the
+/// claim's `2/k`); (b) removing the `m` chain centers shatters `H_k`
+/// into components of ≤ `O(δ·k)` nodes, with faults = `Θ(α·n_H)`.
+pub fn e2_subdivided_lower_bound(opts: &Opts) {
+    let base_n = if opts.quick { 60 } else { 200 };
+    let mut t = Table::new(
+        "E2",
+        "Theorem 2.3 / Claim 2.4: subdivided expanders shatter at Θ(α·n) adversarial faults",
+        &[
+            "k", "n_H", "alpha_up", "claim_2/k", "faults", "faults/n_H", "k*f/n_H",
+            "biggest_comp", "bound_O(dk)", "sublinear",
+        ],
+    );
+    for k in [2usize, 4, 8, 16] {
+        let (net, sub) = subdivided_expander(base_n, 4, k, 5);
+        let n_h = net.n();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ab = node_expansion_bounds(
+            &net.graph,
+            &net.full_mask(),
+            Effort::SpectralRefined,
+            &mut rng,
+        );
+        let m = sub.original_edges.len();
+        let adv = ChainCenterAdversary { sub: &sub, budget: m };
+        let failed = adv.sample(&net.graph, &mut rng);
+        let alive = apply_faults(&net.graph, &failed);
+        let comps = components(&net.graph, &alive);
+        let biggest = comps.largest().map_or(0, |(_, s)| s);
+        let bound = theorem23_component_bound(4, k);
+        let sublinear = biggest <= bound;
+        if opts.check {
+            assert!(sublinear, "E2: component {biggest} exceeds O(δk) bound {bound}");
+            // Claim 2.4 upper bound (constant slack 2 allowed for the
+            // sweep's approximation)
+            assert!(
+                ab.upper <= 2.0 * 2.0 / k as f64 + 0.25,
+                "E2: expansion {} not Θ(1/k) for k={k}",
+                ab.upper
+            );
+        }
+        t.row(vec![
+            k.to_string(),
+            n_h.to_string(),
+            f(ab.upper),
+            f(2.0 / k as f64),
+            m.to_string(),
+            f(m as f64 / n_h as f64),
+            f(k as f64 * m as f64 / n_h as f64),
+            biggest.to_string(),
+            bound.to_string(),
+            if sublinear { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print();
+    record(&t);
+}
+
+/// E3 — Theorem 2.5: recursive dissection of a uniform-expansion
+/// graph (2-D meshes) removes `O(log(1/ε)/ε · α(n)·n)` nodes.
+pub fn e3_dissection(opts: &Opts) {
+    let sides: Vec<usize> = if opts.quick {
+        vec![12, 16]
+    } else {
+        vec![16, 24, 32, 48]
+    };
+    let mut t = Table::new(
+        "E3",
+        "Theorem 2.5: dissecting the mesh into <εn pieces with o(n) separator nodes",
+        &[
+            "side", "n", "eps", "removed", "removed/n", "bound", "removed/bound", "pieces",
+            "largest",
+        ],
+    );
+    let mut removed_fracs: Vec<f64> = Vec::new();
+    for &side in &sides {
+        let g = fx_graph::generators::mesh(&[side, side]);
+        let n = side * side;
+        let alive = NodeSet::full(n);
+        for eps in [0.25, 0.125] {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let target = ((n as f64) * eps).ceil() as usize;
+            let d = dissect(&g, &alive, target, CutStrategy::SpectralRefined, &mut rng);
+            // α(n) of the side×side mesh ≈ 2/side (boundary ~side for
+            // a half cut of ~n/2 nodes)
+            let alpha_n = 2.0 / side as f64;
+            let bound = theorem25_removal_bound(n, alpha_n, eps);
+            if eps == 0.25 {
+                removed_fracs.push(d.num_removed() as f64 / n as f64);
+            }
+            if opts.check {
+                assert!(d.largest_piece() < target, "E3: piece too large");
+                assert!(
+                    (d.num_removed() as f64) < 3.0 * bound + 10.0,
+                    "E3: removal {} far above bound {bound}",
+                    d.num_removed()
+                );
+            }
+            t.row(vec![
+                side.to_string(),
+                n.to_string(),
+                f(eps),
+                d.num_removed().to_string(),
+                f(d.num_removed() as f64 / n as f64),
+                f(bound),
+                f(d.num_removed() as f64 / bound),
+                (d.pieces.len() + d.stuck.len()).to_string(),
+                d.largest_piece().to_string(),
+            ]);
+        }
+    }
+    if opts.check && removed_fracs.len() >= 2 {
+        assert!(
+            removed_fracs.last().unwrap() < removed_fracs.first().unwrap(),
+            "E3: removed fraction should shrink with n (α(n)·n = o(n)): {removed_fracs:?}"
+        );
+    }
+    t.print();
+    record(&t);
+}

@@ -1,0 +1,88 @@
+//! E15: the §1.2 emulation view — embedding quality of faulty (and
+//! pruned) networks, measured as the Leighton–Maggs–Rao slowdown proxy
+//! `ℓ + c + d`.
+
+use crate::Opts;
+use fx_bench::{f, record, Table};
+use fx_core::embedding::embed_nearest;
+use fx_core::Family;
+use fx_expansion::certificate::{node_expansion_bounds, Effort};
+use fx_faults::{apply_faults, FaultModel, RandomNodeFaults};
+use fx_graph::components::largest_component;
+use fx_prune::{prune, CutStrategy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// E15 — embedding the fault-free network into its faulty self:
+/// (load, congestion, dilation) and the slowdown proxy, for the raw
+/// largest component vs. the pruned core. §1.2's survey results say
+/// meshes/butterflies sustain `n^(1-ε)` worst-case and constant-rate
+/// random faults with small slowdown; here is the measured analogue.
+pub fn e15_embedding_slowdown(opts: &Opts) {
+    let mut t = Table::new(
+        "E15",
+        "extension (§1.2): fault-free → faulty self-embedding, LMR slowdown proxy ℓ+c+d",
+        &[
+            "network", "p", "stage", "hosts", "load", "congestion", "dilation",
+            "mean_dil", "slowdown", "unrouted",
+        ],
+    );
+    let nets = if opts.quick {
+        vec![Family::Torus { dims: vec![12, 12] }]
+    } else {
+        vec![
+            Family::Torus { dims: vec![20, 20] },
+            Family::Hypercube { d: 9 },
+        ]
+    };
+    for fam in nets {
+        let net = fam.build(0);
+        let mut rng = SmallRng::seed_from_u64(15);
+        let full = net.full_mask();
+        let ab = node_expansion_bounds(&net.graph, &full, Effort::SpectralRefined, &mut rng);
+        for p in [0.02, 0.10] {
+            let failed = RandomNodeFaults { p }.sample(&net.graph, &mut rng);
+            let alive = apply_faults(&net.graph, &failed);
+            let raw_core = largest_component(&net.graph, &alive);
+            let pruned = prune(
+                &net.graph,
+                &alive,
+                ab.upper,
+                0.5,
+                CutStrategy::SpectralRefined,
+                &mut rng,
+            );
+            for (stage, hosts) in [("largest-comp", &raw_core), ("pruned", &pruned.kept)] {
+                if hosts.is_empty() {
+                    continue;
+                }
+                let (q, _) = embed_nearest(&net.graph, &net.graph, hosts, &mut rng);
+                if opts.check {
+                    assert_eq!(
+                        q.unrouted, 0,
+                        "E15: {} embedding must route all ideal edges",
+                        net.name
+                    );
+                    assert!(
+                        q.slowdown_proxy < net.n(),
+                        "E15: slowdown proxy degenerate"
+                    );
+                }
+                t.row(vec![
+                    net.name.clone(),
+                    f(p),
+                    stage.into(),
+                    hosts.len().to_string(),
+                    q.load.to_string(),
+                    q.congestion.to_string(),
+                    q.dilation.to_string(),
+                    f(q.mean_dilation),
+                    q.slowdown_proxy.to_string(),
+                    q.unrouted.to_string(),
+                ]);
+            }
+        }
+    }
+    t.print();
+    record(&t);
+}

@@ -1,0 +1,228 @@
+//! E12–E14: extension experiments beyond the paper, exercising the
+//! applications its §1.3/§4 motivate (routing, load balancing, CAN).
+
+use crate::Opts;
+use fx_bench::{f, record, Table};
+use fx_core::diffusion::{diffuse, point_load};
+use fx_core::{AnalyzerConfig, Family, Network};
+use fx_expansion::certificate::{node_expansion_bounds, Effort};
+use fx_faults::{apply_faults, FaultModel, RandomNodeFaults, SparseCutAdversary};
+use fx_graph::routing::{permutation_demands, route_demands};
+use fx_graph::NodeSet;
+use fx_overlay::Overlay;
+use fx_prune::{prune, CutStrategy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// E12 — routing congestion before faults, after faults, and after
+/// pruning (§1.3: "the ability of a network to route information is
+/// preserved because it is closely related to its expansion").
+pub fn e12_routing_congestion(opts: &Opts) {
+    let mut t = Table::new(
+        "E12",
+        "extension: permutation-routing congestion — healthy vs faulty vs pruned",
+        &[
+            "network", "stage", "nodes", "routed", "failed", "max_congestion",
+            "mean_dilation",
+        ],
+    );
+    let nets = if opts.quick {
+        vec![Family::Torus { dims: vec![12, 12] }]
+    } else {
+        vec![
+            Family::Torus { dims: vec![20, 20] },
+            Family::RandomRegular { n: 400, d: 4 },
+        ]
+    };
+    for fam in nets {
+        let net = fam.build(3);
+        let n = net.n();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let full = net.full_mask();
+
+        // stage 1: healthy
+        let demands = permutation_demands(&full, &mut rng);
+        let healthy = route_demands(&net.graph, &full, &demands, &mut rng);
+
+        // stage 2: adversarial faults (≈ 4% of nodes on a separator)
+        let failed = SparseCutAdversary { budget: n / 25 }.sample(&net.graph, &mut rng);
+        let alive = apply_faults(&net.graph, &failed);
+        let demands_f = permutation_demands(&alive, &mut rng);
+        let faulty = route_demands(&net.graph, &alive, &demands_f, &mut rng);
+
+        // stage 3: pruned core
+        let ab = node_expansion_bounds(&net.graph, &full, Effort::SpectralRefined, &mut rng);
+        let out = prune(
+            &net.graph,
+            &alive,
+            ab.upper,
+            0.5,
+            CutStrategy::SpectralRefined,
+            &mut rng,
+        );
+        let demands_p = permutation_demands(&out.kept, &mut rng);
+        let pruned = route_demands(&net.graph, &out.kept, &demands_p, &mut rng);
+
+        for (stage, alive_count, s) in [
+            ("healthy", n, &healthy),
+            ("faulty", alive.len(), &faulty),
+            ("pruned", out.kept.len(), &pruned),
+        ] {
+            t.row(vec![
+                net.name.clone(),
+                stage.into(),
+                alive_count.to_string(),
+                s.routed.to_string(),
+                s.failed.to_string(),
+                s.max_edge_congestion.to_string(),
+                f(s.mean_dilation),
+            ]);
+        }
+        if opts.check {
+            assert_eq!(pruned.failed, 0, "E12: pruned core must route everything");
+            assert!(
+                pruned.mean_dilation <= faulty.mean_dilation.max(healthy.mean_dilation) + 2.0,
+                "E12: pruning should not blow up dilation"
+            );
+        }
+    }
+    t.print();
+    record(&t);
+}
+
+/// E13 — diffusion load balancing (§1.3): convergence rounds track the
+/// network's expansion; the pruned faulty network balances nearly as
+/// fast as the healthy one, while the unpruned faulty network can be
+/// much slower (thin necks) or fail to balance (disconnection).
+pub fn e13_load_balancing(opts: &Opts) {
+    let mut t = Table::new(
+        "E13",
+        "extension: diffusion load-balancing rounds — healthy vs faulty vs pruned",
+        &["network", "stage", "nodes", "rounds", "contraction", "balanced"],
+    );
+    let nets = if opts.quick {
+        vec![Family::RandomRegular { n: 128, d: 4 }]
+    } else {
+        vec![
+            Family::RandomRegular { n: 256, d: 4 },
+            Family::Hypercube { d: 8 },
+        ]
+    };
+    let tol = 0.5;
+    let max_rounds = 200_000;
+    for fam in nets {
+        let net = fam.build(13);
+        let n = net.n();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let full = net.full_mask();
+
+        let run = |alive: &NodeSet, rng: &mut SmallRng| {
+            let src = alive.first().expect("nonempty");
+            let load = point_load(&net.graph, alive, src, alive.len() as f64);
+            let _ = rng;
+            diffuse(&net.graph, alive, &load, tol, max_rounds)
+        };
+
+        let healthy = run(&full, &mut rng);
+        let failed = SparseCutAdversary { budget: n / 20 }.sample(&net.graph, &mut rng);
+        let alive = apply_faults(&net.graph, &failed);
+        let faulty = run(&alive, &mut rng);
+        let ab = node_expansion_bounds(&net.graph, &full, Effort::SpectralRefined, &mut rng);
+        let out = prune(
+            &net.graph,
+            &alive,
+            ab.upper,
+            0.5,
+            CutStrategy::SpectralRefined,
+            &mut rng,
+        );
+        let pruned = run(&out.kept, &mut rng);
+
+        for (stage, nodes, d) in [
+            ("healthy", n, &healthy),
+            ("faulty", alive.len(), &faulty),
+            ("pruned", out.kept.len(), &pruned),
+        ] {
+            t.row(vec![
+                net.name.clone(),
+                stage.into(),
+                nodes.to_string(),
+                d.rounds.to_string(),
+                f(d.contraction),
+                (d.final_imbalance <= tol).to_string(),
+            ]);
+        }
+        if opts.check {
+            assert!(
+                pruned.final_imbalance <= tol,
+                "E13: pruned core must balance"
+            );
+            assert!(
+                pruned.rounds <= 12 * healthy.rounds.max(1),
+                "E13: pruned rounds {} vs healthy {}",
+                pruned.rounds,
+                healthy.rounds
+            );
+        }
+    }
+    t.print();
+    record(&t);
+}
+
+/// E14 — CAN overlay churn (§4): overlays at dimensions 2–4, grown by
+/// joins then churned; measures degree, expansion interval, and the
+/// random-fault γ at p = 0.1 — the dimension ranking the paper's span
+/// result predicts for ideal meshes, on *irregular* realistic zones.
+pub fn e14_overlay_churn(opts: &Opts) {
+    let peers = if opts.quick { 96 } else { 256 };
+    let churn_ops = if opts.quick { 100 } else { 400 };
+    let mut t = Table::new(
+        "E14",
+        "extension: CAN overlays under churn — expansion and fault tolerance vs dimension",
+        &[
+            "d", "peers", "mean_deg", "alpha_low", "alpha_up", "gamma_p0.1", "vol_max/min",
+        ],
+    );
+    let cfg = AnalyzerConfig::default();
+    let mut gammas = Vec::new();
+    for d in [2usize, 3, 4] {
+        let mut rng = SmallRng::seed_from_u64(14 + d as u64);
+        let mut ov = Overlay::with_peers(d, peers, &mut rng);
+        ov.churn(churn_ops, 0.5, &mut rng);
+        let (g, _owners) = ov.graph();
+        let n = g.num_nodes();
+        let net = Network::new(format!("can(d={d})"), g);
+        let full = net.full_mask();
+        let ab = node_expansion_bounds(&net.graph, &full, Effort::SpectralRefined, &mut rng);
+        // random faults at p = 0.1: mean γ over a few trials
+        let trials = if opts.quick { 4 } else { 10 };
+        let mut acc = 0.0;
+        for i in 0..trials {
+            let mut trng = SmallRng::seed_from_u64(cfg.seed ^ (100 + i));
+            let failed = RandomNodeFaults { p: 0.1 }.sample(&net.graph, &mut trng);
+            let alive = apply_faults(&net.graph, &failed);
+            acc += fx_graph::components::gamma(&net.graph, &alive);
+        }
+        let gamma = acc / trials as f64;
+        gammas.push(gamma);
+        let (vmin, vmax, _) = ov.volume_stats();
+        t.row(vec![
+            d.to_string(),
+            n.to_string(),
+            f(2.0 * net.graph.num_edges() as f64 / n as f64),
+            f(ab.lower),
+            f(ab.upper),
+            f(gamma),
+            f(vmax / vmin.max(1e-12)),
+        ]);
+    }
+    if opts.check {
+        // every overlay keeps a giant component at p = 0.1 (constant
+        // tolerance, as the mesh span results predict)
+        for (i, g) in gammas.iter().enumerate() {
+            assert!(*g > 0.6, "E14: overlay d={} lost its giant component: γ={g}", i + 2);
+        }
+    }
+    t.print();
+    record(&t);
+}

@@ -1,0 +1,95 @@
+//! `experiments` — regenerates every quantitative artifact of
+//! "The Effect of Faults on Network Expansion" (SPAA'04).
+//!
+//! ```sh
+//! cargo run --release -p fx-bench --bin experiments -- all
+//! cargo run --release -p fx-bench --bin experiments -- e1 e6
+//! cargo run --release -p fx-bench --bin experiments -- all --check
+//! cargo run --release -p fx-bench --bin experiments -- all --quick
+//! ```
+//!
+//! Each experiment prints an aligned table and records JSON rows under
+//! `results/`. `--check` asserts the paper-predicted *directions*
+//! (who wins, how things scale); `--quick` shrinks sizes/trials for
+//! smoke runs.
+
+mod adversarial;
+mod emulation;
+mod extensions;
+mod random;
+mod span_exp;
+mod structure;
+
+/// Global run options.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Assert paper-predicted directions.
+    pub check: bool,
+    /// Shrink sizes/trials for a fast smoke run.
+    pub quick: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let quick = args.iter().any(|a| a == "--quick");
+    let opts = Opts { check, quick };
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+    let want = |id: &str| all || wanted.iter().any(|w| w == id);
+
+    let started = std::time::Instant::now();
+    if want("e1") {
+        adversarial::e1_theorem21(&opts);
+    }
+    if want("e2") {
+        adversarial::e2_subdivided_lower_bound(&opts);
+    }
+    if want("e3") {
+        adversarial::e3_dissection(&opts);
+    }
+    if want("e4") {
+        random::e4_random_disintegration(&opts);
+    }
+    if want("e5") {
+        random::e5_prune2_meshes(&opts);
+    }
+    if want("e6") {
+        span_exp::e6_mesh_span(&opts);
+    }
+    if want("e7") {
+        random::e7_critical_probabilities(&opts);
+    }
+    if want("e8") {
+        span_exp::e8_subgraph_counting(&opts);
+    }
+    if want("e9") {
+        span_exp::e9_span_conjectures(&opts);
+    }
+    if want("e10") {
+        structure::e10_pruned_diameter(&opts);
+    }
+    if want("e11") {
+        structure::e11_compactification(&opts);
+    }
+    if want("e12") {
+        extensions::e12_routing_congestion(&opts);
+    }
+    if want("e13") {
+        extensions::e13_load_balancing(&opts);
+    }
+    if want("e14") {
+        extensions::e14_overlay_churn(&opts);
+    }
+    if want("e15") {
+        emulation::e15_embedding_slowdown(&opts);
+    }
+    if want("e16") {
+        span_exp::e16_torus_span(&opts);
+    }
+    eprintln!("\n[experiments done in {:.1}s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,214 @@
+//! E4, E5, E7: the random-fault experiments (§3 and the §1.1 survey).
+
+use crate::Opts;
+use fx_bench::{f, record, Table};
+use fx_core::{analyze_random, subdivided_expander, AnalyzerConfig, Family};
+use fx_percolation::{estimate_critical, Mode, MonteCarlo};
+use fx_prune::bounds::theorem31_fault_probability;
+use fx_prune::{theorem34_max_epsilon, theorem34_max_p};
+
+fn mc(opts: &Opts) -> MonteCarlo {
+    MonteCarlo {
+        trials: if opts.quick { 8 } else { 24 },
+        threads: fx_graph::par::default_threads(),
+        base_seed: 0xE4E5,
+    }
+}
+
+/// E4 — Theorem 3.1: random faults disintegrate the subdivided
+/// expander at `p = Θ(1/k) = Θ(α)`, while the 2-D torus — whose
+/// expansion is *worse* for large n — tolerates a constant rate.
+/// Shape check: fault tolerance × k ≈ const for the subdivided family.
+pub fn e4_random_disintegration(opts: &Opts) {
+    let mc = mc(opts);
+    let base_n = if opts.quick { 80 } else { 150 };
+    let mut t = Table::new(
+        "E4",
+        "Theorem 3.1: disintegration threshold scales with Θ(1/k) for subdivided expanders",
+        &[
+            "network", "n", "alpha~", "p*_survive", "tolerance", "k*tol", "thm31_p",
+        ],
+    );
+    let mut tol_times_k = Vec::new();
+    for k in [4usize, 8, 16] {
+        let (net, _) = subdivided_expander(base_n, 4, k, 7);
+        let est = estimate_critical(&net.graph, Mode::Site, &mc, 0.1, 40);
+        let tolerance = 1.0 - est.p_star;
+        tol_times_k.push(tolerance * k as f64);
+        t.row(vec![
+            net.name.clone(),
+            net.n().to_string(),
+            f(1.0 / k as f64),
+            f(est.p_star),
+            f(tolerance),
+            f(tolerance * k as f64),
+            f(theorem31_fault_probability(4, k)),
+        ]);
+    }
+    // contrast: torus with comparable/worse expansion
+    let side = if opts.quick { 32 } else { 48 };
+    let torus = Family::Torus { dims: vec![side, side] }.build(0);
+    let est = estimate_critical(&torus.graph, Mode::Site, &mc, 0.1, 40);
+    t.row(vec![
+        torus.name.clone(),
+        torus.n().to_string(),
+        f(4.0 / side as f64),
+        f(est.p_star),
+        f(1.0 - est.p_star),
+        "-".into(),
+        "-".into(),
+    ]);
+    if opts.check {
+        // Θ(1/k) scaling: k·tolerance within a factor 3 band
+        let lo = tol_times_k.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = tol_times_k.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            hi / lo.max(1e-9) < 3.0,
+            "E4: k·tolerance not ~constant: {tol_times_k:?}"
+        );
+        // torus tolerance must beat the longest-chain subdivided one
+        assert!(
+            1.0 - est.p_star > 0.25,
+            "E4: torus should tolerate a constant rate, p* = {}",
+            est.p_star
+        );
+    }
+    t.print();
+    record(&t);
+}
+
+/// E5 — Theorem 3.4 + Fig. 2: `Prune2(ε)` on meshes under i.i.d.
+/// faults, sweeping `p` across (and far beyond) the theorem's bound.
+/// Reports the success-event rate (`|H| ≥ n/2`), kept fraction, and
+/// the surviving edge expansion vs. the `ε·αe` target.
+pub fn e5_prune2_meshes(opts: &Opts) {
+    let trials = if opts.quick { 6 } else { 12 };
+    let mut t = Table::new(
+        "E5",
+        "Theorem 3.4: Prune2 under random faults on meshes (σ=2 by Thm 3.6, ε=1/(2δ))",
+        &[
+            "network", "delta", "p", "thm_p_max", "mean_gamma", "success", "kept",
+            "alphaE_H", "target_eps*aE", "applicable",
+        ],
+    );
+    let nets = if opts.quick {
+        vec![Family::Torus { dims: vec![16, 16] }]
+    } else {
+        vec![
+            Family::Torus { dims: vec![32, 32] },
+            Family::Mesh { dims: vec![32, 32] },
+            Family::Torus { dims: vec![10, 10, 10] },
+        ]
+    };
+    let cfg = AnalyzerConfig {
+        seed: 55,
+        ..Default::default()
+    };
+    for fam in nets {
+        let net = fam.build(0);
+        let delta = net.max_degree();
+        let eps = theorem34_max_epsilon(delta);
+        let p_max = theorem34_max_p(delta, 2.0);
+        for p in [p_max, 0.01, 0.05, 0.10, 0.20] {
+            let r = analyze_random(&net, p, eps, 2.0, trials, &cfg);
+            let target = eps * r.alpha_e_before.upper.unwrap_or(0.0);
+            if opts.check && p <= p_max {
+                // within the theorem's regime the success event must
+                // hold in (essentially) every trial
+                assert!(
+                    r.success_rate >= 0.99,
+                    "E5: success rate {} below w.h.p. at p ≤ thm bound",
+                    r.success_rate
+                );
+            }
+            t.row(vec![
+                net.name.clone(),
+                delta.to_string(),
+                f(p),
+                f(p_max),
+                f(r.mean_gamma),
+                f(r.success_rate),
+                f(r.mean_kept_fraction),
+                f(r.mean_alpha_e_after),
+                f(target),
+                if r.theorem34_applicable { "yes".into() } else { "no".into() },
+            ]);
+        }
+    }
+    t.print();
+    record(&t);
+}
+
+/// E7 — the §1.1 survey table: estimated critical survival
+/// probabilities vs. the published values.
+pub fn e7_critical_probabilities(opts: &Opts) {
+    let mc = mc(opts);
+    let mut t = Table::new(
+        "E7",
+        "§1.1 survey: critical probabilities (estimated vs published)",
+        &["network", "mode", "p*_est", "p*_paper", "note"],
+    );
+    struct Case {
+        fam: Family,
+        mode: Mode,
+        paper: f64,
+        note: &'static str,
+    }
+    let scale = !opts.quick;
+    let cases = vec![
+        Case {
+            fam: Family::Complete { n: if scale { 200 } else { 80 } },
+            mode: Mode::Bond,
+            paper: 1.0 / (if scale { 199.0 } else { 79.0 }),
+            note: "Erdos-Renyi 1/(n-1)",
+        },
+        Case {
+            fam: Family::RandomRegular { n: if scale { 1000 } else { 300 }, d: 4 },
+            mode: Mode::Bond,
+            paper: 0.25,
+            note: "d*n/2 edges: ~1/d",
+        },
+        Case {
+            fam: Family::Torus { dims: if scale { vec![48, 48] } else { vec![24, 24] } },
+            mode: Mode::Bond,
+            paper: 0.5,
+            note: "Kesten 1/2",
+        },
+        Case {
+            fam: Family::Hypercube { d: if scale { 10 } else { 8 } },
+            mode: Mode::Bond,
+            paper: 1.0 / (if scale { 10.0 } else { 8.0 }),
+            note: "AKS 1/d",
+        },
+        Case {
+            fam: Family::Butterfly { d: if scale { 8 } else { 6 } },
+            mode: Mode::Site,
+            paper: 0.3865, // midpoint of (0.337, 0.436)
+            note: "KNT in (0.337,0.436)",
+        },
+    ];
+    for c in cases {
+        let net = c.fam.build(1);
+        let grid = if opts.quick { 40 } else { 100 };
+        let est = estimate_critical(&net.graph, c.mode, &mc, 0.1, grid);
+        if opts.check {
+            // shape check: within a factor-2.5 band or ±0.15 absolute
+            let ok = (est.p_star - c.paper).abs() < 0.15
+                || (est.p_star / c.paper.max(1e-9) < 2.5 && c.paper / est.p_star.max(1e-9) < 2.5);
+            assert!(
+                ok,
+                "E7: {} estimate {} too far from published {}",
+                net.name, est.p_star, c.paper
+            );
+        }
+        t.row(vec![
+            net.name.clone(),
+            format!("{:?}", c.mode).to_lowercase(),
+            f(est.p_star),
+            f(c.paper),
+            c.note.to_string(),
+        ]);
+    }
+    t.print();
+    record(&t);
+}

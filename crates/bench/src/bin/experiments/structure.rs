@@ -1,0 +1,158 @@
+//! E10, E11: structural corollaries (§4 diameter remark, Lemma 3.3).
+
+use crate::Opts;
+use fx_bench::{f, record, Table};
+use fx_core::Family;
+use fx_expansion::certificate::{node_expansion_bounds, Effort};
+use fx_expansion::cut::Cut;
+use fx_faults::{apply_faults, FaultModel, RandomNodeFaults};
+use fx_graph::boundary::edge_cut_size;
+use fx_graph::distance::diameter_two_sweep;
+use fx_graph::traversal::bfs_ball;
+use fx_graph::NodeSet;
+use fx_prune::{compactify, is_compact, prune, CutStrategy};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// E10 — §4 remark: the pruned component's diameter is
+/// `O(α(H)⁻¹·log n)` (via Leighton–Rao), which yields `O(log n)`
+/// dilation for constant-dimension meshes. We measure
+/// `diam(H) · α(H) / ln n` — the implied constant — across networks
+/// and fault rates.
+pub fn e10_pruned_diameter(opts: &Opts) {
+    let mut t = Table::new(
+        "E10",
+        "§4: pruned-component diameter vs O(α⁻¹ log n) (constant = diam·α/ln n)",
+        &["network", "p", "kept", "alphaH_up", "diam(H)", "bound_const"],
+    );
+    let nets = if opts.quick {
+        vec![Family::Torus { dims: vec![16, 16] }]
+    } else {
+        vec![
+            Family::Torus { dims: vec![24, 24] },
+            Family::Torus { dims: vec![8, 8, 8] },
+            Family::RandomRegular { n: 512, d: 4 },
+        ]
+    };
+    let mut constants = Vec::new();
+    for fam in nets {
+        let net = fam.build(0);
+        for p in [0.02, 0.05] {
+            let mut rng = SmallRng::seed_from_u64(10);
+            let failed = RandomNodeFaults { p }.sample(&net.graph, &mut rng);
+            let alive = apply_faults(&net.graph, &failed);
+            let ab = node_expansion_bounds(
+                &net.graph,
+                &net.full_mask(),
+                Effort::SpectralRefined,
+                &mut rng,
+            );
+            let out = prune(
+                &net.graph,
+                &alive,
+                ab.upper,
+                0.5,
+                CutStrategy::SpectralRefined,
+                &mut rng,
+            );
+            if out.kept.len() < 4 {
+                continue;
+            }
+            let after = node_expansion_bounds(
+                &net.graph,
+                &out.kept,
+                Effort::SpectralRefined,
+                &mut rng,
+            );
+            let diam = diameter_two_sweep(&net.graph, &out.kept).unwrap_or(0);
+            let ln_n = (net.n() as f64).ln();
+            let constant = diam as f64 * after.upper / ln_n;
+            constants.push(constant);
+            t.row(vec![
+                net.name.clone(),
+                f(p),
+                out.kept.len().to_string(),
+                f(after.upper),
+                diam.to_string(),
+                f(constant),
+            ]);
+        }
+    }
+    if opts.check {
+        // the implied constants should be O(1): generously < 20
+        for c in &constants {
+            assert!(*c < 20.0, "E10: diameter constant {c} suspiciously large");
+        }
+    }
+    t.print();
+    record(&t);
+}
+
+/// E11 — Lemma 3.3: randomized validation of compactification across
+/// topologies: `K_G(S)` is compact and its edge expansion never
+/// exceeds `S`'s.
+pub fn e11_compactification(opts: &Opts) {
+    let mut t = Table::new(
+        "E11",
+        "Lemma 3.3: K_G(S) compact with no worse edge expansion (randomized audit)",
+        &[
+            "network", "samples", "compact_ok", "ratio_ok", "max_ratio(K)/ratio(S)",
+        ],
+    );
+    let nets = vec![
+        Family::Torus { dims: vec![10, 10] },
+        Family::Hypercube { d: 7 },
+        Family::RandomRegular { n: 120, d: 4 },
+        Family::DeBruijn { d: 7 },
+    ];
+    let samples = if opts.quick { 30 } else { 100 };
+    for fam in nets {
+        let net = fam.build(2);
+        let n = net.n();
+        let alive = net.full_mask();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut compact_ok = 0usize;
+        let mut ratio_ok = 0usize;
+        let mut tried = 0usize;
+        let mut worst = 0.0f64;
+        for _ in 0..samples {
+            let seed = rng.gen_range(0..n as u32);
+            let size = rng.gen_range(1..(n / 2).max(2));
+            let s = bfs_ball(&net.graph, &alive, seed, size);
+            if s.is_empty() || 2 * s.len() >= n {
+                continue;
+            }
+            tried += 1;
+            let k = compactify(&net.graph, &alive, &s);
+            let ratio = |x: &NodeSet| {
+                edge_cut_size(&net.graph, &alive, x) as f64 / x.len().max(1) as f64
+            };
+            let (rs, rk) = (ratio(&s), ratio(&k));
+            if is_compact(&net.graph, &alive, &k) {
+                compact_ok += 1;
+            }
+            if rk <= rs + 1e-9 {
+                ratio_ok += 1;
+            }
+            if rs > 0.0 {
+                worst = worst.max(rk / rs);
+            }
+            // also keep Cut-level verification honest
+            let cut = Cut::measure(&net.graph, &alive, k);
+            assert!(cut.verify(&net.graph, &alive));
+        }
+        if opts.check {
+            assert_eq!(compact_ok, tried, "E11: non-compact K on {}", net.name);
+            assert_eq!(ratio_ok, tried, "E11: worse ratio on {}", net.name);
+        }
+        t.row(vec![
+            net.name.clone(),
+            tried.to_string(),
+            format!("{compact_ok}/{tried}"),
+            format!("{ratio_ok}/{tried}"),
+            f(worst),
+        ]);
+    }
+    t.print();
+    record(&t);
+}

@@ -1,0 +1,148 @@
+//! # fx-bench — experiment harness utilities
+//!
+//! Table rendering and JSON result recording shared by the
+//! `experiments` binary (which regenerates every table/figure-level
+//! claim of the paper) and the criterion benches.
+
+#![warn(missing_docs)]
+
+use fx_core::ExperimentRow;
+use std::io::Write;
+
+/// A printable experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. "E1".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (first cell is the row label).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns to stdout.
+    pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let _ = writeln!(out, "\n=== {} — {} ===", self.id, self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            line.push_str(&format!("{h:>w$}  ", w = w));
+        }
+        let _ = writeln!(out, "{line}");
+        let _ = writeln!(out, "{}", "-".repeat(line.len().min(120)));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(&widths) {
+                line.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    /// Converts rows into generic [`ExperimentRow`]s (numeric cells
+    /// parsed where possible).
+    pub fn to_rows(&self) -> Vec<ExperimentRow> {
+        self.rows
+            .iter()
+            .map(|r| ExperimentRow {
+                experiment: self.id.clone(),
+                label: r.first().cloned().unwrap_or_default(),
+                values: self
+                    .headers
+                    .iter()
+                    .zip(r.iter())
+                    .skip(1)
+                    .filter_map(|(h, c)| c.parse::<f64>().ok().map(|v| (h.clone(), v)))
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// Writes experiment rows as JSON to `results/<id>.json` (best
+/// effort; failures are reported, not fatal — the printed table is the
+/// primary artifact).
+pub fn record(table: &Table) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{}.json", table.id.to_lowercase()));
+    match serde_json::to_string_pretty(&table.to_rows()) {
+        Ok(js) => {
+            if let Err(e) = std::fs::write(&path, js) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {}: {e}", table.id),
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.001 {
+        format!("{x:.2e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("EX", "demo", &["label", "x", "y"]);
+        t.row(vec!["a".into(), "1.5".into(), "2".into()]);
+        let rows = t.to_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].label, "a");
+        assert_eq!(rows[0].values.len(), 2);
+        assert_eq!(rows[0].values[0], ("x".to_string(), 1.5));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.25), "0.250");
+        assert!(f(1e-9).contains('e'));
+        assert!(f(123456.0).contains('e'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("EX", "demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

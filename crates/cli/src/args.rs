@@ -1,0 +1,195 @@
+//! Minimal dependency-free argument parsing for `fxnet`.
+//!
+//! Grammar: `fxnet <command> [--key value]... [--flag]...`
+//! Graph specs are `family:param,param,...` strings, e.g.
+//! `torus:16,16`, `hypercube:10`, `random-regular:1024,4`.
+
+use fx_core::Family;
+
+/// Parsed command line: positional command plus key/value options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional).
+    pub command: Option<String>,
+    /// `--key value` pairs.
+    pub options: Vec<(String, String)>,
+    /// Bare `--flag`s.
+    pub flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                // value present and not another option → key/value
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        args.options.push((key.to_string(), v));
+                    }
+                    _ => args.flags.push(key.to_string()),
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(format!("unexpected positional argument: {tok}"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Last value of `--key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses `--key` as `T` with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    /// True if `--flag` was given.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+/// Parses a graph spec `family:params` into a [`Family`].
+pub fn parse_graph_spec(spec: &str) -> Result<Family, String> {
+    let (name, params) = spec.split_once(':').unwrap_or((spec, ""));
+    let nums: Vec<usize> = if params.is_empty() {
+        Vec::new()
+    } else {
+        params
+            .split(',')
+            .map(|p| p.trim().parse().map_err(|_| format!("bad parameter: {p}")))
+            .collect::<Result<_, _>>()?
+    };
+    let need = |k: usize| -> Result<(), String> {
+        if nums.len() == k {
+            Ok(())
+        } else {
+            Err(format!("{name} expects {k} parameter(s), got {}", nums.len()))
+        }
+    };
+    match name {
+        "hypercube" => {
+            need(1)?;
+            Ok(Family::Hypercube { d: nums[0] })
+        }
+        "mesh" => {
+            if nums.is_empty() {
+                return Err("mesh expects at least one side".into());
+            }
+            Ok(Family::Mesh { dims: nums })
+        }
+        "torus" => {
+            if nums.is_empty() {
+                return Err("torus expects at least one side".into());
+            }
+            Ok(Family::Torus { dims: nums })
+        }
+        "butterfly" => {
+            need(1)?;
+            Ok(Family::Butterfly { d: nums[0] })
+        }
+        "wrapped-butterfly" => {
+            need(1)?;
+            Ok(Family::WrappedButterfly { d: nums[0] })
+        }
+        "debruijn" | "de-bruijn" => {
+            need(1)?;
+            Ok(Family::DeBruijn { d: nums[0] })
+        }
+        "shuffle-exchange" => {
+            need(1)?;
+            Ok(Family::ShuffleExchange { d: nums[0] })
+        }
+        "margulis" => {
+            need(1)?;
+            Ok(Family::Margulis { m: nums[0] })
+        }
+        "random-regular" | "rr" => {
+            need(2)?;
+            Ok(Family::RandomRegular {
+                n: nums[0],
+                d: nums[1],
+            })
+        }
+        "cycle" => {
+            need(1)?;
+            Ok(Family::Cycle { n: nums[0] })
+        }
+        "complete" => {
+            need(1)?;
+            Ok(Family::Complete { n: nums[0] })
+        }
+        other => Err(format!(
+            "unknown family: {other} (try torus:16,16 | hypercube:10 | random-regular:1024,4 …)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_command_options_flags() {
+        let a = parse(&["analyze", "--graph", "torus:8,8", "--check", "--p", "0.1"]);
+        assert_eq!(a.command.as_deref(), Some("analyze"));
+        assert_eq!(a.get("graph"), Some("torus:8,8"));
+        assert_eq!(a.get("p"), Some("0.1"));
+        assert!(a.has_flag("check"));
+        assert!(!a.has_flag("quick"));
+        assert_eq!(a.get_parsed::<f64>("p", 0.0).unwrap(), 0.1);
+        assert_eq!(a.get_parsed::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_extra_positionals() {
+        assert!(Args::parse(["a".to_string(), "b".to_string()]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let a = parse(&["x", "--p", "zebra"]);
+        assert!(a.get_parsed::<f64>("p", 0.0).is_err());
+    }
+
+    #[test]
+    fn graph_specs() {
+        assert_eq!(
+            parse_graph_spec("torus:4,4").unwrap(),
+            Family::Torus { dims: vec![4, 4] }
+        );
+        assert_eq!(
+            parse_graph_spec("hypercube:5").unwrap(),
+            Family::Hypercube { d: 5 }
+        );
+        assert_eq!(
+            parse_graph_spec("rr:100,4").unwrap(),
+            Family::RandomRegular { n: 100, d: 4 }
+        );
+        assert!(parse_graph_spec("torus").is_err());
+        assert!(parse_graph_spec("hypercube:1,2").is_err());
+        assert!(parse_graph_spec("klein-bottle:3").is_err());
+        assert!(parse_graph_spec("mesh:3,x").is_err());
+    }
+}

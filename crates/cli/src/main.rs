@@ -1,0 +1,200 @@
+//! `fxnet` — the fault-expansion toolkit on the command line.
+//!
+//! ```sh
+//! fxnet expansion --graph torus:16,16
+//! fxnet prune     --graph hypercube:10 --adversary sparse-cut --faults 20
+//! fxnet percolate --graph torus:32,32 --mode site --trials 16
+//! fxnet span      --graph mesh:4,4
+//! fxnet theory    --graph torus:16,16 --sigma 2
+//! ```
+
+mod args;
+
+use args::{parse_graph_spec, Args};
+use fx_core::{analyze_adversarial, theory_table, AnalyzerConfig, Network};
+use fx_expansion::certificate::{
+    edge_expansion_bounds, node_expansion_bounds, Effort, ExpansionBounds,
+};
+use fx_faults::{DegreeAdversary, ExactRandomFaults, FaultModel, SparseCutAdversary};
+use fx_percolation::{estimate_critical, Mode, MonteCarlo};
+use fx_span::span::{exact_span, sampled_span};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+const USAGE: &str = "fxnet <command> [options]
+
+commands:
+  expansion  --graph SPEC [--seed N]            two-sided α / αe certificates
+  prune      --graph SPEC --faults N
+             [--adversary sparse-cut|degree|random] [--k K]  Theorem 2.1 pipeline
+  percolate  --graph SPEC [--mode site|bond] [--trials N] [--gamma T]
+                                                critical probability estimate
+  span       --graph SPEC [--samples N]         span (exact ≤ 20 nodes, else sampled)
+  theory     --graph SPEC [--sigma S]           the paper's bounds for this network
+
+graph SPEC: torus:16,16 | mesh:8,8,8 | hypercube:10 | butterfly:8 |
+            debruijn:10 | shuffle-exchange:10 | margulis:32 |
+            random-regular:1024,4 | cycle:100 | complete:64";
+
+fn main() -> ExitCode {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn build_network(args: &Args) -> Result<(Network, u64), String> {
+    let spec = args.get("graph").ok_or("missing --graph")?;
+    let family = parse_graph_spec(spec)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    Ok((family.build(seed), seed))
+}
+
+fn show_bounds(label: &str, b: &ExpansionBounds) {
+    let upper = if b.upper.is_finite() {
+        format!("{:.6}", b.upper)
+    } else {
+        "∞".into()
+    };
+    println!(
+        "{label}: [{:.6}, {upper}]{}{}",
+        b.lower,
+        if b.exact { " (exact)" } else { "" },
+        b.witness
+            .as_ref()
+            .map(|w| format!(
+                "  witness: |S|={}, |Γ(S)|={}, cut={}",
+                w.size(),
+                w.node_boundary,
+                w.edge_cut
+            ))
+            .unwrap_or_default()
+    );
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    match args.command.as_deref() {
+        Some("expansion") => {
+            let (net, seed) = build_network(args)?;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            println!(
+                "{}: n={}, m={}, δ={}",
+                net.name,
+                net.n(),
+                net.graph.num_edges(),
+                net.max_degree()
+            );
+            let full = net.full_mask();
+            let a = node_expansion_bounds(&net.graph, &full, Effort::Auto, &mut rng);
+            let ae = edge_expansion_bounds(&net.graph, &full, Effort::Auto, &mut rng);
+            show_bounds("node expansion α ", &a);
+            show_bounds("edge expansion αe", &ae);
+            Ok(())
+        }
+        Some("prune") => {
+            let (net, _) = build_network(args)?;
+            let faults: usize = args.get_parsed("faults", net.n() / 50)?;
+            let k: f64 = args.get_parsed("k", 2.0)?;
+            let adversary = args.get("adversary").unwrap_or("sparse-cut");
+            let model: Box<dyn FaultModel> = match adversary {
+                "sparse-cut" => Box::new(SparseCutAdversary { budget: faults }),
+                "degree" => Box::new(DegreeAdversary { budget: faults }),
+                "random" => Box::new(ExactRandomFaults { f: faults }),
+                other => return Err(format!("unknown adversary: {other}")),
+            };
+            let r = analyze_adversarial(&net, model.as_ref(), k, &AnalyzerConfig::default());
+            println!("{}: {} faults by {}", r.network, r.faults, r.adversary);
+            println!("γ after faults: {:.4}", r.gamma_after_faults);
+            println!(
+                "Prune(ε={:.3}): kept {}/{} (culled {}), certified: {}",
+                r.epsilon, r.kept, r.n, r.culled, r.certified
+            );
+            println!(
+                "α(H) ∈ [{:.4}, {}]",
+                r.alpha_after.lower,
+                r.alpha_after
+                    .upper
+                    .map_or("∞".into(), |u| format!("{u:.4}"))
+            );
+            match (r.guaranteed_min_kept, r.guaranteed_min_expansion) {
+                (Some(s), Some(e)) => {
+                    println!("Theorem 2.1 guarantees: |H| ≥ {s:.1}, α(H) ≥ {e:.4}")
+                }
+                _ => println!("Theorem 2.1 preconditions not met (k·f/α > n/4)"),
+            }
+            Ok(())
+        }
+        Some("percolate") => {
+            let (net, seed) = build_network(args)?;
+            let mode = match args.get("mode").unwrap_or("site") {
+                "site" => Mode::Site,
+                "bond" => Mode::Bond,
+                other => return Err(format!("unknown mode: {other}")),
+            };
+            let trials: usize = args.get_parsed("trials", 16)?;
+            let gamma: f64 = args.get_parsed("gamma", 0.1)?;
+            let mc = MonteCarlo {
+                trials,
+                threads: fx_graph::par::default_threads(),
+                base_seed: seed,
+            };
+            let est = estimate_critical(&net.graph, mode, &mc, gamma, 50);
+            println!(
+                "{}: critical survival probability p* ≈ {:.4} (γ threshold {}, {} trials)",
+                net.name, est.p_star, gamma, trials
+            );
+            println!("fault tolerance 1 − p* ≈ {:.4}", 1.0 - est.p_star);
+            Ok(())
+        }
+        Some("span") => {
+            let (net, seed) = build_network(args)?;
+            if net.n() <= 20 {
+                let est = exact_span(&net.graph, 50_000_000);
+                println!(
+                    "{}: span = {:.4} ({} compact sets{})",
+                    net.name,
+                    est.max_ratio,
+                    est.sets_examined,
+                    if est.exhaustive { ", exhaustive" } else { ", capped" }
+                );
+            } else {
+                let samples: usize = args.get_parsed("samples", 200)?;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let est = sampled_span(&net.graph, samples, net.n() / 4, &mut rng);
+                println!(
+                    "{}: span ≥ {:.4} (sampled over {} compact sets)",
+                    net.name, est.max_ratio, est.sets_examined
+                );
+            }
+            Ok(())
+        }
+        Some("theory") => {
+            let (net, seed) = build_network(args)?;
+            let sigma: f64 = args.get_parsed("sigma", 2.0)?;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let full = net.full_mask();
+            let a = node_expansion_bounds(&net.graph, &full, Effort::Auto, &mut rng);
+            let t = theory_table(net.n(), net.max_degree(), a.upper.min(1e6), sigma);
+            println!("{} (α upper bound {:.4}, σ = {sigma}):", net.name, a.upper);
+            println!("  Thm 2.1 max adversarial faults (k=2): {:.1}", t.thm21_max_faults_k2);
+            println!("  Thm 3.4 max fault probability:        {:.3e}", t.thm34_max_p);
+            println!("  Thm 3.4 ε ceiling:                    {:.4}", t.thm34_max_epsilon);
+            println!("  Thm 3.4 αe floor:                     {:.4}", t.thm34_min_alpha_e);
+            println!("  §4 diameter bound α⁻¹·ln n:           {:.1}", t.diameter_bound);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command: {other}")),
+        None => Err("missing command".into()),
+    }
+}

@@ -1,0 +1,178 @@
+//! Static embeddings of fault-free networks into faulty ones (§1.2).
+//!
+//! The paper's survey frames emulation through embeddings: map the
+//! ideal graph's nodes to non-faulty nodes and its edges to non-faulty
+//! paths; by Leighton–Maggs–Rao, a (load ℓ, congestion c, dilation d)
+//! embedding emulates each step with slowdown `O(ℓ + c + d)`.
+//!
+//! This module builds the simplest meaningful static embedding — every
+//! ideal node maps to its nearest alive host (multi-source BFS), every
+//! ideal edge to a shortest host path — and measures (ℓ, c, d), so the
+//! "emulation cost" of a faulty-but-pruned network is a number, not a
+//! slogan. Experiment E15 tracks it against fault rates.
+
+use fx_graph::distance::{multi_source_bfs, UNREACHABLE};
+use fx_graph::node::Edge;
+use fx_graph::routing::route_demands;
+use fx_graph::{CsrGraph, NodeId, NodeSet};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Quality of a static embedding.
+#[derive(Debug, Clone)]
+pub struct EmbeddingQuality {
+    /// Max ideal nodes mapped to one host node (ℓ).
+    pub load: usize,
+    /// Max ideal edges routed over one host edge (c).
+    pub congestion: usize,
+    /// Longest host path for an ideal edge (d).
+    pub dilation: usize,
+    /// Mean host path length.
+    pub mean_dilation: f64,
+    /// Ideal edges that could not be routed (host disconnection).
+    pub unrouted: usize,
+    /// The LMR slowdown proxy `ℓ + c + d`.
+    pub slowdown_proxy: usize,
+}
+
+/// Embeds `ideal` into the alive portion of `host` (same node
+/// universe): each ideal node maps to its nearest alive host node,
+/// each ideal edge to a randomized shortest path between the images.
+///
+/// Returns the quality and the node map (`u32::MAX` for unmappable
+/// nodes — only possible when no alive node exists).
+pub fn embed_nearest<R: Rng + ?Sized>(
+    ideal: &CsrGraph,
+    host: &CsrGraph,
+    alive: &NodeSet,
+    rng: &mut R,
+) -> (EmbeddingQuality, Vec<NodeId>) {
+    assert_eq!(ideal.num_nodes(), host.num_nodes(), "same node universe required");
+    let n = host.num_nodes();
+    // nearest alive host node for every universe node
+    let sources: Vec<NodeId> = alive.to_vec();
+    let vor = multi_source_bfs(host, &NodeSet::full(n), &sources);
+    let map: Vec<NodeId> = (0..n)
+        .map(|v| {
+            if vor.dist[v] == UNREACHABLE {
+                u32::MAX
+            } else {
+                vor.nearest[v]
+            }
+        })
+        .collect();
+
+    // load
+    let mut load_count: HashMap<NodeId, usize> = HashMap::new();
+    for &m in map.iter().filter(|&&m| m != u32::MAX) {
+        *load_count.entry(m).or_insert(0) += 1;
+    }
+    let load = load_count.values().copied().max().unwrap_or(0);
+
+    // route every ideal edge between images
+    let demands: Vec<(NodeId, NodeId)> = ideal
+        .edges()
+        .map(|Edge { u, v }| (map[u as usize], map[v as usize]))
+        .filter(|&(a, b)| a != u32::MAX && b != u32::MAX)
+        .collect();
+    let stats = route_demands(host, alive, &demands, rng);
+
+    let quality = EmbeddingQuality {
+        load,
+        congestion: stats.max_edge_congestion,
+        dilation: stats.max_dilation,
+        mean_dilation: stats.mean_dilation,
+        unrouted: stats.failed + (ideal.num_edges() - demands.len()),
+        slowdown_proxy: load + stats.max_edge_congestion + stats.max_dilation,
+    };
+    (quality, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_embedding_is_perfect() {
+        let g = generators::torus(&[6, 6]);
+        let alive = NodeSet::full(36);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (q, map) = embed_nearest(&g, &g, &alive, &mut rng);
+        assert_eq!(q.load, 1);
+        assert_eq!(q.dilation, 1);
+        assert_eq!(q.congestion, 1);
+        assert_eq!(q.unrouted, 0);
+        assert_eq!(q.slowdown_proxy, 3);
+        for (v, &m) in map.iter().enumerate() {
+            assert_eq!(v as u32, m);
+        }
+    }
+
+    #[test]
+    fn single_fault_costs_constant() {
+        let g = generators::torus(&[8, 8]);
+        let mut alive = NodeSet::full(64);
+        alive.remove(0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (q, map) = embed_nearest(&g, &g, &alive, &mut rng);
+        // node 0 doubles up on a neighbor
+        assert_eq!(q.load, 2);
+        // two former neighbors of the dead node can sit 4 hops apart
+        // when the direct lattice paths both pass through the hole
+        // (e.g. (0,1) → (0,7) avoiding (0,0))
+        assert!(q.dilation <= 4, "dilation {}", q.dilation);
+        assert_eq!(q.unrouted, 0);
+        assert_ne!(map[0], 0);
+        assert!(alive.contains(map[0]));
+    }
+
+    #[test]
+    fn heavy_faults_raise_slowdown_monotonically_ish() {
+        let g = generators::torus(&[10, 10]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut slowdowns = Vec::new();
+        for p in [0.0, 0.1, 0.3] {
+            let mut alive = NodeSet::full(100);
+            for v in 0..100u32 {
+                if rng.gen_bool(p) && alive.len() > 50 {
+                    alive.remove(v);
+                }
+            }
+            // restrict to the largest component to avoid unrouted noise
+            let core = fx_graph::components::largest_component(&g, &alive);
+            let (q, _) = embed_nearest(&g, &g, &core, &mut rng);
+            slowdowns.push(q.slowdown_proxy);
+        }
+        assert!(
+            slowdowns[0] <= slowdowns[2],
+            "slowdown should not decrease with faults: {slowdowns:?}"
+        );
+    }
+
+    #[test]
+    fn cross_topology_embedding() {
+        // embed a cycle into a faulty torus: trivial host paths exist
+        let host = generators::torus(&[6, 6]);
+        let ideal = generators::cycle(36);
+        let mut alive = NodeSet::full(36);
+        alive.remove(7);
+        let core = fx_graph::components::largest_component(&host, &alive);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (q, _) = embed_nearest(&ideal, &host, &core, &mut rng);
+        assert_eq!(q.unrouted, 0);
+        assert!(q.load <= 2);
+        assert!(q.dilation >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same node universe")]
+    fn size_mismatch_panics() {
+        let a = generators::cycle(4);
+        let b = generators::cycle(5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = embed_nearest(&a, &b, &NodeSet::full(5), &mut rng);
+    }
+}

@@ -1,0 +1,169 @@
+//! Parameterized graph families for sweeps: every family the paper
+//! mentions, buildable by name at any size.
+
+use crate::network::Network;
+use fx_graph::generators::{self, SubdividedGraph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A buildable graph family.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub enum Family {
+    /// Hypercube `Q_d`.
+    Hypercube {
+        /// Dimension.
+        d: usize,
+    },
+    /// d-dimensional mesh with the given sides.
+    Mesh {
+        /// Side lengths.
+        dims: Vec<usize>,
+    },
+    /// d-dimensional torus with the given sides.
+    Torus {
+        /// Side lengths.
+        dims: Vec<usize>,
+    },
+    /// Unwrapped butterfly `BF(d)`.
+    Butterfly {
+        /// Dimension.
+        d: usize,
+    },
+    /// Wrapped butterfly `WBF(d)`.
+    WrappedButterfly {
+        /// Dimension.
+        d: usize,
+    },
+    /// Binary de Bruijn graph.
+    DeBruijn {
+        /// Dimension.
+        d: usize,
+    },
+    /// Shuffle-exchange graph.
+    ShuffleExchange {
+        /// Dimension.
+        d: usize,
+    },
+    /// Margulis–Gabber–Galil expander on `m²` nodes.
+    Margulis {
+        /// Side of the `Z_m × Z_m` grid.
+        m: usize,
+    },
+    /// Random `d`-regular graph (expander w.h.p.).
+    RandomRegular {
+        /// Node count.
+        n: usize,
+        /// Degree.
+        d: usize,
+    },
+    /// Cycle `C_n`.
+    Cycle {
+        /// Node count.
+        n: usize,
+    },
+    /// Complete graph `K_n`.
+    Complete {
+        /// Node count.
+        n: usize,
+    },
+}
+
+impl Family {
+    /// Builds the graph (randomized families use `seed`).
+    pub fn build(&self, seed: u64) -> Network {
+        let name = self.name();
+        let graph = match self {
+            Family::Hypercube { d } => generators::hypercube(*d),
+            Family::Mesh { dims } => generators::mesh(dims),
+            Family::Torus { dims } => generators::torus(dims),
+            Family::Butterfly { d } => generators::butterfly(*d),
+            Family::WrappedButterfly { d } => generators::wrapped_butterfly(*d),
+            Family::DeBruijn { d } => generators::de_bruijn(*d),
+            Family::ShuffleExchange { d } => generators::shuffle_exchange(*d),
+            Family::Margulis { m } => generators::margulis(*m),
+            Family::RandomRegular { n, d } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                generators::random_regular(*n, *d, &mut rng)
+            }
+            Family::Cycle { n } => generators::cycle(*n),
+            Family::Complete { n } => generators::complete(*n),
+        };
+        Network::new(name, graph)
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            Family::Hypercube { d } => format!("hypercube(d={d})"),
+            Family::Mesh { dims } => format!("mesh{dims:?}"),
+            Family::Torus { dims } => format!("torus{dims:?}"),
+            Family::Butterfly { d } => format!("butterfly(d={d})"),
+            Family::WrappedButterfly { d } => format!("wrapped-butterfly(d={d})"),
+            Family::DeBruijn { d } => format!("de-bruijn(d={d})"),
+            Family::ShuffleExchange { d } => format!("shuffle-exchange(d={d})"),
+            Family::Margulis { m } => format!("margulis(m={m})"),
+            Family::RandomRegular { n, d } => format!("random-regular(n={n},d={d})"),
+            Family::Cycle { n } => format!("cycle(n={n})"),
+            Family::Complete { n } => format!("complete(n={n})"),
+        }
+    }
+}
+
+/// Builds the Theorem 2.3 lower-bound family: a random `d`-regular
+/// expander with every edge subdivided by a `k`-node chain.
+pub fn subdivided_expander(n: usize, d: usize, k: usize, seed: u64) -> (Network, SubdividedGraph) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let base = generators::random_regular(n, d, &mut rng);
+    let sub = generators::subdivide(&base, k);
+    let net = Network::new(
+        format!("subdivided(n={n},d={d},k={k})"),
+        sub.graph.clone(),
+    );
+    (net, sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build_with_expected_sizes() {
+        assert_eq!(Family::Hypercube { d: 5 }.build(0).n(), 32);
+        assert_eq!(Family::Mesh { dims: vec![4, 4] }.build(0).n(), 16);
+        assert_eq!(Family::Torus { dims: vec![3, 3, 3] }.build(0).n(), 27);
+        assert_eq!(Family::Butterfly { d: 3 }.build(0).n(), 32);
+        assert_eq!(Family::WrappedButterfly { d: 3 }.build(0).n(), 24);
+        assert_eq!(Family::DeBruijn { d: 5 }.build(0).n(), 32);
+        assert_eq!(Family::ShuffleExchange { d: 5 }.build(0).n(), 32);
+        assert_eq!(Family::Margulis { m: 5 }.build(0).n(), 25);
+        assert_eq!(Family::RandomRegular { n: 50, d: 4 }.build(1).n(), 50);
+        assert_eq!(Family::Cycle { n: 9 }.build(0).n(), 9);
+        assert_eq!(Family::Complete { n: 7 }.build(0).graph.num_edges(), 21);
+    }
+
+    #[test]
+    fn random_families_are_seed_deterministic() {
+        let a = Family::RandomRegular { n: 40, d: 4 }.build(7);
+        let b = Family::RandomRegular { n: 40, d: 4 }.build(7);
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn subdivided_family_bookkeeping() {
+        let (net, sub) = subdivided_expander(20, 4, 6, 3);
+        assert_eq!(net.n(), 20 + 6 * 40);
+        assert_eq!(sub.centers().len(), 40);
+        assert!(net.name.contains("k=6"));
+    }
+
+    #[test]
+    fn family_serde_roundtrip() {
+        let f = Family::Mesh { dims: vec![8, 8] };
+        let js = serde_json::to_string(&f).unwrap();
+        let back: Family = serde_json::from_str(&js).unwrap();
+        assert_eq!(f, back);
+    }
+}

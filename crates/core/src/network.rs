@@ -1,0 +1,82 @@
+//! The [`Network`] wrapper: a named graph plus cached structural
+//! facts, the object the high-level analyses consume.
+
+use fx_graph::{CsrGraph, NodeSet};
+use serde::{Deserialize, Serialize};
+
+/// A named network under study.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Display name (family + parameters).
+    pub name: String,
+    /// The topology.
+    pub graph: CsrGraph,
+}
+
+impl Network {
+    /// Wraps a graph with a display name.
+    pub fn new(name: impl Into<String>, graph: CsrGraph) -> Self {
+        Network {
+            name: name.into(),
+            graph,
+        }
+    }
+
+    /// Node count.
+    pub fn n(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Maximum degree `δ`.
+    pub fn max_degree(&self) -> usize {
+        self.graph.max_degree()
+    }
+
+    /// Full alive mask.
+    pub fn full_mask(&self) -> NodeSet {
+        NodeSet::full(self.n())
+    }
+}
+
+/// Serializable summary of a network (for report JSON).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Display name.
+    pub name: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+}
+
+impl From<&Network> for NetworkSummary {
+    fn from(n: &Network) -> Self {
+        NetworkSummary {
+            name: n.name.clone(),
+            nodes: n.n(),
+            edges: n.graph.num_edges(),
+            max_degree: n.max_degree(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+
+    #[test]
+    fn wraps_and_summarizes() {
+        let net = Network::new("Q4", generators::hypercube(4));
+        assert_eq!(net.n(), 16);
+        assert_eq!(net.max_degree(), 4);
+        let s = NetworkSummary::from(&net);
+        assert_eq!(s.nodes, 16);
+        assert_eq!(s.edges, 32);
+        assert_eq!(s.name, "Q4");
+        let js = serde_json::to_string(&s).unwrap();
+        assert!(js.contains("\"max_degree\":4"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Serializable report types: what the analyses hand back and what the
+//! experiment harness records to JSON.
+
+use fx_expansion::ExpansionBounds;
+use serde::{Deserialize, Serialize};
+
+/// Serializable form of an expansion interval.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct BoundsSummary {
+    /// Certified lower bound.
+    pub lower: f64,
+    /// Witnessed upper bound (`None` encodes "no valid cut" / ∞).
+    pub upper: Option<f64>,
+    /// Whether lower == upper came from exhaustive search.
+    pub exact: bool,
+}
+
+impl From<&ExpansionBounds> for BoundsSummary {
+    fn from(b: &ExpansionBounds) -> Self {
+        BoundsSummary {
+            lower: b.lower,
+            upper: if b.upper.is_finite() { Some(b.upper) } else { None },
+            exact: b.exact,
+        }
+    }
+}
+
+impl BoundsSummary {
+    /// Midpoint-ish point estimate (upper preferred: it is witnessed).
+    pub fn point(&self) -> f64 {
+        self.upper.unwrap_or(self.lower)
+    }
+}
+
+/// Report of one adversarial-fault analysis (Theorem 2.1 pipeline).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdversarialReport {
+    /// Network name.
+    pub network: String,
+    /// Fault model name.
+    pub adversary: String,
+    /// Node count of the healthy network.
+    pub n: usize,
+    /// Number of faults injected.
+    pub faults: usize,
+    /// Fault-free expansion interval.
+    pub alpha_before: BoundsSummary,
+    /// Largest-component fraction after faults (before pruning).
+    pub gamma_after_faults: f64,
+    /// `ε` used by `Prune`.
+    pub epsilon: f64,
+    /// Nodes surviving `Prune`.
+    pub kept: usize,
+    /// Culled node count.
+    pub culled: usize,
+    /// Expansion interval of the pruned component.
+    pub alpha_after: BoundsSummary,
+    /// Theorem 2.1 guaranteed minimum size (when preconditions hold).
+    pub guaranteed_min_kept: Option<f64>,
+    /// Theorem 2.1 guaranteed expansion.
+    pub guaranteed_min_expansion: Option<f64>,
+    /// Whether the prune postcondition is oracle-certified.
+    pub certified: bool,
+}
+
+/// Report of one random-fault analysis (Theorem 3.4 pipeline),
+/// aggregated over trials.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomFaultReport {
+    /// Network name.
+    pub network: String,
+    /// Per-node fault probability.
+    pub p: f64,
+    /// Trials aggregated.
+    pub trials: usize,
+    /// Node count of the healthy network.
+    pub n: usize,
+    /// Fault-free edge expansion interval.
+    pub alpha_e_before: BoundsSummary,
+    /// `ε` used by `Prune2`.
+    pub epsilon: f64,
+    /// Mean largest-component fraction after faults.
+    pub mean_gamma: f64,
+    /// Mean kept fraction after `Prune2`.
+    pub mean_kept_fraction: f64,
+    /// Fraction of trials where `|H| ≥ n/2` (Theorem 3.4's success
+    /// event).
+    pub success_rate: f64,
+    /// Mean edge-expansion upper bound of `H` across trials.
+    pub mean_alpha_e_after: f64,
+    /// Theorem 3.4 maximum tolerated `p` for this network
+    /// (δ from the graph, σ supplied by the caller).
+    pub theorem34_max_p: f64,
+    /// Whether the theorem's preconditions held.
+    pub theorem34_applicable: bool,
+}
+
+/// One row of an experiment table (generic container the harness
+/// writes to JSON).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRow {
+    /// Experiment id (e.g. "E1").
+    pub experiment: String,
+    /// Row label (workload / parameter point).
+    pub label: String,
+    /// Named measured values.
+    pub values: Vec<(String, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_summary_encodes_infinity() {
+        let b = ExpansionBounds {
+            lower: 0.1,
+            upper: f64::INFINITY,
+            witness: None,
+            exact: false,
+        };
+        let s = BoundsSummary::from(&b);
+        assert_eq!(s.upper, None);
+        assert!((s.point() - 0.1).abs() < 1e-12);
+        let js = serde_json::to_string(&s).unwrap();
+        assert!(js.contains("null"));
+    }
+
+    #[test]
+    fn reports_roundtrip_json() {
+        let r = AdversarialReport {
+            network: "Q4".into(),
+            adversary: "sparse-cut(f=2)".into(),
+            n: 16,
+            faults: 2,
+            alpha_before: BoundsSummary { lower: 0.5, upper: Some(1.0), exact: false },
+            gamma_after_faults: 0.9,
+            epsilon: 0.5,
+            kept: 14,
+            culled: 0,
+            alpha_after: BoundsSummary { lower: 0.4, upper: Some(0.8), exact: false },
+            guaranteed_min_kept: Some(12.0),
+            guaranteed_min_expansion: Some(0.25),
+            certified: true,
+        };
+        let js = serde_json::to_string(&r).unwrap();
+        let back: AdversarialReport = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.kept, 14);
+        assert_eq!(back.network, "Q4");
+    }
+}

@@ -1,0 +1,112 @@
+//! The [`Cut`] type: a witnessed sparse cut with both expansion
+//! ratios.
+
+use fx_graph::boundary::{edge_cut_size, node_boundary_size};
+use fx_graph::{CsrGraph, NodeSet};
+
+/// A concrete cut `(S, alive \ S)` with its measured boundary sizes —
+/// the *witness* object every upper bound and every `Prune` cull step
+/// carries, so results are independently checkable.
+#[derive(Debug, Clone)]
+pub struct Cut {
+    /// The (smaller) side `S`, in original node ids.
+    pub side: NodeSet,
+    /// `|Γ(S)|` within the alive subgraph.
+    pub node_boundary: usize,
+    /// `|(S, alive\S)|`.
+    pub edge_cut: usize,
+    /// Number of alive nodes *outside* `S` (so ratios don't need the
+    /// alive set again).
+    pub outside: usize,
+}
+
+impl Cut {
+    /// Measures `S` against `(g, alive)`.
+    pub fn measure(g: &CsrGraph, alive: &NodeSet, side: NodeSet) -> Cut {
+        let mut side = side;
+        side.intersect_with(alive);
+        let node_boundary = node_boundary_size(g, alive, &side);
+        let edge_cut = edge_cut_size(g, alive, &side);
+        let outside = alive.len() - side.len();
+        Cut {
+            side,
+            node_boundary,
+            edge_cut,
+            outside,
+        }
+    }
+
+    /// `|S|`.
+    pub fn size(&self) -> usize {
+        self.side.len()
+    }
+
+    /// Node expansion `|Γ(S)|/|S|` (`f64::INFINITY` for empty `S`).
+    pub fn node_ratio(&self) -> f64 {
+        if self.side.is_empty() {
+            f64::INFINITY
+        } else {
+            self.node_boundary as f64 / self.side.len() as f64
+        }
+    }
+
+    /// Edge expansion `|(S, V\S)| / min(|S|, |V\S|)`
+    /// (`f64::INFINITY` if either side is empty).
+    pub fn edge_ratio(&self) -> f64 {
+        let denom = self.side.len().min(self.outside);
+        if denom == 0 {
+            f64::INFINITY
+        } else {
+            self.edge_cut as f64 / denom as f64
+        }
+    }
+
+    /// Re-verifies the stored boundary numbers against the graph —
+    /// used by tests and by the experiment `--check` mode.
+    pub fn verify(&self, g: &CsrGraph, alive: &NodeSet) -> bool {
+        node_boundary_size(g, alive, &self.side) == self.node_boundary
+            && edge_cut_size(g, alive, &self.side) == self.edge_cut
+            && alive.len() - self.side.intersection_len(alive) == self.outside
+            && self.side.is_subset(alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+
+    #[test]
+    fn measure_cycle_half() {
+        let g = generators::cycle(8);
+        let alive = NodeSet::full(8);
+        let cut = Cut::measure(&g, &alive, NodeSet::from_iter(8, [0, 1, 2, 3]));
+        assert_eq!(cut.size(), 4);
+        assert_eq!(cut.node_boundary, 2);
+        assert_eq!(cut.edge_cut, 2);
+        assert_eq!(cut.outside, 4);
+        assert!((cut.node_ratio() - 0.5).abs() < 1e-12);
+        assert!((cut.edge_ratio() - 0.5).abs() < 1e-12);
+        assert!(cut.verify(&g, &alive));
+    }
+
+    #[test]
+    fn measure_intersects_with_alive() {
+        let g = generators::path(5);
+        let mut alive = NodeSet::full(5);
+        alive.remove(4);
+        let cut = Cut::measure(&g, &alive, NodeSet::from_iter(5, [3, 4]));
+        assert_eq!(cut.size(), 1); // 4 is dead
+        assert_eq!(cut.node_boundary, 1); // only node 2
+        assert!(cut.verify(&g, &alive));
+    }
+
+    #[test]
+    fn empty_side_ratios() {
+        let g = generators::path(3);
+        let alive = NodeSet::full(3);
+        let cut = Cut::measure(&g, &alive, NodeSet::empty(3));
+        assert!(cut.node_ratio().is_infinite());
+        assert!(cut.edge_ratio().is_infinite());
+    }
+}

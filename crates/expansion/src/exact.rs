@@ -1,0 +1,221 @@
+//! Exact expansion by exhaustive subset enumeration.
+//!
+//! For alive graphs of ≤ [`EXACT_MAX_NODES`] nodes, the true node/edge
+//! expansion (definitions of the paper's §1.3) is computed by
+//! enumerating every subset with bitmask adjacency. Exact values anchor
+//! the spectral estimates, the property tests, and the small-n theorem
+//! checks.
+
+use crate::cut::Cut;
+use fx_graph::{CsrGraph, NodeId, NodeSet};
+
+/// Largest alive-node count accepted by the exact enumerators
+/// (2^24 subsets ≈ 17M, a second or two in release builds).
+pub const EXACT_MAX_NODES: usize = 24;
+
+struct MaskGraph {
+    /// compact -> original
+    back: Vec<NodeId>,
+    /// bitmask adjacency over compact ids
+    nb: Vec<u64>,
+}
+
+fn mask_graph(g: &CsrGraph, alive: &NodeSet) -> Option<MaskGraph> {
+    let n = alive.len();
+    if n == 0 || n > EXACT_MAX_NODES {
+        return None;
+    }
+    let back: Vec<NodeId> = alive.to_vec();
+    let mut to_compact = vec![u32::MAX; g.num_nodes()];
+    for (c, &v) in back.iter().enumerate() {
+        to_compact[v as usize] = c as u32;
+    }
+    let nb = back
+        .iter()
+        .map(|&v| {
+            let mut m = 0u64;
+            for &w in g.neighbors(v) {
+                let c = to_compact[w as usize];
+                if c != u32::MAX {
+                    m |= 1 << c;
+                }
+            }
+            m
+        })
+        .collect();
+    Some(MaskGraph { back, nb })
+}
+
+fn union_neighbors(mg: &MaskGraph, subset: u64) -> u64 {
+    let mut acc = 0u64;
+    let mut rest = subset;
+    while rest != 0 {
+        let v = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        acc |= mg.nb[v];
+    }
+    acc
+}
+
+fn edge_cut_of(mg: &MaskGraph, subset: u64) -> u32 {
+    let outside = !subset;
+    let mut cut = 0u32;
+    let mut rest = subset;
+    while rest != 0 {
+        let v = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        cut += (mg.nb[v] & outside).count_ones();
+    }
+    cut
+}
+
+/// Exact node expansion `α = min_{0<|U|≤n/2} |Γ(U)|/|U|` of the alive
+/// subgraph, with a minimizing witness.
+///
+/// Returns `None` if there are no alive nodes, only one alive node
+/// (no valid `U` with nonempty complement constraint — a single node
+/// graph has `α` defined over `|U| ≤ 0.5`, i.e. no subsets), or the
+/// alive count exceeds [`EXACT_MAX_NODES`].
+pub fn exact_node_expansion(g: &CsrGraph, alive: &NodeSet) -> Option<(f64, Cut)> {
+    let mg = mask_graph(g, alive)?;
+    let n = mg.back.len();
+    if n < 2 {
+        return None;
+    }
+    let half = n / 2;
+    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    let mut best: Option<(f64, u64)> = None;
+    for subset in 1u64..=full {
+        let size = subset.count_ones() as usize;
+        if size > half {
+            continue;
+        }
+        let boundary = (union_neighbors(&mg, subset) & !subset).count_ones();
+        let ratio = boundary as f64 / size as f64;
+        if best.map_or(true, |(b, _)| ratio < b) {
+            best = Some((ratio, subset));
+        }
+    }
+    let (ratio, subset) = best?;
+    let side = NodeSet::from_iter(
+        g.num_nodes(),
+        (0..n).filter(|&i| subset >> i & 1 == 1).map(|i| mg.back[i]),
+    );
+    Some((ratio, Cut::measure(g, alive, side)))
+}
+
+/// Exact edge expansion
+/// `αe = min_U |(U, V\U)| / min(|U|, |V\U|)` of the alive subgraph,
+/// with a minimizing witness.
+pub fn exact_edge_expansion(g: &CsrGraph, alive: &NodeSet) -> Option<(f64, Cut)> {
+    let mg = mask_graph(g, alive)?;
+    let n = mg.back.len();
+    if n < 2 {
+        return None;
+    }
+    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    let mut best: Option<(f64, u64)> = None;
+    // enumerate subsets with 0 < |U| < n; by symmetry restrict to
+    // subsets containing node 0 (complement covers the rest).
+    for subset in 1u64..=full {
+        if subset & 1 == 0 || subset == full {
+            continue;
+        }
+        let size = subset.count_ones() as usize;
+        let denom = size.min(n - size);
+        let cut = edge_cut_of(&mg, subset);
+        let ratio = cut as f64 / denom as f64;
+        if best.map_or(true, |(b, _)| ratio < b) {
+            best = Some((ratio, subset));
+        }
+    }
+    let (ratio, subset) = best?;
+    // return the smaller side as the witness
+    let size = subset.count_ones() as usize;
+    let chosen = if size * 2 <= n { subset } else { full & !subset };
+    let side = NodeSet::from_iter(
+        g.num_nodes(),
+        (0..n).filter(|&i| chosen >> i & 1 == 1).map(|i| mg.back[i]),
+    );
+    Some((ratio, Cut::measure(g, alive, side)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+
+    #[test]
+    fn cycle_expansions() {
+        let g = generators::cycle(12);
+        let alive = NodeSet::full(12);
+        let (a, wit) = exact_node_expansion(&g, &alive).unwrap();
+        // C_12: best U = arc of 6, Γ = 2 → α = 1/3
+        assert!((a - 2.0 / 6.0).abs() < 1e-12, "{a}");
+        assert!(wit.verify(&g, &alive));
+        let (ae, wite) = exact_edge_expansion(&g, &alive).unwrap();
+        assert!((ae - 2.0 / 6.0).abs() < 1e-12, "{ae}");
+        assert!(wite.verify(&g, &alive));
+    }
+
+    #[test]
+    fn complete_graph_expansion() {
+        let g = generators::complete(8);
+        let alive = NodeSet::full(8);
+        let (a, _) = exact_node_expansion(&g, &alive).unwrap();
+        // K_8: U of size 4 → Γ = 4 → α = 1
+        assert!((a - 1.0).abs() < 1e-12);
+        let (ae, _) = exact_edge_expansion(&g, &alive).unwrap();
+        // K_8: U of 4 → cut 16 / 4 = 4
+        assert!((ae - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_graph_zero_expansion() {
+        let mut b = fx_graph::GraphBuilder::new(6);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4).add_edge(4, 5);
+        let g = b.build();
+        let alive = NodeSet::full(6);
+        let (a, wit) = exact_node_expansion(&g, &alive).unwrap();
+        assert_eq!(a, 0.0);
+        assert_eq!(wit.node_boundary, 0);
+        let (ae, _) = exact_edge_expansion(&g, &alive).unwrap();
+        assert_eq!(ae, 0.0);
+    }
+
+    #[test]
+    fn star_expansion() {
+        // K_{1,5}: min node expansion: U = 3 leaves → Γ = {hub} → 1/3?
+        // |U| ≤ 3 (n=6). Leaves only: any leaf set of size 3 → 1/3.
+        let g = generators::star(6);
+        let alive = NodeSet::full(6);
+        let (a, _) = exact_node_expansion(&g, &alive).unwrap();
+        assert!((a - 1.0 / 3.0).abs() < 1e-12, "{a}");
+    }
+
+    #[test]
+    fn respects_mask() {
+        let g = generators::cycle(8);
+        let mut alive = NodeSet::full(8);
+        alive.remove(0); // now a path of 7
+        let (a, wit) = exact_node_expansion(&g, &alive).unwrap();
+        // path of 7: end arc of 3 → Γ = 1 → 1/3
+        assert!((a - 1.0 / 3.0).abs() < 1e-12, "{a}");
+        assert!(wit.side.is_subset(&alive));
+    }
+
+    #[test]
+    fn too_large_returns_none() {
+        let g = generators::cycle(30);
+        let alive = NodeSet::full(30);
+        assert!(exact_node_expansion(&g, &alive).is_none());
+    }
+
+    #[test]
+    fn single_node_none() {
+        let g = generators::path(1);
+        let alive = NodeSet::full(1);
+        assert!(exact_node_expansion(&g, &alive).is_none());
+        assert!(exact_edge_expansion(&g, &alive).is_none());
+    }
+}

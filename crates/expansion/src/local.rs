@@ -1,0 +1,133 @@
+//! Greedy local improvement of a witnessed cut (Fiduccia–Mattheyses
+//! flavored, specialized to expansion ratios).
+//!
+//! Sweep cuts are Cheeger-good but rarely locally optimal; a few
+//! passes of single-node moves usually tighten the witness by 10-30%
+//! (ablation A1 quantifies this). Moves preserve the side-size
+//! constraint `|S| ≤ |alive|/2` and non-emptiness.
+
+use crate::cut::Cut;
+use fx_graph::{CsrGraph, NodeSet};
+
+/// Objective a local search minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// `|Γ(S)|/|S|` (node expansion).
+    NodeRatio,
+    /// `|(S, V\S)|/min(|S|,|V\S|)` (edge expansion).
+    EdgeRatio,
+}
+
+fn ratio(g: &CsrGraph, alive: &NodeSet, side: &NodeSet, obj: Objective) -> f64 {
+    let c = Cut::measure(g, alive, side.clone());
+    match obj {
+        Objective::NodeRatio => c.node_ratio(),
+        Objective::EdgeRatio => c.edge_ratio(),
+    }
+}
+
+/// Hill-climbs `cut.side` by single-node add/remove moves until no
+/// move improves the objective or `max_passes` is exhausted. Returns
+/// the improved, freshly measured cut.
+///
+/// Candidate moves are restricted to the cut frontier (nodes in
+/// `Γ(S)` for additions, boundary members of `S` for removals), so a
+/// pass costs O(frontier × degree) ratio evaluations.
+pub fn improve_cut(
+    g: &CsrGraph,
+    alive: &NodeSet,
+    cut: Cut,
+    obj: Objective,
+    max_passes: usize,
+) -> Cut {
+    let mut side = cut.side.clone();
+    let mut best = match obj {
+        Objective::NodeRatio => cut.node_ratio(),
+        Objective::EdgeRatio => cut.edge_ratio(),
+    };
+    let half = alive.len() / 2;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        // additions: outside nodes adjacent to S
+        let frontier_in = fx_graph::boundary::node_boundary(g, alive, &side);
+        for v in frontier_in.iter() {
+            if side.len() + 1 > half {
+                break;
+            }
+            side.insert(v);
+            let r = ratio(g, alive, &side, obj);
+            if r < best {
+                best = r;
+                improved = true;
+            } else {
+                side.remove(v);
+            }
+        }
+        // removals: members of S with an alive neighbor outside S
+        let members: Vec<u32> = side
+            .iter()
+            .filter(|&v| {
+                g.neighbors(v)
+                    .iter()
+                    .any(|&w| alive.contains(w) && !side.contains(w))
+            })
+            .collect();
+        for v in members {
+            if side.len() <= 1 {
+                break;
+            }
+            side.remove(v);
+            let r = ratio(g, alive, &side, obj);
+            if r < best {
+                best = r;
+                improved = true;
+            } else {
+                side.insert(v);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Cut::measure(g, alive, side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+
+    #[test]
+    fn improves_bad_cycle_cut() {
+        // C_12 with a deliberately ragged side: {0, 2, 4} has boundary
+        // 6/3 = 2.0; the optimum arc of 6 has 2/6 = 1/3. Local moves
+        // must at least reach a contiguous arc's ratio for some size.
+        let g = generators::cycle(12);
+        let alive = NodeSet::full(12);
+        let bad = Cut::measure(&g, &alive, NodeSet::from_iter(12, [0, 2, 4]));
+        let better = improve_cut(&g, &alive, bad.clone(), Objective::NodeRatio, 20);
+        assert!(better.node_ratio() < bad.node_ratio());
+        assert!(better.node_ratio() <= 1.0);
+        assert!(better.verify(&g, &alive));
+        assert!(better.size() <= 6);
+    }
+
+    #[test]
+    fn leaves_optimal_cut_alone() {
+        let g = generators::cycle(8);
+        let alive = NodeSet::full(8);
+        let opt = Cut::measure(&g, &alive, NodeSet::from_iter(8, [0, 1, 2, 3]));
+        let out = improve_cut(&g, &alive, opt.clone(), Objective::EdgeRatio, 10);
+        assert!(out.edge_ratio() <= opt.edge_ratio() + 1e-12);
+    }
+
+    #[test]
+    fn respects_size_cap() {
+        let g = generators::complete(10);
+        let alive = NodeSet::full(10);
+        let cut = Cut::measure(&g, &alive, NodeSet::from_iter(10, [0, 1]));
+        let out = improve_cut(&g, &alive, cut, Objective::NodeRatio, 10);
+        assert!(out.size() <= 5);
+        assert!(out.size() >= 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! The normalized adjacency operator `M = D^{-1/2} A D^{-1/2}` on the
+//! largest alive component, with compact node ids.
+//!
+//! The spectral pipeline (Lanczos, power iteration, sweep cuts) wants a
+//! connected graph with no isolated nodes and dense ids; this module
+//! extracts that once and shares it across the pipeline.
+
+use fx_graph::components::largest_component;
+use fx_graph::{CsrGraph, NodeId, NodeSet, SubView};
+
+/// The largest alive component materialized with compact ids plus the
+/// degree data the normalized operator needs.
+pub struct CompactComponent {
+    /// Induced subgraph on the component (compact ids `0..n`).
+    pub graph: CsrGraph,
+    /// `back[compact] = original` node id.
+    pub back: Vec<NodeId>,
+    /// Degrees within the component.
+    pub degrees: Vec<u32>,
+    /// `1/sqrt(degree)` per node (0.0 for isolated nodes, which can
+    /// only occur when the component is a single node).
+    pub inv_sqrt_deg: Vec<f64>,
+}
+
+impl CompactComponent {
+    /// Extracts the largest component of `(g, alive)`.
+    /// Returns `None` when no alive nodes exist.
+    pub fn largest(g: &CsrGraph, alive: &NodeSet) -> Option<Self> {
+        let comp = largest_component(g, alive);
+        if comp.is_empty() {
+            return None;
+        }
+        let (graph, back) = SubView::new(g, &comp).induced();
+        let degrees: Vec<u32> = (0..graph.num_nodes())
+            .map(|v| graph.degree(v as NodeId) as u32)
+            .collect();
+        let inv_sqrt_deg = degrees
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { 1.0 / (d as f64).sqrt() })
+            .collect();
+        Some(CompactComponent {
+            graph,
+            back,
+            degrees,
+            inv_sqrt_deg,
+        })
+    }
+
+    /// Number of nodes in the component.
+    pub fn len(&self) -> usize {
+        self.back.len()
+    }
+
+    /// True if the component is empty (never constructed as such).
+    pub fn is_empty(&self) -> bool {
+        self.back.is_empty()
+    }
+
+    /// `y = M x` with `M = D^{-1/2} A D^{-1/2}` (symmetric, spectrum
+    /// in `[-1, 1]`, top eigenvalue 1 with eigenvector `D^{1/2}·1`).
+    pub fn apply_normalized_adjacency(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.len());
+        debug_assert_eq!(y.len(), self.len());
+        for v in 0..self.len() {
+            let mut acc = 0.0;
+            for &w in self.graph.neighbors(v as NodeId) {
+                acc += x[w as usize] * self.inv_sqrt_deg[w as usize];
+            }
+            y[v] = acc * self.inv_sqrt_deg[v];
+        }
+    }
+
+    /// The top eigenvector of `M`: `v1[i] ∝ sqrt(deg(i))`, unit norm.
+    pub fn trivial_eigenvector(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.degrees.iter().map(|&d| (d as f64).sqrt()).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    /// Translates compact ids into a `NodeSet` over a universe of
+    /// `universe` nodes (the original graph's node count).
+    pub fn to_original_in(&self, universe: usize, compact: impl IntoIterator<Item = u32>) -> NodeSet {
+        NodeSet::from_iter(universe, compact.into_iter().map(|c| self.back[c as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+
+    #[test]
+    fn extracts_largest_component() {
+        // path of 5 with node 1 dead: components {0}, {2,3,4}
+        let g = generators::path(5);
+        let mut alive = NodeSet::full(5);
+        alive.remove(1);
+        let c = CompactComponent::largest(&g, &alive).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.back, vec![2, 3, 4]);
+        assert_eq!(c.degrees, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn none_for_empty_mask() {
+        let g = generators::path(3);
+        assert!(CompactComponent::largest(&g, &NodeSet::empty(3)).is_none());
+    }
+
+    #[test]
+    fn matvec_preserves_trivial_eigenvector() {
+        let g = generators::torus(&[4, 4]);
+        let alive = NodeSet::full(16);
+        let c = CompactComponent::largest(&g, &alive).unwrap();
+        let v1 = c.trivial_eigenvector();
+        let mut y = vec![0.0; c.len()];
+        c.apply_normalized_adjacency(&v1, &mut y);
+        for (a, b) in v1.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12, "Mv1 != v1");
+        }
+    }
+
+    #[test]
+    fn matvec_on_path2() {
+        // two-node path: M = [[0,1],[1,0]]
+        let g = generators::path(2);
+        let alive = NodeSet::full(2);
+        let c = CompactComponent::largest(&g, &alive).unwrap();
+        let mut y = vec![0.0; 2];
+        c.apply_normalized_adjacency(&[1.0, 0.0], &mut y);
+        assert!((y[0] - 0.0).abs() < 1e-15);
+        assert!((y[1] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn to_original_in_maps_back() {
+        let g = generators::path(5);
+        let mut alive = NodeSet::full(5);
+        alive.remove(1);
+        let c = CompactComponent::largest(&g, &alive).unwrap();
+        let s = c.to_original_in(5, [0u32, 2]);
+        assert_eq!(s.to_vec(), vec![2, 4]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # fx-faults — fault models for expansion-resilience experiments
+//!
+//! Static node-fault models per §1.3 of Bagchi et al. (SPAA'04):
+//! random faults ([`random`]) for §3 and adversarial strategies
+//! ([`adversary`]) for §2, all producing failed-node
+//! [`NodeSet`](fx_graph::NodeSet)s that
+//! downstream pruning consumes without rebuilding the graph.
+//!
+//! ```
+//! use fx_faults::{FaultModel, RandomNodeFaults, apply_faults};
+//! use fx_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let g = generators::hypercube(6);
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let failed = RandomNodeFaults { p: 0.1 }.sample(&g, &mut rng);
+//! let alive = apply_faults(&g, &failed);
+//! assert_eq!(alive.len() + failed.len(), g.num_nodes());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod model;
+pub mod random;
+
+pub use adversary::{
+    BestOfAdversary, ChainCenterAdversary, DegreeAdversary, HyperplaneAdversary,
+    SparseCutAdversary,
+};
+pub use model::{apply_faults, FaultModel};
+pub use random::{random_edge_faults, ExactRandomFaults, RandomNodeFaults};
+

@@ -1,0 +1,39 @@
+//! The fault-model abstraction.
+//!
+//! A fault model turns a healthy graph into a set of *failed nodes*
+//! (the paper studies static node faults — §1.3). Random models draw
+//! from a distribution; adversarial models compute a worst-case set
+//! subject to a fault budget.
+
+use fx_graph::{CsrGraph, NodeSet};
+use rand::RngCore;
+
+/// A source of node faults.
+pub trait FaultModel {
+    /// Returns the set of failed nodes for `g`. Deterministic
+    /// adversaries may ignore `rng`.
+    fn sample(&self, g: &CsrGraph, rng: &mut dyn RngCore) -> NodeSet;
+
+    /// Human-readable name for reports and tables.
+    fn name(&self) -> String;
+}
+
+/// Applies a fault set: the complement alive mask.
+pub fn apply_faults(g: &CsrGraph, failed: &NodeSet) -> NodeSet {
+    assert_eq!(failed.capacity(), g.num_nodes());
+    failed.complement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+
+    #[test]
+    fn apply_faults_complements() {
+        let g = generators::path(5);
+        let failed = NodeSet::from_iter(5, [1, 3]);
+        let alive = apply_faults(&g, &failed);
+        assert_eq!(alive.to_vec(), vec![0, 2, 4]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Random fault models (§3 of the paper): i.i.d. node faults with
+//! probability `p`, exact-count uniform faults, and i.i.d. edge
+//! faults.
+
+use crate::model::FaultModel;
+use fx_graph::{CsrGraph, GraphBuilder, NodeId, NodeSet};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+/// Each node fails independently with probability `p`.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomNodeFaults {
+    /// Per-node fault probability.
+    pub p: f64,
+}
+
+impl FaultModel for RandomNodeFaults {
+    fn sample(&self, g: &CsrGraph, rng: &mut dyn RngCore) -> NodeSet {
+        assert!((0.0..=1.0).contains(&self.p), "fault probability {} out of range", self.p);
+        let mut failed = NodeSet::empty(g.num_nodes());
+        for v in 0..g.num_nodes() as NodeId {
+            if rng.gen_bool(self.p) {
+                failed.insert(v);
+            }
+        }
+        failed
+    }
+
+    fn name(&self) -> String {
+        format!("random-node(p={})", self.p)
+    }
+}
+
+/// Exactly `f` failed nodes, uniformly at random (the fixed-budget
+/// counterpart used when comparing against adversaries with the same
+/// budget).
+#[derive(Debug, Clone, Copy)]
+pub struct ExactRandomFaults {
+    /// Number of failed nodes.
+    pub f: usize,
+}
+
+impl FaultModel for ExactRandomFaults {
+    fn sample(&self, g: &CsrGraph, rng: &mut dyn RngCore) -> NodeSet {
+        let n = g.num_nodes();
+        assert!(self.f <= n, "budget {} exceeds {} nodes", self.f, n);
+        let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+        ids.partial_shuffle(rng, self.f);
+        NodeSet::from_iter(n, ids[..self.f].iter().copied())
+    }
+
+    fn name(&self) -> String {
+        format!("random-exact(f={})", self.f)
+    }
+}
+
+/// Independent *edge* faults: returns the surviving subgraph in which
+/// each edge was kept with probability `keep`.
+/// (Edge faults change the graph rather than a node mask, so this is a
+/// free function rather than a [`FaultModel`].)
+pub fn random_edge_faults<R: Rng + ?Sized>(g: &CsrGraph, keep: f64, rng: &mut R) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&keep), "keep probability {keep} out of range");
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
+    for e in g.edges() {
+        if rng.gen_bool(keep) {
+            b.add_edge(e.u, e.v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_fault_count_concentrates() {
+        let g = generators::torus(&[30, 30]); // 900 nodes
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = RandomNodeFaults { p: 0.3 };
+        let mut total = 0usize;
+        for _ in 0..20 {
+            total += model.sample(&g, &mut rng).len();
+        }
+        let mean = total as f64 / 20.0;
+        assert!((mean - 270.0).abs() < 30.0, "mean {mean}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let g = generators::path(50);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(RandomNodeFaults { p: 0.0 }.sample(&g, &mut rng).len(), 0);
+        assert_eq!(RandomNodeFaults { p: 1.0 }.sample(&g, &mut rng).len(), 50);
+    }
+
+    #[test]
+    fn exact_count_is_exact() {
+        let g = generators::cycle(40);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for f in [0usize, 1, 17, 40] {
+            let s = ExactRandomFaults { f }.sample(&g, &mut rng);
+            assert_eq!(s.len(), f);
+        }
+    }
+
+    #[test]
+    fn edge_faults_thin_the_graph() {
+        let g = generators::complete(20); // 190 edges
+        let mut rng = SmallRng::seed_from_u64(4);
+        let h = random_edge_faults(&g, 0.5, &mut rng);
+        assert_eq!(h.num_nodes(), 20);
+        assert!(h.num_edges() < 150 && h.num_edges() > 50, "{}", h.num_edges());
+        let full = random_edge_faults(&g, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 190);
+        let none = random_edge_faults(&g, 0.0, &mut rng);
+        assert_eq!(none.num_edges(), 0);
+    }
+}

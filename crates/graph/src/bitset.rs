@@ -1,0 +1,356 @@
+//! `NodeSet`: a fixed-universe bitset over node ids.
+//!
+//! Fault injection, pruning, and percolation all manipulate *subsets of
+//! a fixed node universe*. Representing those subsets as `u64`-word
+//! bitsets keeps membership tests O(1), set algebra word-parallel, and
+//! lets every graph algorithm run on a `(graph, alive-set)` pair
+//! without ever rebuilding adjacency structure.
+//!
+//! The population count is maintained eagerly so `len()` is O(1); all
+//! mutating operations keep it consistent.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A subset of the node universe `0..capacity`.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    /// Universe size (number of valid node ids).
+    capacity: usize,
+    /// Cached population count.
+    len: usize,
+}
+
+impl std::fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeSet")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl NodeSet {
+    /// Empty subset of a universe with `capacity` nodes.
+    pub fn empty(capacity: usize) -> Self {
+        NodeSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Full subset `{0, .., capacity-1}`.
+    pub fn full(capacity: usize) -> Self {
+        let mut words = vec![!0u64; capacity.div_ceil(WORD_BITS)];
+        Self::clear_tail(&mut words, capacity);
+        NodeSet {
+            words,
+            capacity,
+            len: capacity,
+        }
+    }
+
+    /// Builds a set from an iterator of node ids (duplicates allowed).
+    pub fn from_iter<I: IntoIterator<Item = NodeId>>(capacity: usize, iter: I) -> Self {
+        let mut s = Self::empty(capacity);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    fn clear_tail(words: &mut [u64], capacity: usize) {
+        let rem = capacity % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of members (O(1); maintained eagerly).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    /// Panics (debug) if `v` is outside the universe.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        let v = v as usize;
+        debug_assert!(v < self.capacity, "node {v} outside universe {}", self.capacity);
+        (self.words[v / WORD_BITS] >> (v % WORD_BITS)) & 1 == 1
+    }
+
+    /// Inserts `v`; returns true if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let i = v as usize;
+        assert!(i < self.capacity, "node {i} outside universe {}", self.capacity);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let i = v as usize;
+        assert!(i < self.capacity, "node {i} outside universe {}", self.capacity);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if *w & mask != 0 {
+            *w &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if universes differ.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        self.assert_same_universe(other);
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        self.assert_same_universe(other);
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// In-place difference `self \ other`.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        self.assert_same_universe(other);
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// Complement within the universe, as a new set.
+    pub fn complement(&self) -> NodeSet {
+        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
+        Self::clear_tail(&mut words, self.capacity);
+        NodeSet {
+            words,
+            capacity: self.capacity,
+            len: self.capacity - self.len,
+        }
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_len(&self, other: &NodeSet) -> usize {
+        self.assert_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True if `self` and `other` share no members.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        self.assert_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// True if every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        self.assert_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterator over members in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects members into a vector (increasing order).
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+
+    /// An arbitrary member, if non-empty.
+    pub fn first(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+
+    #[inline]
+    fn assert_same_universe(&self, other: &NodeSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "NodeSet universe mismatch: {} vs {}",
+            self.capacity, other.capacity
+        );
+    }
+}
+
+/// Member iterator for [`NodeSet`].
+pub struct Iter<'a> {
+    set: &'a NodeSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some((self.word_idx * WORD_BITS + bit) as NodeId)
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = NodeSet::empty(100);
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        let f = NodeSet::full(100);
+        assert_eq!(f.len(), 100);
+        assert!(f.contains(0) && f.contains(99));
+        assert_eq!(f.iter().count(), 100);
+    }
+
+    #[test]
+    fn full_clears_tail_bits() {
+        // capacity not a multiple of 64: complement/full must not leak
+        // phantom members beyond the universe.
+        let f = NodeSet::full(70);
+        assert_eq!(f.len(), 70);
+        assert_eq!(f.iter().max(), Some(69));
+        let c = f.complement();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insert_remove_len() {
+        let mut s = NodeSet::empty(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(9));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.to_vec(), vec![9]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeSet::from_iter(130, [1, 2, 3, 64, 65, 129]);
+        let b = NodeSet::from_iter(130, [2, 3, 4, 65, 128]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 3, 4, 64, 65, 128, 129]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![2, 3, 65]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1, 64, 129]);
+        assert_eq!(a.intersection_len(&b), 3);
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let a = NodeSet::from_iter(67, [0, 13, 66]);
+        let c = a.complement();
+        assert_eq!(c.len(), 64);
+        assert!(!c.contains(13));
+        assert!(c.contains(1));
+        assert_eq!(c.complement(), a);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = NodeSet::from_iter(20, [1, 2]);
+        let b = NodeSet::from_iter(20, [1, 2, 5]);
+        let c = NodeSet::from_iter(20, [7, 8]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics() {
+        let mut a = NodeSet::empty(10);
+        let b = NodeSet::empty(11);
+        a.union_with(&b);
+    }
+}

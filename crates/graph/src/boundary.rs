@@ -1,0 +1,137 @@
+//! Boundaries and cuts: `Γ(U)` and `(U, V\U)` from the paper's §1.3.
+//!
+//! These are the primitives every expansion ratio is built from:
+//!
+//! * node boundary `Γ(U)` — alive nodes outside `U` adjacent to `U`;
+//! * edge cut `(U, alive\U)` — alive-alive edges leaving `U`.
+
+use crate::bitset::NodeSet;
+use crate::csr::CsrGraph;
+
+/// `Γ(U)` restricted to `alive`: nodes in `alive \ U` with a neighbor
+/// in `U`. (`U` is implicitly intersected with `alive`: dead members of
+/// `U` contribute nothing.)
+pub fn node_boundary(g: &CsrGraph, alive: &NodeSet, u: &NodeSet) -> NodeSet {
+    let mut boundary = NodeSet::empty(g.num_nodes());
+    for v in u.iter() {
+        if !alive.contains(v) {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if alive.contains(w) && !u.contains(w) {
+                boundary.insert(w);
+            }
+        }
+    }
+    boundary
+}
+
+/// `|Γ(U)|` without materializing the boundary set when the caller
+/// only needs the count. Still O(vol(U)) but avoids a second pass.
+pub fn node_boundary_size(g: &CsrGraph, alive: &NodeSet, u: &NodeSet) -> usize {
+    node_boundary(g, alive, u).len()
+}
+
+/// Number of alive-alive edges with exactly one endpoint in `U`.
+pub fn edge_cut_size(g: &CsrGraph, alive: &NodeSet, u: &NodeSet) -> usize {
+    let mut cut = 0usize;
+    for v in u.iter() {
+        if !alive.contains(v) {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if alive.contains(w) && !u.contains(w) {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// Node expansion ratio `|Γ(U)| / |U∩alive|`; `None` for empty `U∩alive`.
+pub fn node_expansion_of(g: &CsrGraph, alive: &NodeSet, u: &NodeSet) -> Option<f64> {
+    let size = u.intersection_len(alive);
+    if size == 0 {
+        return None;
+    }
+    Some(node_boundary_size(g, alive, u) as f64 / size as f64)
+}
+
+/// Edge expansion ratio `|(U, alive\U)| / min(|U|, |alive\U|)`;
+/// `None` if either side is empty.
+pub fn edge_expansion_of(g: &CsrGraph, alive: &NodeSet, u: &NodeSet) -> Option<f64> {
+    let inside = u.intersection_len(alive);
+    let outside = alive.len() - inside;
+    if inside == 0 || outside == 0 {
+        return None;
+    }
+    Some(edge_cut_size(g, alive, u) as f64 / inside.min(outside) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    #[test]
+    fn boundary_on_path() {
+        // path 0-1-2-3-4, U = {1,2}
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        let alive = NodeSet::full(5);
+        let u = NodeSet::from_iter(5, [1, 2]);
+        assert_eq!(node_boundary(&g, &alive, &u).to_vec(), vec![0, 3]);
+        assert_eq!(edge_cut_size(&g, &alive, &u), 2);
+        assert!((node_expansion_of(&g, &alive, &u).unwrap() - 1.0).abs() < 1e-12);
+        assert!((edge_expansion_of(&g, &alive, &u).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_respects_mask() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        let mut alive = NodeSet::full(5);
+        alive.remove(3);
+        let u = NodeSet::from_iter(5, [1, 2]);
+        // 3 is dead: boundary is just {0}
+        assert_eq!(node_boundary(&g, &alive, &u).to_vec(), vec![0]);
+        assert_eq!(edge_cut_size(&g, &alive, &u), 1);
+    }
+
+    #[test]
+    fn dead_members_of_u_ignored() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+        let g = b.build();
+        let mut alive = NodeSet::full(4);
+        alive.remove(1);
+        let u = NodeSet::from_iter(4, [0, 1]); // 1 is dead
+        assert!(node_boundary(&g, &alive, &u).is_empty());
+        assert_eq!(node_expansion_of(&g, &alive, &u), Some(0.0));
+    }
+
+    #[test]
+    fn expansion_none_for_degenerate_sides() {
+        let g = generators::cycle(6);
+        let alive = NodeSet::full(6);
+        assert_eq!(node_expansion_of(&g, &alive, &NodeSet::empty(6)), None);
+        assert_eq!(edge_expansion_of(&g, &alive, &NodeSet::full(6)), None);
+    }
+
+    #[test]
+    fn cycle_halves() {
+        let g = generators::cycle(8);
+        let alive = NodeSet::full(8);
+        let half = NodeSet::from_iter(8, [0, 1, 2, 3]);
+        assert_eq!(edge_cut_size(&g, &alive, &half), 2);
+        assert_eq!(node_boundary_size(&g, &alive, &half), 2);
+        assert!((edge_expansion_of(&g, &alive, &half).unwrap() - 0.5).abs() < 1e-12);
+    }
+}

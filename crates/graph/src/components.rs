@@ -1,0 +1,164 @@
+//! Connected components of masked graphs.
+//!
+//! The fault experiments repeatedly ask three questions: how many
+//! components, how big is the largest (`γ(G)` in the paper's §1.1),
+//! and which nodes form it. All are answered by one BFS labeling pass.
+
+use crate::bitset::NodeSet;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Component labeling of the alive portion of a graph.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `label[v]` = component index for alive `v`, `u32::MAX` for dead.
+    pub label: Vec<u32>,
+    /// `sizes[c]` = number of nodes in component `c` (descending order
+    /// is *not* guaranteed; components are numbered by discovery).
+    pub sizes: Vec<u32>,
+}
+
+impl Components {
+    /// Number of connected components among alive nodes.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Index and size of the largest component; `None` if no alive
+    /// nodes.
+    pub fn largest(&self) -> Option<(usize, usize)> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .map(|(i, &s)| (i, s as usize))
+    }
+
+    /// Collects the members of component `c`.
+    pub fn members(&self, c: usize) -> NodeSet {
+        let mut s = NodeSet::empty(self.label.len());
+        for (v, &l) in self.label.iter().enumerate() {
+            if l == c as u32 {
+                s.insert(v as NodeId);
+            }
+        }
+        s
+    }
+}
+
+/// Labels connected components of `(g, alive)` by BFS.
+pub fn components(g: &CsrGraph, alive: &NodeSet) -> Components {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for src in alive.iter() {
+        if label[src as usize] != u32::MAX {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        let mut size = 0u32;
+        label[src as usize] = c;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &w in g.neighbors(v) {
+                if alive.contains(w) && label[w as usize] == u32::MAX {
+                    label[w as usize] = c;
+                    queue.push_back(w);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { label, sizes }
+}
+
+/// The node set of the largest alive component (empty set if none).
+pub fn largest_component(g: &CsrGraph, alive: &NodeSet) -> NodeSet {
+    let comps = components(g, alive);
+    match comps.largest() {
+        Some((c, _)) => comps.members(c),
+        None => NodeSet::empty(g.num_nodes()),
+    }
+}
+
+/// `γ`: fraction of the *original* node count contained in the largest
+/// alive component (the paper's measure of disintegration, §1.1).
+pub fn gamma(g: &CsrGraph, alive: &NodeSet) -> f64 {
+    if g.num_nodes() == 0 {
+        return 0.0;
+    }
+    let comps = components(g, alive);
+    comps.largest().map_or(0.0, |(_, s)| s as f64 / g.num_nodes() as f64)
+}
+
+/// True if the alive portion is connected (the empty set counts as
+/// connected).
+pub fn is_connected(g: &CsrGraph, alive: &NodeSet) -> bool {
+    components(g, alive).count() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn disjoint_pair() -> CsrGraph {
+        // component A: 0-1-2 path; component B: 3-4 edge; isolated: 5
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        let g = disjoint_pair();
+        let alive = NodeSet::full(6);
+        let c = components(&g, &alive);
+        assert_eq!(c.count(), 3);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert_eq!(c.largest().unwrap().1, 3);
+    }
+
+    #[test]
+    fn largest_component_members() {
+        let g = disjoint_pair();
+        let alive = NodeSet::full(6);
+        let big = largest_component(&g, &alive);
+        assert_eq!(big.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn gamma_fraction_of_original() {
+        let g = disjoint_pair();
+        let alive = NodeSet::full(6);
+        assert!((gamma(&g, &alive) - 0.5).abs() < 1e-12);
+        // kill the big component's middle: largest becomes {3,4}
+        let mut faulty = alive.clone();
+        faulty.remove(1);
+        assert!((gamma(&g, &faulty) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let g = disjoint_pair();
+        assert!(!is_connected(&g, &NodeSet::full(6)));
+        assert!(is_connected(&g, &NodeSet::from_iter(6, [0, 1, 2])));
+        assert!(is_connected(&g, &NodeSet::empty(6)));
+        assert!(is_connected(&g, &NodeSet::from_iter(6, [5])));
+    }
+
+    #[test]
+    fn dead_nodes_unlabeled() {
+        let g = disjoint_pair();
+        let alive = NodeSet::from_iter(6, [0, 2]); // 1 dead splits the path
+        let c = components(&g, &alive);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.label[1], u32::MAX);
+        assert_eq!(c.label[3], u32::MAX);
+    }
+}

@@ -1,0 +1,181 @@
+//! Unweighted shortest-path machinery: single/multi-source BFS,
+//! diameter (exact and two-sweep lower bound), eccentricity.
+//!
+//! The paper's §4 remark bounds the pruned component's diameter by
+//! `O(α⁻¹ log n)`; experiment E10 measures it with these routines.
+//! Multi-source BFS with source attribution is also the first phase of
+//! Mehlhorn's Steiner approximation in [`crate::tree`].
+
+use crate::bitset::NodeSet;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Marker for unreachable nodes in distance arrays.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `src` within `alive`. Dead/unreachable nodes get
+/// [`UNREACHABLE`].
+pub fn bfs_distances(g: &CsrGraph, alive: &NodeSet, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    if !alive.contains(src) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if alive.contains(w) && dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Result of a multi-source BFS: per-node distance to, and identity of,
+/// the nearest source (Voronoi assignment).
+#[derive(Debug, Clone)]
+pub struct VoronoiBfs {
+    /// Distance to the nearest source ([`UNREACHABLE`] if none).
+    pub dist: Vec<u32>,
+    /// Nearest source id (`u32::MAX` if unreachable). Ties broken by
+    /// BFS discovery order, i.e. by source list order at equal depth.
+    pub nearest: Vec<NodeId>,
+}
+
+/// Multi-source BFS from `sources` within `alive`.
+pub fn multi_source_bfs(g: &CsrGraph, alive: &NodeSet, sources: &[NodeId]) -> VoronoiBfs {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut nearest = vec![u32::MAX as NodeId; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if alive.contains(s) && dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            nearest[s as usize] = s;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        let sv = nearest[v as usize];
+        for &w in g.neighbors(v) {
+            if alive.contains(w) && dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                nearest[w as usize] = sv;
+                queue.push_back(w);
+            }
+        }
+    }
+    VoronoiBfs { dist, nearest }
+}
+
+/// Eccentricity of `src` within its alive component (max finite BFS
+/// distance). Returns `None` if `src` is dead.
+pub fn eccentricity(g: &CsrGraph, alive: &NodeSet, src: NodeId) -> Option<u32> {
+    if !alive.contains(src) {
+        return None;
+    }
+    let dist = bfs_distances(g, alive, src);
+    dist.iter().filter(|&&d| d != UNREACHABLE).max().copied()
+}
+
+/// Exact diameter of the largest alive component via all-pairs BFS
+/// (O(n·m); intended for n up to a few thousand — experiments use the
+/// two-sweep estimate beyond that).
+pub fn diameter_exact(g: &CsrGraph, alive: &NodeSet) -> Option<u32> {
+    let comp = crate::components::largest_component(g, alive);
+    let mut best = None;
+    for v in comp.iter() {
+        let e = eccentricity(g, &comp, v)?;
+        best = Some(best.map_or(e, |b: u32| b.max(e)));
+    }
+    best
+}
+
+/// Two-sweep diameter lower bound on the largest alive component:
+/// BFS from an arbitrary node, then BFS from the farthest node found.
+/// Exact on trees; a (frequently tight) lower bound in general.
+pub fn diameter_two_sweep(g: &CsrGraph, alive: &NodeSet) -> Option<u32> {
+    let comp = crate::components::largest_component(g, alive);
+    let start = comp.first()?;
+    let d1 = bfs_distances(g, &comp, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as NodeId)?;
+    eccentricity(g, &comp, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    #[test]
+    fn path_distances() {
+        let g = generators::path(5);
+        let alive = NodeSet::full(5);
+        let d = bfs_distances(&g, &alive, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn masked_distances_unreachable() {
+        let g = generators::path(5);
+        let mut alive = NodeSet::full(5);
+        alive.remove(2);
+        let d = bfs_distances(&g, &alive, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[4], UNREACHABLE);
+    }
+
+    #[test]
+    fn voronoi_assignment() {
+        let g = generators::path(7);
+        let alive = NodeSet::full(7);
+        let v = multi_source_bfs(&g, &alive, &[0, 6]);
+        assert_eq!(v.dist[3], 3);
+        assert_eq!(v.nearest[1], 0);
+        assert_eq!(v.nearest[5], 6);
+        assert_eq!(v.dist[0], 0);
+        assert_eq!(v.nearest[0], 0);
+    }
+
+    #[test]
+    fn diameter_of_cycle_and_path() {
+        let alive10 = NodeSet::full(10);
+        assert_eq!(diameter_exact(&generators::cycle(10), &alive10), Some(5));
+        assert_eq!(diameter_exact(&generators::path(10), &alive10), Some(9));
+        // two-sweep is exact on paths (trees)
+        assert_eq!(diameter_two_sweep(&generators::path(10), &alive10), Some(9));
+        // and a valid lower bound on cycles
+        let ts = diameter_two_sweep(&generators::cycle(10), &alive10).unwrap();
+        assert!(ts <= 5 && ts >= 4);
+    }
+
+    #[test]
+    fn diameter_uses_largest_component() {
+        // two components: path of 4 and edge
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(4, 5);
+        let g = b.build();
+        assert_eq!(diameter_exact(&g, &NodeSet::full(6)), Some(3));
+    }
+
+    #[test]
+    fn empty_mask_no_diameter() {
+        let g = generators::path(4);
+        assert_eq!(diameter_exact(&g, &NodeSet::empty(4)), None);
+        assert_eq!(diameter_two_sweep(&g, &NodeSet::empty(4)), None);
+        assert_eq!(eccentricity(&g, &NodeSet::empty(4), 0), None);
+    }
+}

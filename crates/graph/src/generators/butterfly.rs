@@ -1,0 +1,96 @@
+//! Butterfly networks.
+//!
+//! The paper's §1.1 survey cites `0.337 < p* < 0.436` for butterfly
+//! site percolation (Karlin–Nelson–Tamaki), and §4 conjectures the
+//! butterfly has span `O(1)` — experiments E7 and E9 exercise both
+//! variants built here.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// Unwrapped butterfly `BF(d)`: `(d+1) * 2^d` nodes `(level, row)`,
+/// levels `0..=d`. Node `(l, r)` connects to `(l+1, r)` (straight) and
+/// `(l+1, r ^ 2^l)` (cross).
+///
+/// Node id = `level * 2^d + row`.
+pub fn butterfly(d: usize) -> CsrGraph {
+    assert!(d < 27, "butterfly dimension {d} too large");
+    let rows = 1usize << d;
+    let n = (d + 1) * rows;
+    let mut b = GraphBuilder::with_capacity(n, 2 * d * rows);
+    let id = |level: usize, row: usize| (level * rows + row) as NodeId;
+    for level in 0..d {
+        for row in 0..rows {
+            b.add_edge(id(level, row), id(level + 1, row));
+            b.add_edge(id(level, row), id(level + 1, row ^ (1 << level)));
+        }
+    }
+    b.build()
+}
+
+/// Wrapped butterfly `WBF(d)`: `d * 2^d` nodes, levels mod `d`
+/// (level-d edges wrap to level 0). 4-regular for `d >= 3`.
+pub fn wrapped_butterfly(d: usize) -> CsrGraph {
+    assert!(d >= 1 && d < 27, "wrapped butterfly needs 1 <= d < 27");
+    let rows = 1usize << d;
+    let n = d * rows;
+    let mut b = GraphBuilder::with_capacity(n, 2 * d * rows);
+    let id = |level: usize, row: usize| ((level % d) * rows + row) as NodeId;
+    for level in 0..d {
+        for row in 0..rows {
+            b.add_edge_skip_loop(id(level, row), id(level + 1, row));
+            b.add_edge_skip_loop(id(level, row), id(level + 1, row ^ (1 << level)));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::NodeSet;
+    use crate::components::is_connected;
+
+    #[test]
+    fn butterfly_counts() {
+        let g = butterfly(3);
+        assert_eq!(g.num_nodes(), 4 * 8);
+        assert_eq!(g.num_edges(), 2 * 3 * 8);
+        // interior levels have degree 4, boundary levels degree 2
+        assert_eq!(g.degree(0), 2); // level 0
+        assert_eq!(g.degree((3 * 8) as NodeId), 2); // level 3
+        assert_eq!(g.degree(8), 4); // level 1
+        assert!(is_connected(&g, &NodeSet::full(32)));
+    }
+
+    #[test]
+    fn wrapped_butterfly_regular() {
+        let g = wrapped_butterfly(3);
+        assert_eq!(g.num_nodes(), 24);
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.max_degree(), 4);
+        assert!(is_connected(&g, &NodeSet::full(24)));
+    }
+
+    #[test]
+    fn butterfly_cross_edges() {
+        let g = butterfly(2);
+        let rows = 4;
+        // (0, 0) -> (1, 0) straight and (1, 1) cross (bit 0)
+        assert!(g.has_edge(0, rows as NodeId));
+        assert!(g.has_edge(0, (rows + 1) as NodeId));
+        // (1, 0) -> (2, 2) cross (bit 1)
+        assert!(g.has_edge(rows as NodeId, (2 * rows + 2) as NodeId));
+    }
+
+    #[test]
+    fn small_wrapped_butterfly_valid() {
+        // d=1,2 collapse some straight edges to loops/duplicates;
+        // builder must still produce a simple graph.
+        for d in 1..=2 {
+            let g = wrapped_butterfly(d);
+            assert!(g.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! De Bruijn and shuffle-exchange graphs.
+//!
+//! §4 of the paper conjectures both have span `O(1)`; experiment E9
+//! estimates their span by compact-set sampling.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// Binary de Bruijn graph `DB(d)`: `2^d` nodes; node `u` is adjacent to
+/// `2u mod 2^d` and `2u+1 mod 2^d` (undirected, loops dropped,
+/// parallel edges merged). Max degree 4.
+pub fn de_bruijn(d: usize) -> CsrGraph {
+    assert!(d >= 1 && d < 32, "de Bruijn dimension must be 1..32");
+    let n = 1usize << d;
+    let mask = n - 1;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for u in 0..n {
+        b.add_edge_skip_loop(u as NodeId, ((u << 1) & mask) as NodeId);
+        b.add_edge_skip_loop(u as NodeId, (((u << 1) | 1) & mask) as NodeId);
+    }
+    b.build()
+}
+
+/// Shuffle-exchange graph `SE(d)`: `2^d` nodes; exchange edges
+/// `u ~ u^1`, shuffle edges `u ~ rotl_d(u)` (cyclic left rotation of
+/// the d-bit string; fixed points dropped). Max degree 3.
+pub fn shuffle_exchange(d: usize) -> CsrGraph {
+    assert!(d >= 1 && d < 32, "shuffle-exchange dimension must be 1..32");
+    let n = 1usize << d;
+    let mask = n - 1;
+    let rotl = |u: usize| ((u << 1) | (u >> (d - 1))) & mask;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for u in 0..n {
+        b.add_edge_skip_loop(u as NodeId, (u ^ 1) as NodeId);
+        b.add_edge_skip_loop(u as NodeId, rotl(u) as NodeId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::NodeSet;
+    use crate::components::is_connected;
+
+    #[test]
+    fn de_bruijn_structure() {
+        let g = de_bruijn(4);
+        assert_eq!(g.num_nodes(), 16);
+        assert!(g.max_degree() <= 4);
+        assert!(is_connected(&g, &NodeSet::full(16)));
+        // 0 -> {0,1}: loop dropped, so 0 ~ 1 only from shift edges
+        assert!(g.has_edge(0, 1));
+        // u=5 (0101) -> 1010=10 and 1011=11
+        assert!(g.has_edge(5, 10));
+        assert!(g.has_edge(5, 11));
+    }
+
+    #[test]
+    fn shuffle_exchange_structure() {
+        let g = shuffle_exchange(4);
+        assert_eq!(g.num_nodes(), 16);
+        assert!(g.max_degree() <= 3);
+        assert!(is_connected(&g, &NodeSet::full(16)));
+        // exchange edge
+        assert!(g.has_edge(6, 7));
+        // shuffle: 0011 -> 0110
+        assert!(g.has_edge(3, 6));
+    }
+
+    #[test]
+    fn degree_bounds_hold_across_sizes() {
+        for d in 2..=8 {
+            let db = de_bruijn(d);
+            let se = shuffle_exchange(d);
+            assert!(db.max_degree() <= 4, "DB({d}) degree {}", db.max_degree());
+            assert!(se.max_degree() <= 3, "SE({d}) degree {}", se.max_degree());
+            let n = 1usize << d;
+            assert!(is_connected(&db, &NodeSet::full(n)));
+            assert!(is_connected(&se, &NodeSet::full(n)));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Random geometric graphs (unit square, radius threshold).
+//!
+//! Stand-in for the mobile ad-hoc networks the paper's introduction
+//! motivates: nodes are radio stations, edges connect stations within
+//! transmission range. Used by the `p2p_overlay` example and fault
+//! sweeps on "realistic" topologies.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use rand::Rng;
+
+/// Random geometric graph: `n` points uniform in the unit square,
+/// edges between pairs at Euclidean distance ≤ `radius`.
+///
+/// Uses a grid-bucket index so construction is O(n + m) in expectation
+/// rather than O(n²).
+///
+/// Returns the graph and the point coordinates (useful for plotting
+/// and for geometry-aware adversaries).
+pub fn random_geometric<R: Rng>(n: usize, radius: f64, rng: &mut R) -> (CsrGraph, Vec<(f64, f64)>) {
+    assert!(radius > 0.0, "radius must be positive");
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    let cell = radius.max(1e-9);
+    let grid_side = (1.0 / cell).ceil() as usize + 1;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); grid_side * grid_side];
+    let bucket_of = |x: f64, y: f64| {
+        let bx = ((x / cell) as usize).min(grid_side - 1);
+        let by = ((y / cell) as usize).min(grid_side - 1);
+        bx * grid_side + by
+    };
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        buckets[bucket_of(x, y)].push(i as u32);
+    }
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let bx = ((x / cell) as usize).min(grid_side - 1);
+        let by = ((y / cell) as usize).min(grid_side - 1);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                let (nx, ny) = (bx as i64 + dx, by as i64 + dy);
+                if nx < 0 || ny < 0 || nx >= grid_side as i64 || ny >= grid_side as i64 {
+                    continue;
+                }
+                for &j in &buckets[nx as usize * grid_side + ny as usize] {
+                    if (j as usize) <= i {
+                        continue;
+                    }
+                    let (px, py) = pts[j as usize];
+                    let (ddx, ddy) = (px - x, py - y);
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        b.add_edge(i as NodeId, j);
+                    }
+                }
+            }
+        }
+    }
+    (b.build(), pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (g, pts) = random_geometric(120, 0.15, &mut rng);
+        // brute-force recount
+        let mut expect = 0usize;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let dx = pts[i].0 - pts[j].0;
+                let dy = pts[i].1 - pts[j].1;
+                if dx * dx + dy * dy <= 0.15 * 0.15 {
+                    expect += 1;
+                    assert!(g.has_edge(i as u32, j as u32), "missing edge {i}-{j}");
+                }
+            }
+        }
+        assert_eq!(g.num_edges(), expect);
+    }
+
+    #[test]
+    fn dense_radius_connects() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let (g, _) = random_geometric(200, 0.35, &mut rng);
+        let alive = crate::bitset::NodeSet::full(200);
+        assert!(crate::components::is_connected(&g, &alive));
+    }
+
+    #[test]
+    fn zero_nodes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (g, pts) = random_geometric(0, 0.1, &mut rng);
+        assert_eq!(g.num_nodes(), 0);
+        assert!(pts.is_empty());
+    }
+}

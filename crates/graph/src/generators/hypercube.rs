@@ -1,0 +1,72 @@
+//! The binary hypercube `Q_d`.
+//!
+//! Appears in the paper's §1.1 survey (critical probability `p* = 1/d`
+//! for the d-dimensional cube, Ajtai–Komlós–Szemerédi) and as a
+//! standard expander-like testbed for E1.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// Hypercube of dimension `d`: `2^d` nodes, ids adjacent iff they
+/// differ in exactly one bit.
+///
+/// # Panics
+/// Panics if `d >= 32` (node ids are u32).
+pub fn hypercube(d: usize) -> CsrGraph {
+    assert!(d < 32, "hypercube dimension {d} too large for u32 ids");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_capacity(n, n * d / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b.add_edge(v as NodeId, w as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::NodeSet;
+    use crate::components::is_connected;
+    use crate::distance::diameter_exact;
+
+    #[test]
+    fn counts_and_regularity() {
+        let g = hypercube(4);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_edges(), 32); // d * 2^(d-1)
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn diameter_is_dimension() {
+        for d in 1..=5 {
+            let g = hypercube(d);
+            let alive = NodeSet::full(g.num_nodes());
+            assert_eq!(diameter_exact(&g, &alive), Some(d as u32));
+        }
+    }
+
+    #[test]
+    fn connected_and_bipartite_distance() {
+        let g = hypercube(3);
+        assert!(is_connected(&g, &NodeSet::full(8)));
+        // antipodal nodes differ in all bits
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 7));
+    }
+
+    #[test]
+    fn dimension_zero() {
+        let g = hypercube(0);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Random graph models: Erdős–Rényi and random regular graphs.
+//!
+//! Random `d`-regular graphs are expanders with high probability
+//! (second eigenvalue `≈ 2√(d−1)`), and are the scalable "expander
+//! family" the experiments sweep; the Margulis construction in
+//! [`super::margulis`] provides a deterministic alternative.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`: each possible edge present independently
+/// with probability `p`.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    let mut b = GraphBuilder::new(n);
+    if p <= 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        return super::complete(n);
+    }
+    // Geometric skipping: expected O(n^2 p) work instead of O(n^2).
+    let log_q = (1.0 - p).ln();
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let mut idx: u64 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        // decode linear index -> (i, j), i < j
+        let (i, j) = decode_pair(idx, n as u64);
+        b.add_edge(i as NodeId, j as NodeId);
+        idx += 1;
+    }
+    b.build()
+}
+
+/// Decodes a linear index over the upper triangle of an `n × n` matrix
+/// into `(row, col)` with `row < col`.
+fn decode_pair(idx: u64, n: u64) -> (u64, u64) {
+    // row r occupies n-1-r entries; find r by solving the triangular
+    // prefix. Use the closed form with a float seed, then correct.
+    let mut r = {
+        let fidx = idx as f64;
+        let fn_ = n as f64;
+        let disc = (2.0 * fn_ - 1.0) * (2.0 * fn_ - 1.0) - 8.0 * fidx;
+        (((2.0 * fn_ - 1.0) - disc.max(0.0).sqrt()) / 2.0).floor() as u64
+    };
+    let prefix = |r: u64| r * n - r * (r + 1) / 2; // entries before row r... rows 0..r
+    while r > 0 && prefix(r) > idx {
+        r -= 1;
+    }
+    while prefix(r + 1) <= idx {
+        r += 1;
+    }
+    let c = r + 1 + (idx - prefix(r));
+    (r, c)
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges, uniformly.
+pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let total = n * n.saturating_sub(1) / 2;
+    assert!(m <= total, "requested {m} edges but only {total} possible");
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    while chosen.len() < m {
+        let i = rng.gen_range(0..n as u64);
+        let j = rng.gen_range(0..n as u64);
+        if i == j {
+            continue;
+        }
+        let key = if i < j { (i, j) } else { (j, i) };
+        if chosen.insert(key) {
+            b.add_edge(key.0 as NodeId, key.1 as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-regular graph by the Steger–Wormald incremental pairing
+/// algorithm: repeatedly match two random *compatible* half-edges
+/// (distinct endpoints, edge not yet present); restart the attempt only
+/// if the remaining stubs admit no compatible pair. Requires `n*d`
+/// even and `d < n`. Asymptotically uniform for `d = O(n^{1/3})` and
+/// practically never restarts for the (n, d) ranges the experiments
+/// use; we cap at 1000 attempts defensively.
+pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> CsrGraph {
+    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(d < n, "degree {d} must be < n = {n}");
+    if d == 0 {
+        return GraphBuilder::new(n).build();
+    }
+    'attempt: for _ in 0..1000 {
+        let mut stubs: Vec<NodeId> = (0..n as NodeId)
+            .flat_map(|v| std::iter::repeat(v).take(d))
+            .collect();
+        stubs.shuffle(rng);
+        let mut seen = std::collections::HashSet::with_capacity(n * d);
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * d / 2);
+        while !stubs.is_empty() {
+            // Try random pairs; after repeated failures fall back to a
+            // full scan to decide between "stuck" and "unlucky".
+            let mut matched = false;
+            for _ in 0..20 {
+                let i = rng.gen_range(0..stubs.len());
+                let j = rng.gen_range(0..stubs.len());
+                if i == j {
+                    continue;
+                }
+                let (u, v) = (stubs[i], stubs[j]);
+                let key = if u < v { (u, v) } else { (v, u) };
+                if u != v && !seen.contains(&key) {
+                    seen.insert(key);
+                    edges.push(key);
+                    // remove the larger index first
+                    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                    stubs.swap_remove(hi);
+                    stubs.swap_remove(lo);
+                    matched = true;
+                    break;
+                }
+            }
+            if matched {
+                continue;
+            }
+            // Exhaustive scan for any compatible pair.
+            let mut found = None;
+            'scan: for i in 0..stubs.len() {
+                for j in (i + 1)..stubs.len() {
+                    let (u, v) = (stubs[i], stubs[j]);
+                    let key = if u < v { (u, v) } else { (v, u) };
+                    if u != v && !seen.contains(&key) {
+                        found = Some((i, j, key));
+                        break 'scan;
+                    }
+                }
+            }
+            match found {
+                Some((i, j, key)) => {
+                    seen.insert(key);
+                    edges.push(key);
+                    stubs.swap_remove(j);
+                    stubs.swap_remove(i);
+                }
+                None => continue 'attempt, // stuck: restart
+            }
+        }
+        let mut b = GraphBuilder::with_capacity(n, edges.len());
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        return b.build();
+    }
+    panic!("random_regular({n},{d}): no simple matching in 1000 attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::NodeSet;
+    use crate::components::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let got = g.num_edges() as f64;
+        // 5 sigma tolerance
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sigma,
+            "edges {got} vs expected {expected}"
+        );
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn decode_pair_roundtrip() {
+        let n = 7u64;
+        let mut idx = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(decode_pair(idx, n), (i, j), "idx {idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = gnm(50, 100, &mut rng);
+        assert_eq!(g.num_edges(), 100);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for &(n, d) in &[(10, 3), (40, 4), (101, 6)] {
+            let g = random_regular(n, d, &mut rng);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.min_degree(), d, "n={n} d={d}");
+            assert_eq!(g.max_degree(), d);
+        }
+    }
+
+    #[test]
+    fn random_regular_likely_connected() {
+        // d >= 3 random regular graphs are connected w.h.p.; with a
+        // fixed seed this is deterministic.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = random_regular(200, 4, &mut rng);
+        assert!(is_connected(&g, &NodeSet::full(200)));
+    }
+
+    #[test]
+    fn random_regular_degree_zero() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = random_regular(6, 0, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # fx-graph — graph substrate for the fault-expansion workspace
+//!
+//! Everything the reproduction of *"The Effect of Faults on Network
+//! Expansion"* (Bagchi, Bhargava, Chaudhary, Eppstein, Scheideler —
+//! SPAA 2004) quantifies over, built from scratch:
+//!
+//! * [`CsrGraph`] — immutable compressed-sparse-row undirected graphs;
+//! * [`NodeSet`] — bitset node subsets (fault masks, pruned sets,
+//!   cut sides);
+//! * [`SubView`] — a graph filtered through an alive mask, so fault
+//!   injection never rebuilds adjacency;
+//! * [`generators`] — meshes/tori, hypercubes, butterflies, de Bruijn,
+//!   shuffle-exchange, Margulis expanders, random (regular) graphs,
+//!   geometric graphs, and the Theorem 2.3 chain-subdivision operator;
+//! * traversal / components / union-find / distance machinery;
+//! * [`tree`] — BFS spanning trees, Mehlhorn 2-approximate and
+//!   Dreyfus–Wagner exact Steiner trees (the span's `P(U)`);
+//! * [`boundary`] — `Γ(U)` and edge cuts, the atoms of expansion;
+//! * [`par`] — deterministic parallel map over crossbeam scoped
+//!   threads for the Monte-Carlo harnesses.
+//!
+//! ## Example
+//! ```
+//! use fx_graph::{generators, NodeSet, components};
+//!
+//! let g = generators::torus(&[16, 16]);
+//! let mut alive = NodeSet::full(g.num_nodes());
+//! alive.remove(0); // a fault
+//! assert!(components::is_connected(&g, &alive));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod boundary;
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod distance;
+pub mod generators;
+pub mod io;
+pub mod node;
+pub mod par;
+pub mod routing;
+pub mod stats;
+pub mod traversal;
+pub mod tree;
+pub mod unionfind;
+pub mod view;
+
+pub use bitset::NodeSet;
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use node::{Edge, NodeId};
+pub use view::SubView;

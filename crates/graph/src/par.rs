@@ -1,0 +1,127 @@
+//! Minimal data-parallel harness on crossbeam scoped threads.
+//!
+//! The Monte-Carlo experiments (percolation sweeps, span sampling,
+//! prune success rates) are embarrassingly parallel over independent
+//! trials. This module provides a deterministic `par_map`: item `i` is
+//! always computed from the same inputs regardless of thread count, so
+//! seeded experiments are reproducible on any machine (the
+//! `parallel_scaling` ablation bench measures the harness itself).
+//!
+//! Work distribution is dynamic (an atomic cursor over the index
+//! space) so stragglers — e.g. percolation trials near criticality —
+//! don't serialize the batch, per the work-stealing spirit of the
+//! rayon/crossbeam guidance in the HPC guides.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: available parallelism, capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Applies `f` to every index in `0..len`, in parallel over `threads`
+/// workers, and returns results in index order.
+///
+/// `f` must be `Sync` (shared across workers) and is called exactly
+/// once per index. `threads == 0` or `1` runs inline (no spawn cost).
+pub fn par_map<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(len);
+    if threads == 1 {
+        return (0..len).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..len).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                // Grab small batches to amortize the atomic without
+                // losing dynamic balance.
+                const BATCH: usize = 4;
+                loop {
+                    let start = cursor.fetch_add(BATCH, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + BATCH).min(len);
+                    let mut local: Vec<(usize, T)> = Vec::with_capacity(end - start);
+                    for i in start..end {
+                        local.push((i, f(i)));
+                    }
+                    let mut guard = results.lock();
+                    for (i, v) in local {
+                        guard[i] = Some(v);
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|v| v.expect("every index computed"))
+        .collect()
+}
+
+/// Parallel map-reduce: `reduce` folds the mapped values in
+/// *index order* (so non-commutative reductions are deterministic).
+pub fn par_map_reduce<T, A, F, R>(len: usize, threads: usize, f: F, init: A, reduce: R) -> A
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    R: Fn(A, T) -> A,
+{
+    par_map(len, threads, f).into_iter().fold(init, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_serial() {
+        let serial: Vec<u64> = (0..1000).map(|i| (i as u64) * 3 + 1).collect();
+        let parallel = par_map(1000, 8, |i| (i as u64) * 3 + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn single_thread_inline() {
+        let r = par_map(10, 1, |i| i * i);
+        assert_eq!(r[3], 9);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r: Vec<u32> = par_map(0, 4, |_| unreachable!());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reduce_in_order() {
+        // non-commutative reduction: string concat
+        let s = par_map_reduce(5, 4, |i| i.to_string(), String::new(), |mut acc, x| {
+            acc.push_str(&x);
+            acc
+        });
+        assert_eq!(s, "01234");
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let r = par_map(3, 16, |i| i + 1);
+        assert_eq!(r, vec![1, 2, 3]);
+    }
+}

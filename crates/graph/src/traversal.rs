@@ -1,0 +1,175 @@
+//! Breadth-first and depth-first traversal over masked graphs.
+//!
+//! All traversals respect an alive mask and reuse caller-provided
+//! scratch where hot (the pruning loop calls BFS thousands of times).
+
+use crate::bitset::NodeSet;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Nodes reachable from `src` within `alive`, in BFS order.
+///
+/// Returns an empty vector if `src` is not alive.
+pub fn bfs_order(g: &CsrGraph, alive: &NodeSet, src: NodeId) -> Vec<NodeId> {
+    if !alive.contains(src) {
+        return Vec::new();
+    }
+    let mut visited = NodeSet::empty(g.num_nodes());
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited.insert(src);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if alive.contains(w) && visited.insert(w) {
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// The set of nodes reachable from `src` within `alive`.
+pub fn reachable_set(g: &CsrGraph, alive: &NodeSet, src: NodeId) -> NodeSet {
+    let mut visited = NodeSet::empty(g.num_nodes());
+    if !alive.contains(src) {
+        return visited;
+    }
+    let mut queue = VecDeque::new();
+    visited.insert(src);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if alive.contains(w) && visited.insert(w) {
+                queue.push_back(w);
+            }
+        }
+    }
+    visited
+}
+
+/// Nodes reachable from `src` within `alive`, in preorder DFS order
+/// (iterative; neighbor order follows the sorted CSR lists).
+pub fn dfs_order(g: &CsrGraph, alive: &NodeSet, src: NodeId) -> Vec<NodeId> {
+    if !alive.contains(src) {
+        return Vec::new();
+    }
+    let mut visited = NodeSet::empty(g.num_nodes());
+    let mut order = Vec::new();
+    let mut stack = vec![src];
+    visited.insert(src);
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        // Push in reverse so the smallest neighbor is expanded first.
+        for &w in g.neighbors(v).iter().rev() {
+            if alive.contains(w) && visited.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    order
+}
+
+/// Grows a connected node set from `seed` by BFS until it contains
+/// `target_size` nodes (or the whole reachable region, whichever is
+/// smaller). Used by greedy cut-finders and compact-set samplers.
+pub fn bfs_ball(g: &CsrGraph, alive: &NodeSet, seed: NodeId, target_size: usize) -> NodeSet {
+    let mut ball = NodeSet::empty(g.num_nodes());
+    if !alive.contains(seed) || target_size == 0 {
+        return ball;
+    }
+    let mut queue = VecDeque::new();
+    ball.insert(seed);
+    queue.push_back(seed);
+    while let Some(v) = queue.pop_front() {
+        if ball.len() >= target_size {
+            break;
+        }
+        for &w in g.neighbors(v) {
+            if ball.len() >= target_size {
+                break;
+            }
+            if alive.contains(w) && ball.insert(w) {
+                queue.push_back(w);
+            }
+        }
+    }
+    ball
+}
+
+/// True if the set `s` induces a connected subgraph of `g`.
+/// The empty set is considered connected (vacuously), matching the
+/// convention used by the compact-set machinery.
+pub fn is_connected_subset(g: &CsrGraph, s: &NodeSet) -> bool {
+    match s.first() {
+        None => true,
+        Some(src) => reachable_set(g, s, src).len() == s.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_triangles_bridge() -> CsrGraph {
+        // 0-1-2 triangle, 3-4-5 triangle, bridge 2-3.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+        b.add_edge(3, 4).add_edge(4, 5).add_edge(3, 5);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn bfs_covers_component() {
+        let g = two_triangles_bridge();
+        let alive = NodeSet::full(6);
+        let order = bfs_order(&g, &alive, 0);
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn bfs_respects_mask() {
+        let g = two_triangles_bridge();
+        let mut alive = NodeSet::full(6);
+        alive.remove(2); // cut the bridgehead
+        let order = bfs_order(&g, &alive, 0);
+        assert_eq!(order, vec![0, 1]);
+        assert!(bfs_order(&g, &alive, 2).is_empty());
+    }
+
+    #[test]
+    fn dfs_preorder() {
+        let g = two_triangles_bridge();
+        let alive = NodeSet::full(6);
+        let order = dfs_order(&g, &alive, 0);
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], 0);
+        // smallest neighbor first: 0 -> 1
+        assert_eq!(order[1], 1);
+    }
+
+    #[test]
+    fn ball_growth_stops_at_target() {
+        let g = two_triangles_bridge();
+        let alive = NodeSet::full(6);
+        let ball = bfs_ball(&g, &alive, 0, 3);
+        assert_eq!(ball.len(), 3);
+        assert!(is_connected_subset(&g, &ball));
+        let all = bfs_ball(&g, &alive, 0, 100);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn connected_subset_check() {
+        let g = two_triangles_bridge();
+        assert!(is_connected_subset(&g, &NodeSet::from_iter(6, [0, 1, 2])));
+        assert!(!is_connected_subset(&g, &NodeSet::from_iter(6, [0, 4])));
+        assert!(is_connected_subset(&g, &NodeSet::empty(6)));
+        assert!(is_connected_subset(&g, &NodeSet::from_iter(6, [5])));
+    }
+}

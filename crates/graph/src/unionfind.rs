@@ -1,0 +1,136 @@
+//! Disjoint-set forest (union by size, path halving).
+//!
+//! Used by connected-component labeling, Kruskal MST inside the
+//! Steiner machinery, and — most heavily — the Newman–Ziff percolation
+//! sweeps, where a single trial performs `n` unions and `O(m)` finds.
+
+/// Union-find over `0..len` with union-by-size and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    /// parent[i] == i for roots.
+    parent: Vec<u32>,
+    /// Only meaningful at roots.
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize);
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (path halving).
+    #[inline]
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were
+    /// distinct.
+    #[inline]
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s set.
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+
+    /// Size of the largest set.
+    pub fn max_component_size(&mut self) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        (0..self.len() as u32)
+            .filter(|&i| self.parent[i as usize] == i)
+            .map(|i| self.size[i as usize] as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_merge_components() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.component_size(1), 3);
+        assert_eq!(uf.max_component_size(), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut uf = UnionFind::new(0);
+        assert_eq!(uf.max_component_size(), 0);
+        let mut uf1 = UnionFind::new(1);
+        assert_eq!(uf1.component_size(0), 1);
+    }
+
+    #[test]
+    fn long_chain_path_halving() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n as u32 - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert_eq!(uf.component_size(0), n);
+        // find after heavy unions must still terminate fast & correctly
+        assert_eq!(uf.find(0), uf.find(n as u32 - 1));
+    }
+}

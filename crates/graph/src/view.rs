@@ -1,0 +1,149 @@
+//! `SubView`: a graph restricted to an alive-node mask.
+//!
+//! Fault injection removes nodes; pruning removes more. Rather than
+//! materializing induced subgraphs (O(n+m) each time), algorithms view
+//! the original CSR through an alive [`NodeSet`] filter. Materialize
+//! with [`SubView::induced`] only when an algorithm needs compact ids
+//! (e.g. the spectral solver).
+
+use crate::bitset::NodeSet;
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// A borrowed view of `graph` restricted to nodes in `alive`.
+#[derive(Clone, Copy)]
+pub struct SubView<'a> {
+    /// The underlying full graph.
+    pub graph: &'a CsrGraph,
+    /// Nodes considered present.
+    pub alive: &'a NodeSet,
+}
+
+impl<'a> SubView<'a> {
+    /// Creates a view; the mask universe must match the graph.
+    pub fn new(graph: &'a CsrGraph, alive: &'a NodeSet) -> Self {
+        assert_eq!(
+            graph.num_nodes(),
+            alive.capacity(),
+            "alive mask universe ({}) != graph nodes ({})",
+            alive.capacity(),
+            graph.num_nodes()
+        );
+        SubView { graph, alive }
+    }
+
+    /// Number of alive nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// True if `v` is alive.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.alive.contains(v)
+    }
+
+    /// Alive neighbors of `v` (which need not itself be alive).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&w| self.alive.contains(w))
+    }
+
+    /// Degree of `v` counting alive neighbors only.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.graph.degree_in(v, self.alive)
+    }
+
+    /// Iterator over alive nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive.iter()
+    }
+
+    /// Number of edges with both endpoints alive.
+    pub fn num_edges(&self) -> usize {
+        let doubled: usize = self.nodes().map(|v| self.degree(v)).sum();
+        doubled / 2
+    }
+
+    /// Materializes the induced subgraph with *compact* node ids
+    /// `0..alive.len()`. Returns the subgraph and the mapping
+    /// `compact -> original` (the inverse is recoverable by binary
+    /// search since the mapping is increasing).
+    pub fn induced(&self) -> (CsrGraph, Vec<NodeId>) {
+        let map_back: Vec<NodeId> = self.alive.to_vec();
+        let n_sub = map_back.len();
+        // original -> compact, only valid for alive nodes
+        let mut to_compact = vec![u32::MAX; self.graph.num_nodes()];
+        for (c, &orig) in map_back.iter().enumerate() {
+            to_compact[orig as usize] = c as u32;
+        }
+        let mut edges = Vec::new();
+        for (c, &orig) in map_back.iter().enumerate() {
+            for w in self.neighbors(orig) {
+                let cw = to_compact[w as usize];
+                if (c as u32) < cw {
+                    edges.push(crate::node::Edge { u: c as u32, v: cw });
+                }
+            }
+        }
+        (CsrGraph::from_canonical_edges(n_sub, &edges), map_back)
+    }
+}
+
+/// Convenience: full-graph view (all nodes alive).
+pub fn full_mask(g: &CsrGraph) -> NodeSet {
+    NodeSet::full(g.num_nodes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path5() -> CsrGraph {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn filtered_neighbors_and_degree() {
+        let g = path5();
+        let alive = NodeSet::from_iter(5, [0, 1, 3, 4]); // node 2 dead
+        let view = SubView::new(&g, &alive);
+        assert_eq!(view.num_nodes(), 4);
+        assert_eq!(view.neighbors(1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(view.degree(3), 1); // only 4 alive
+        assert_eq!(view.num_edges(), 2); // 0-1 and 3-4
+    }
+
+    #[test]
+    fn induced_subgraph_compacts_ids() {
+        let g = path5();
+        let alive = NodeSet::from_iter(5, [0, 1, 3, 4]);
+        let (sub, back) = SubView::new(&g, &alive).induced();
+        assert_eq!(sub.num_nodes(), 4);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(back, vec![0, 1, 3, 4]);
+        // compact 0-1 edge corresponds to original 0-1; compact 2-3 to 3-4
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(2, 3));
+        assert!(!sub.has_edge(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn mask_size_mismatch_panics() {
+        let g = path5();
+        let alive = NodeSet::full(4);
+        let _ = SubView::new(&g, &alive);
+    }
+}

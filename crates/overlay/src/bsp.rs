@@ -1,0 +1,376 @@
+//! Binary space partition of the CAN key space `[0,1)^d`.
+//!
+//! Zones are the leaves of a binary split tree; joins split a leaf at
+//! the midpoint of the next dimension (cyclic, as in CAN), leaves
+//! merge sibling pairs. All split coordinates are dyadic rationals, so
+//! `f64` comparisons below are exact.
+
+/// Arena index of a tree node.
+pub type NodeIdx = usize;
+
+/// Peer identifier (stable across its lifetime in the overlay).
+pub type PeerId = u32;
+
+/// A node of the split tree.
+#[derive(Debug, Clone)]
+pub enum ZNode {
+    /// A zone owned by one peer.
+    Leaf {
+        /// Owning peer.
+        owner: PeerId,
+    },
+    /// An internal split along `dim` at the midpoint of its box.
+    Internal {
+        /// Split dimension.
+        dim: usize,
+        /// Children: `[low half, high half]`.
+        children: [NodeIdx; 2],
+    },
+    /// Freed slot (after a merge).
+    Dead,
+}
+
+/// An axis-aligned zone box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneBox {
+    /// Inclusive lower corner.
+    pub lo: Vec<f64>,
+    /// Exclusive upper corner.
+    pub hi: Vec<f64>,
+}
+
+impl ZoneBox {
+    /// The unit cube of dimension `d`.
+    pub fn unit(d: usize) -> Self {
+        ZoneBox {
+            lo: vec![0.0; d],
+            hi: vec![1.0; d],
+        }
+    }
+
+    /// Volume of the box.
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| h - l)
+            .product()
+    }
+
+    /// True if the boxes share a (d−1)-dimensional face, with
+    /// wraparound in every dimension (CAN's key space is a torus).
+    pub fn touches(&self, other: &ZoneBox) -> bool {
+        let d = self.lo.len();
+        let mut abut_dim = None;
+        for i in 0..d {
+            let direct = self.hi[i] == other.lo[i] || other.hi[i] == self.lo[i];
+            let wrap = (self.lo[i] == 0.0 && other.hi[i] == 1.0)
+                || (other.lo[i] == 0.0 && self.hi[i] == 1.0);
+            // full-span dimensions never abut (they already overlap)
+            let full = (self.lo[i] == 0.0 && self.hi[i] == 1.0)
+                || (other.lo[i] == 0.0 && other.hi[i] == 1.0);
+            if (direct || wrap) && !full {
+                let overlap_rest = (0..d).all(|j| {
+                    j == i || overlaps(self.lo[j], self.hi[j], other.lo[j], other.hi[j])
+                });
+                if overlap_rest {
+                    abut_dim = Some(i);
+                    break;
+                }
+            }
+        }
+        abut_dim.is_some()
+    }
+}
+
+/// Positive-measure interval overlap.
+fn overlaps(al: f64, ah: f64, bl: f64, bh: f64) -> bool {
+    al < bh && bl < ah
+}
+
+/// The split tree.
+#[derive(Debug, Clone)]
+pub struct Bsp {
+    /// Key-space dimension.
+    pub d: usize,
+    nodes: Vec<ZNode>,
+    root: NodeIdx,
+}
+
+/// A materialized zone: owner + box + leaf index.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    /// Arena index of the leaf.
+    pub idx: NodeIdx,
+    /// Owning peer.
+    pub owner: PeerId,
+    /// Geometry.
+    pub bounds: ZoneBox,
+    /// Depth of the leaf (root = 0).
+    pub depth: usize,
+}
+
+impl Bsp {
+    /// A single zone covering the whole space, owned by `owner`.
+    pub fn new(d: usize, owner: PeerId) -> Self {
+        assert!(d >= 1, "dimension must be ≥ 1");
+        Bsp {
+            d,
+            nodes: vec![ZNode::Leaf { owner }],
+            root: 0,
+        }
+    }
+
+    /// Number of live zones (= peers).
+    pub fn num_zones(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, ZNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Collects all zones with geometry and depth.
+    pub fn zones(&self) -> Vec<Zone> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, ZoneBox::unit(self.d), 0usize)];
+        while let Some((idx, bounds, depth)) = stack.pop() {
+            match &self.nodes[idx] {
+                ZNode::Leaf { owner } => out.push(Zone {
+                    idx,
+                    owner: *owner,
+                    bounds,
+                    depth,
+                }),
+                ZNode::Internal { dim, children } => {
+                    let mid = 0.5 * (bounds.lo[*dim] + bounds.hi[*dim]);
+                    let mut lo_box = bounds.clone();
+                    lo_box.hi[*dim] = mid;
+                    let mut hi_box = bounds;
+                    hi_box.lo[*dim] = mid;
+                    stack.push((children[0], lo_box, depth + 1));
+                    stack.push((children[1], hi_box, depth + 1));
+                }
+                ZNode::Dead => unreachable!("dead node reachable from root"),
+            }
+        }
+        out
+    }
+
+    /// Finds the leaf containing `point`, returning `(leaf, depth)`.
+    pub fn locate(&self, point: &[f64]) -> (NodeIdx, usize) {
+        assert_eq!(point.len(), self.d);
+        let mut idx = self.root;
+        let mut bounds = ZoneBox::unit(self.d);
+        let mut depth = 0;
+        loop {
+            match &self.nodes[idx] {
+                ZNode::Leaf { .. } => return (idx, depth),
+                ZNode::Internal { dim, children } => {
+                    let mid = 0.5 * (bounds.lo[*dim] + bounds.hi[*dim]);
+                    if point[*dim] < mid {
+                        bounds.hi[*dim] = mid;
+                        idx = children[0];
+                    } else {
+                        bounds.lo[*dim] = mid;
+                        idx = children[1];
+                    }
+                    depth += 1;
+                }
+                ZNode::Dead => unreachable!(),
+            }
+        }
+    }
+
+    /// Splits the leaf containing `point`: the old owner keeps the low
+    /// half, `new_owner` takes the high half (CAN splits round-robin
+    /// by depth: `dim = depth mod d`).
+    pub fn split_at(&mut self, point: &[f64], new_owner: PeerId) {
+        let (leaf, depth) = self.locate(point);
+        let ZNode::Leaf { owner } = self.nodes[leaf] else {
+            unreachable!("locate returns a leaf")
+        };
+        let lo_child = self.nodes.len();
+        self.nodes.push(ZNode::Leaf { owner });
+        let hi_child = self.nodes.len();
+        self.nodes.push(ZNode::Leaf { owner: new_owner });
+        self.nodes[leaf] = ZNode::Internal {
+            dim: depth % self.d,
+            children: [lo_child, hi_child],
+        };
+    }
+
+    /// Finds an internal node whose children are both leaves, of
+    /// maximum depth (always exists when ≥ 2 zones).
+    fn deepest_leaf_pair(&self) -> Option<(NodeIdx, usize)> {
+        let mut best: Option<(NodeIdx, usize)> = None;
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((idx, depth)) = stack.pop() {
+            if let ZNode::Internal { children, .. } = &self.nodes[idx] {
+                let both_leaves = children
+                    .iter()
+                    .all(|&c| matches!(self.nodes[c], ZNode::Leaf { .. }));
+                if both_leaves {
+                    if best.map_or(true, |(_, d)| depth > d) {
+                        best = Some((idx, depth));
+                    }
+                } else {
+                    for &c in children {
+                        stack.push((c, depth + 1));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Removes the peer owning the leaf `leaf` (CAN departure).
+    ///
+    /// If the sibling is a leaf, the pair merges and the sibling owner
+    /// absorbs the zone. Otherwise the deepest sibling-leaf pair
+    /// elsewhere merges, freeing one peer to take over the departing
+    /// zone — the classic rectangle-preserving handover.
+    pub fn remove_leaf(&mut self, leaf: NodeIdx) {
+        assert!(matches!(self.nodes[leaf], ZNode::Leaf { .. }), "not a leaf");
+        if self.num_zones() <= 1 {
+            panic!("cannot remove the last zone");
+        }
+        // find the parent of `leaf`
+        let parent = self.parent_of(leaf).expect("non-root leaf has a parent");
+        let ZNode::Internal { children, .. } = &self.nodes[parent] else {
+            unreachable!()
+        };
+        let sibling = if children[0] == leaf { children[1] } else { children[0] };
+        if let ZNode::Leaf { owner: sib_owner } = self.nodes[sibling] {
+            // direct merge
+            self.nodes[parent] = ZNode::Leaf { owner: sib_owner };
+            self.nodes[leaf] = ZNode::Dead;
+            self.nodes[sibling] = ZNode::Dead;
+            return;
+        }
+        // handover: merge the deepest leaf pair, reassign the freed
+        // owner to the departing zone
+        let (pair, _) = self.deepest_leaf_pair().expect("≥2 zones have a pair");
+        let ZNode::Internal { children: pc, .. } = self.nodes[pair] else {
+            unreachable!()
+        };
+        let (a, b) = (pc[0], pc[1]);
+        let ZNode::Leaf { owner: keep } = self.nodes[a] else { unreachable!() };
+        let ZNode::Leaf { owner: freed } = self.nodes[b] else { unreachable!() };
+        // the pair might actually contain `leaf` — then a direct merge
+        // was already handled above (sibling leaf), so pair ≠ parent.
+        debug_assert_ne!(pair, parent);
+        self.nodes[pair] = ZNode::Leaf { owner: keep };
+        self.nodes[a] = ZNode::Dead;
+        self.nodes[b] = ZNode::Dead;
+        self.nodes[leaf] = ZNode::Leaf { owner: freed };
+    }
+
+    fn parent_of(&self, target: NodeIdx) -> Option<NodeIdx> {
+        self.nodes.iter().enumerate().find_map(|(i, n)| match n {
+            ZNode::Internal { children, .. } if children.contains(&target) => Some(i),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_tile_the_space() {
+        let mut bsp = Bsp::new(2, 0);
+        bsp.split_at(&[0.7, 0.7], 1);
+        bsp.split_at(&[0.2, 0.2], 2);
+        bsp.split_at(&[0.9, 0.9], 3);
+        let zones = bsp.zones();
+        assert_eq!(zones.len(), 4);
+        let total: f64 = zones.iter().map(|z| z.bounds.volume()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // owners distinct
+        let mut owners: Vec<u32> = zones.iter().map(|z| z.owner).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        assert_eq!(owners.len(), 4);
+    }
+
+    #[test]
+    fn locate_agrees_with_geometry() {
+        let mut bsp = Bsp::new(2, 0);
+        bsp.split_at(&[0.6, 0.5], 1); // split dim 0 at 0.5
+        let (leaf_lo, _) = bsp.locate(&[0.1, 0.9]);
+        let (leaf_hi, _) = bsp.locate(&[0.9, 0.1]);
+        assert_ne!(leaf_lo, leaf_hi);
+        let zones = bsp.zones();
+        for z in zones {
+            if z.idx == leaf_lo {
+                assert!(z.bounds.hi[0] <= 0.5 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_merge_on_sibling_leaf() {
+        let mut bsp = Bsp::new(2, 0);
+        bsp.split_at(&[0.9, 0.9], 1);
+        let (leaf, _) = bsp.locate(&[0.9, 0.9]);
+        bsp.remove_leaf(leaf);
+        assert_eq!(bsp.num_zones(), 1);
+        let z = &bsp.zones()[0];
+        assert_eq!(z.owner, 0);
+        assert!((z.bounds.volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handover_preserves_tiling() {
+        let mut bsp = Bsp::new(2, 0);
+        // build an unbalanced tree so a handover is needed
+        bsp.split_at(&[0.9, 0.9], 1);
+        bsp.split_at(&[0.9, 0.9], 2);
+        bsp.split_at(&[0.9, 0.9], 3);
+        // remove owner 0's zone (its sibling is an internal subtree)
+        let (leaf0, _) = bsp.locate(&[0.1, 0.1]);
+        bsp.remove_leaf(leaf0);
+        let zones = bsp.zones();
+        assert_eq!(zones.len(), 3);
+        let total: f64 = zones.iter().map(|z| z.bounds.volume()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // owner 0 must be gone
+        assert!(zones.iter().all(|z| z.owner != 0));
+    }
+
+    #[test]
+    fn touches_with_wraparound() {
+        let a = ZoneBox {
+            lo: vec![0.0, 0.0],
+            hi: vec![0.5, 0.5],
+        };
+        let b = ZoneBox {
+            lo: vec![0.5, 0.0],
+            hi: vec![1.0, 0.5],
+        };
+        let c = ZoneBox {
+            lo: vec![0.5, 0.5],
+            hi: vec![1.0, 1.0],
+        };
+        assert!(a.touches(&b)); // direct abutment in dim 0
+        assert!(a.touches(&b) && b.touches(&a));
+        assert!(!a.touches(&c)); // corner contact only
+        // wraparound: a's lo[0]=0, b's hi[0]=1 ⇒ also adjacent around
+        // the torus in dim 0 (same pair, two faces)
+        let d = ZoneBox {
+            lo: vec![0.0, 0.5],
+            hi: vec![0.5, 1.0],
+        };
+        assert!(a.touches(&d)); // dim-1 abutment
+        assert!(c.touches(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "last zone")]
+    fn cannot_remove_last() {
+        let mut bsp = Bsp::new(2, 0);
+        let (leaf, _) = bsp.locate(&[0.5, 0.5]);
+        bsp.remove_leaf(leaf);
+    }
+}

@@ -1,0 +1,29 @@
+//! # fx-overlay — CAN-style P2P overlay simulator
+//!
+//! The paper's §4 motivates its mesh results through CAN (Ratnasamy et
+//! al., SIGCOMM'01): a structured peer-to-peer overlay whose steady
+//! state "behaves like a d-dimensional mesh". This crate simulates
+//! that steady state from first principles — a binary space partition
+//! of the key space `[0,1)^d` under join/leave churn — and snapshots
+//! the zone-neighbor graph so the fault-expansion machinery can be
+//! applied to *realistic*, irregular mesh-like topologies rather than
+//! perfect lattices (experiment E14).
+//!
+//! ```
+//! use fx_overlay::Overlay;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let mut overlay = Overlay::with_peers(2, 32, &mut rng);
+//! overlay.churn(50, 0.5, &mut rng);
+//! let (graph, _owners) = overlay.graph();
+//! assert_eq!(graph.num_nodes(), overlay.num_peers());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bsp;
+pub mod overlay;
+
+pub use bsp::{Bsp, PeerId, Zone, ZoneBox};
+pub use overlay::Overlay;

@@ -1,0 +1,220 @@
+//! The CAN overlay: peers, churn, and graph snapshots.
+//!
+//! §4 of the paper: *"CAN … behaves like a d-dimensional mesh in its
+//! steady state. Basically we have shown that CAN can tolerate a fault
+//! probability which is inversely polynomial in its dimension."*
+//! This module provides the steady state: a zone partition under
+//! join/leave churn whose neighbor graph is the object the paper's
+//! mesh results approximate (experiment E14 measures how well).
+
+use crate::bsp::{Bsp, PeerId};
+use fx_graph::{CsrGraph, GraphBuilder};
+use rand::Rng;
+
+/// A CAN-style overlay simulator.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    bsp: Bsp,
+    next_peer: PeerId,
+    joins: usize,
+    leaves: usize,
+}
+
+impl Overlay {
+    /// A fresh overlay with one peer owning the whole `d`-dimensional
+    /// key space.
+    pub fn new(d: usize) -> Self {
+        Overlay {
+            bsp: Bsp::new(d, 0),
+            next_peer: 1,
+            joins: 0,
+            leaves: 0,
+        }
+    }
+
+    /// Builds an overlay of `n` peers by repeated joins.
+    pub fn with_peers<R: Rng + ?Sized>(d: usize, n: usize, rng: &mut R) -> Self {
+        assert!(n >= 1);
+        let mut o = Overlay::new(d);
+        for _ in 1..n {
+            o.join(rng);
+        }
+        o
+    }
+
+    /// Key-space dimension.
+    pub fn dimension(&self) -> usize {
+        self.bsp.d
+    }
+
+    /// Current number of peers.
+    pub fn num_peers(&self) -> usize {
+        self.bsp.num_zones()
+    }
+
+    /// Lifetime join / leave counters.
+    pub fn churn_counts(&self) -> (usize, usize) {
+        (self.joins, self.leaves)
+    }
+
+    /// A peer joins: picks a uniform key-space point, splits the zone
+    /// that owns it. Returns the new peer id.
+    pub fn join<R: Rng + ?Sized>(&mut self, rng: &mut R) -> PeerId {
+        let point: Vec<f64> = (0..self.bsp.d).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let id = self.next_peer;
+        self.next_peer += 1;
+        self.bsp.split_at(&point, id);
+        self.joins += 1;
+        id
+    }
+
+    /// A uniformly random peer leaves (no-op when only one remains).
+    /// Returns the departed peer id if any.
+    pub fn leave<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<PeerId> {
+        let zones = self.bsp.zones();
+        if zones.len() <= 1 {
+            return None;
+        }
+        let victim = &zones[rng.gen_range(0..zones.len())];
+        let owner = victim.owner;
+        self.bsp.remove_leaf(victim.idx);
+        self.leaves += 1;
+        Some(owner)
+    }
+
+    /// Applies `ops` churn operations: each is a join with probability
+    /// `join_bias`, otherwise a leave.
+    pub fn churn<R: Rng + ?Sized>(&mut self, ops: usize, join_bias: f64, rng: &mut R) {
+        for _ in 0..ops {
+            if rng.gen_bool(join_bias) || self.num_peers() <= 2 {
+                self.join(rng);
+            } else {
+                self.leave(rng);
+            }
+        }
+    }
+
+    /// Snapshots the neighbor graph: one node per peer (dense ids in
+    /// zone order), edges between zones sharing a (d−1)-face (with
+    /// wraparound). Returns the graph and the peer id of each node.
+    pub fn graph(&self) -> (CsrGraph, Vec<PeerId>) {
+        let zones = self.bsp.zones();
+        let n = zones.len();
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if zones[i].bounds.touches(&zones[j].bounds) {
+                    b.add_edge(i as u32, j as u32);
+                }
+            }
+        }
+        (b.build(), zones.iter().map(|z| z.owner).collect())
+    }
+
+    /// The current zones (geometry + owners), in tree order.
+    pub fn zones(&self) -> Vec<crate::bsp::Zone> {
+        self.bsp.zones()
+    }
+
+    /// Zone volume statistics `(min, max, mean)` — CAN load balance.
+    pub fn volume_stats(&self) -> (f64, f64, f64) {
+        let zones = self.bsp.zones();
+        let vols: Vec<f64> = zones.iter().map(|z| z.bounds.volume()).collect();
+        let min = vols.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vols.iter().cloned().fold(0.0, f64::max);
+        let mean = vols.iter().sum::<f64>() / vols.len() as f64;
+        (min, max, mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::components::is_connected;
+    use fx_graph::NodeSet;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grows_and_snapshots_connected_graph() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let o = Overlay::with_peers(2, 64, &mut rng);
+        assert_eq!(o.num_peers(), 64);
+        let (g, owners) = o.graph();
+        assert_eq!(g.num_nodes(), 64);
+        assert_eq!(owners.len(), 64);
+        assert!(is_connected(&g, &NodeSet::full(64)), "overlay must be connected");
+        // CAN steady state: mean degree ≈ 2d… at least ≥ d and ≤ O(n)
+        let mean_deg = 2.0 * g.num_edges() as f64 / 64.0;
+        assert!(mean_deg >= 3.0 && mean_deg <= 12.0, "mean degree {mean_deg}");
+    }
+
+    #[test]
+    fn churn_preserves_invariants() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut o = Overlay::with_peers(3, 40, &mut rng);
+        o.churn(200, 0.5, &mut rng);
+        let (g, owners) = o.graph();
+        assert_eq!(g.num_nodes(), o.num_peers());
+        // volumes tile the cube
+        let zones_total: f64 = {
+            let (min, max, mean) = o.volume_stats();
+            assert!(min > 0.0 && max <= 1.0);
+            mean * o.num_peers() as f64
+        };
+        assert!((zones_total - 1.0).abs() < 1e-9, "volumes sum to {zones_total}");
+        // owners unique
+        let mut sorted = owners.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), owners.len());
+        assert!(is_connected(&g, &NodeSet::full(g.num_nodes())));
+    }
+
+    #[test]
+    fn leave_until_singleton() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut o = Overlay::with_peers(2, 10, &mut rng);
+        for _ in 0..9 {
+            assert!(o.leave(&mut rng).is_some());
+        }
+        assert_eq!(o.num_peers(), 1);
+        assert!(o.leave(&mut rng).is_none());
+    }
+
+    #[test]
+    fn one_dimensional_overlay_is_a_ring() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let o = Overlay::with_peers(1, 16, &mut rng);
+        let (g, _) = o.graph();
+        // 1-D CAN with wraparound: every zone has exactly 2 neighbors
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.num_edges(), 16);
+    }
+
+    #[test]
+    fn higher_dimension_increases_degree() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let d2 = Overlay::with_peers(2, 128, &mut rng);
+        let d4 = Overlay::with_peers(4, 128, &mut rng);
+        let (g2, _) = d2.graph();
+        let (g4, _) = d4.graph();
+        let m2 = 2.0 * g2.num_edges() as f64 / 128.0;
+        let m4 = 2.0 * g4.num_edges() as f64 / 128.0;
+        assert!(m4 > m2, "degree should grow with dimension: {m2} vs {m4}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let oa = Overlay::with_peers(2, 50, &mut a);
+        let ob = Overlay::with_peers(2, 50, &mut b);
+        let (ga, _) = oa.graph();
+        let (gb, _) = ob.graph();
+        let ea: Vec<_> = ga.edges().collect();
+        let eb: Vec<_> = gb.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the CAN overlay: arbitrary churn sequences must
+//! preserve the structural invariants CAN relies on.
+
+use fx_overlay::Overlay;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any join/leave sequence keeps: zones tiling the key space
+    /// (volumes sum to 1), unique owners, a connected neighbor graph,
+    /// and peer count = initial + joins − leaves.
+    #[test]
+    fn churn_preserves_invariants(
+        d in 1usize..=4,
+        seed in 0u64..1_000,
+        ops in proptest::collection::vec(proptest::bool::ANY, 1..60),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ov = Overlay::with_peers(d, 8, &mut rng);
+        let mut expected = 8usize;
+        for is_join in ops {
+            if is_join {
+                ov.join(&mut rng);
+                expected += 1;
+            } else if expected > 1 {
+                prop_assert!(ov.leave(&mut rng).is_some());
+                expected -= 1;
+            }
+        }
+        prop_assert_eq!(ov.num_peers(), expected);
+
+        let (g, owners) = ov.graph();
+        prop_assert_eq!(g.num_nodes(), expected);
+        // owners unique
+        let mut sorted = owners.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), expected);
+        // volumes tile the unit cube
+        let (vmin, vmax, vmean) = ov.volume_stats();
+        prop_assert!(vmin > 0.0);
+        prop_assert!(vmax <= 1.0 + 1e-12);
+        prop_assert!((vmean * expected as f64 - 1.0).abs() < 1e-9);
+        // neighbor graph connected (zones tile a torus)
+        if expected > 1 {
+            let alive = fx_graph::NodeSet::full(expected);
+            prop_assert!(
+                fx_graph::components::is_connected(&g, &alive),
+                "overlay graph disconnected"
+            );
+            prop_assert!(g.min_degree() >= 1);
+        }
+    }
+
+    /// Zone boxes are pairwise interior-disjoint and cover the cube.
+    #[test]
+    fn zones_are_interior_disjoint(
+        d in 1usize..=3,
+        seed in 0u64..500,
+        n in 2usize..24,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ov = Overlay::with_peers(d, n, &mut rng);
+        let zones = ov.zones();
+        prop_assert_eq!(zones.len(), n);
+        for i in 0..zones.len() {
+            for j in (i + 1)..zones.len() {
+                let (a, b) = (&zones[i].bounds, &zones[j].bounds);
+                let overlap: f64 = (0..d)
+                    .map(|k| (a.hi[k].min(b.hi[k]) - a.lo[k].max(b.lo[k])).max(0.0))
+                    .product();
+                prop_assert!(
+                    overlap < 1e-12,
+                    "zones {i} and {j} overlap with volume {overlap}"
+                );
+            }
+        }
+        let total: f64 = zones.iter().map(|z| z.bounds.volume()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # fx-percolation — Monte-Carlo percolation on arbitrary graphs
+//!
+//! The §1.1 survey of Bagchi et al. (SPAA'04) frames fault tolerance
+//! through critical probabilities for linear-size components; the
+//! random-fault experiments (Theorems 3.1/3.4) need `γ(p)` curves.
+//! This crate provides:
+//!
+//! * [`sample`] — site/bond dilution and the `γ` measure;
+//! * [`newman_ziff`] — O(n·α(n)) whole-curve sweeps via union–find;
+//! * [`montecarlo`] — deterministic, thread-parallel trial batches
+//!   (same results for any thread count);
+//! * [`critical`] — `p*` estimation by curve inversion, reproducing
+//!   the survey's table of thresholds (experiment E7).
+//!
+//! ```
+//! use fx_percolation::{MonteCarlo, estimate_critical, Mode};
+//! use fx_graph::generators;
+//!
+//! let g = generators::torus(&[16, 16]);
+//! let mc = MonteCarlo { trials: 8, threads: 1, base_seed: 1 };
+//! let est = estimate_critical(&g, Mode::Bond, &mc, 0.1, 20);
+//! assert!(est.p_star > 0.0 && est.p_star < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod critical;
+pub mod montecarlo;
+pub mod newman_ziff;
+pub mod sample;
+
+pub use critical::{estimate_critical, CriticalEstimate, Mode};
+pub use montecarlo::{MonteCarlo, Stat};
+pub use newman_ziff::{bond_sweep, site_sweep};
+pub use sample::{gamma_bond, gamma_site, sample_alive_edges, sample_alive_nodes};

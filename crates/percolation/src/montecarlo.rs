@@ -1,0 +1,188 @@
+//! Parallel Monte-Carlo percolation curves.
+//!
+//! Trials are independent and deterministically seeded
+//! (`seed = base ⊕ trial-index` hashed), so results are reproducible
+//! for any thread count — the property the A3 ablation bench measures.
+
+use crate::newman_ziff::{bond_sweep, site_sweep};
+use crate::sample::{gamma_site, sample_alive_nodes};
+use fx_graph::par::par_map;
+use fx_graph::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Mean/σ pair for a measured quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for < 2 trials).
+    pub std: f64,
+}
+
+impl Stat {
+    /// Computes mean and sample σ.
+    pub fn from_samples(xs: &[f64]) -> Stat {
+        let n = xs.len();
+        if n == 0 {
+            return Stat { mean: 0.0, std: 0.0 };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Stat { mean, std: 0.0 };
+        }
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        Stat {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    /// Independent trials per measurement.
+    pub trials: usize,
+    /// Worker threads (1 = inline).
+    pub threads: usize,
+    /// Base seed; trial `i` uses a seed derived from `(base, i)`.
+    pub base_seed: u64,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        MonteCarlo {
+            trials: 32,
+            threads: fx_graph::par::default_threads(),
+            base_seed: 0x5EED,
+        }
+    }
+}
+
+fn trial_seed(base: u64, i: usize) -> u64 {
+    // splitmix64 of (base + i) — decorrelates adjacent trial seeds
+    let mut z = base.wrapping_add(i as u64).wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl MonteCarlo {
+    /// `γ(keep)` for **site** percolation by direct resampling.
+    pub fn gamma_site_at(&self, g: &CsrGraph, keep: f64) -> Stat {
+        let samples = par_map(self.trials, self.threads, |i| {
+            let mut rng = SmallRng::seed_from_u64(trial_seed(self.base_seed, i));
+            let alive = sample_alive_nodes(g.num_nodes(), keep, &mut rng);
+            gamma_site(g, &alive)
+        });
+        Stat::from_samples(&samples)
+    }
+
+    /// Whole `γ(keep)` **site** curve at the given keep-probabilities,
+    /// from Newman–Ziff sweeps (one sweep per trial; canonical
+    /// `k = round(keep·n)` mapping).
+    pub fn gamma_site_curve(&self, g: &CsrGraph, keeps: &[f64]) -> Vec<Stat> {
+        let n = g.num_nodes();
+        let curves = par_map(self.trials, self.threads, |i| {
+            let mut rng = SmallRng::seed_from_u64(trial_seed(self.base_seed, i));
+            site_sweep(g, &mut rng)
+        });
+        keeps
+            .iter()
+            .map(|&q| {
+                let k = ((q * n as f64).round() as usize).min(n);
+                let samples: Vec<f64> = curves
+                    .iter()
+                    .map(|c| c[k] as f64 / n.max(1) as f64)
+                    .collect();
+                Stat::from_samples(&samples)
+            })
+            .collect()
+    }
+
+    /// Whole `γ(keep)` **bond** curve (nodes always present).
+    pub fn gamma_bond_curve(&self, g: &CsrGraph, keeps: &[f64]) -> Vec<Stat> {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let curves = par_map(self.trials, self.threads, |i| {
+            let mut rng = SmallRng::seed_from_u64(trial_seed(self.base_seed, i));
+            bond_sweep(g, &mut rng)
+        });
+        keeps
+            .iter()
+            .map(|&q| {
+                let k = ((q * m as f64).round() as usize).min(m);
+                let samples: Vec<f64> = curves
+                    .iter()
+                    .map(|c| c[k] as f64 / n.max(1) as f64)
+                    .collect();
+                Stat::from_samples(&samples)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+
+    #[test]
+    fn stat_basics() {
+        let s = Stat::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert_eq!(Stat::from_samples(&[]).mean, 0.0);
+        assert_eq!(Stat::from_samples(&[5.0]).std, 0.0);
+    }
+
+    #[test]
+    fn site_curve_monotone_in_p() {
+        let g = generators::torus(&[16, 16]);
+        let mc = MonteCarlo {
+            trials: 8,
+            threads: 2,
+            base_seed: 42,
+        };
+        let keeps = [0.2, 0.5, 0.8, 1.0];
+        let curve = mc.gamma_site_curve(&g, &keeps);
+        for w in curve.windows(2) {
+            assert!(w[0].mean <= w[1].mean + 1e-9);
+        }
+        assert!((curve[3].mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = generators::hypercube(7);
+        let keeps = [0.3, 0.6, 0.9];
+        let a = MonteCarlo { trials: 6, threads: 1, base_seed: 7 }.gamma_site_curve(&g, &keeps);
+        let b = MonteCarlo { trials: 6, threads: 4, base_seed: 7 }.gamma_site_curve(&g, &keeps);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mean, y.mean);
+            assert_eq!(x.std, y.std);
+        }
+    }
+
+    #[test]
+    fn direct_and_nz_agree_roughly() {
+        // supercritical 2-D torus: both estimators must see a giant
+        // component at keep = 0.9
+        let g = generators::torus(&[20, 20]);
+        let mc = MonteCarlo { trials: 12, threads: 2, base_seed: 3 };
+        let direct = mc.gamma_site_at(&g, 0.9);
+        let nz = mc.gamma_site_curve(&g, &[0.9])[0];
+        assert!((direct.mean - nz.mean).abs() < 0.1, "{} vs {}", direct.mean, nz.mean);
+        assert!(direct.mean > 0.7);
+    }
+
+    #[test]
+    fn bond_curve_reaches_one_on_connected_graph() {
+        let g = generators::cycle(50);
+        let mc = MonteCarlo { trials: 4, threads: 1, base_seed: 5 };
+        let c = mc.gamma_bond_curve(&g, &[0.0, 1.0]);
+        assert!((c[1].mean - 1.0).abs() < 1e-12);
+        assert!(c[0].mean < 0.1);
+    }
+}

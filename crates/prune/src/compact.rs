@@ -1,0 +1,163 @@
+//! Compactification `K_G(S)` — Lemma 3.3 of the paper.
+//!
+//! > If `S ⊂ G` is connected and `|S| < n/2` then there exists a
+//! > compact set `K_G(S)` whose edge expansion is no more than `S`'s.
+//!
+//! A set is *compact* when both it and its complement induce connected
+//! subgraphs. `Prune2` culls compactified sets so that the culled
+//! regions stay compact in `G_f` (Claim 3.5), which is what lets the
+//! random-fault analysis count them by their spanning trees.
+
+use fx_expansion::cut::Cut;
+use fx_graph::components::components;
+use fx_graph::traversal::is_connected_subset;
+use fx_graph::{CsrGraph, NodeSet};
+
+/// True if `s` is compact within `(g, alive)`: `s` and `alive \ s`
+/// both induce connected subgraphs. (Empty sides count as connected.)
+pub fn is_compact(g: &CsrGraph, alive: &NodeSet, s: &NodeSet) -> bool {
+    let mut complement = alive.clone();
+    complement.difference_with(s);
+    is_connected_subset(g, s) && is_connected_subset(g, &complement)
+}
+
+/// Computes `K_G(S)` per Lemma 3.3.
+///
+/// Requires `S` connected, nonempty and `|S| < |alive|/2`; returns a
+/// compact set whose edge expansion (within `(g, alive)`) is ≤ `S`'s.
+///
+/// Construction, following the proof:
+/// * if `alive \ S` is connected, `K = S`;
+/// * else let `C(S)` be the components of `alive \ S`:
+///   * **Case 1**: some `C` has `|C| ≥ |alive|/2` → `K = alive \ C`
+///     (contains `S`, and `Γe(K) ⊆ Γe(S)`);
+///   * **Case 2**: all components are small → some `C ∈ C(S)` has
+///     edge expansion ≤ `S`'s (the proof's averaging argument); return
+///     the best one.
+pub fn compactify(g: &CsrGraph, alive: &NodeSet, s: &NodeSet) -> NodeSet {
+    let n = alive.len();
+    assert!(!s.is_empty(), "S must be nonempty");
+    assert!(s.is_subset(alive), "S must be alive");
+    assert!(2 * s.len() < n || n <= 1, "require |S| < n/2");
+    debug_assert!(is_connected_subset(g, s), "S must be connected");
+
+    let mut complement = alive.clone();
+    complement.difference_with(s);
+    if is_connected_subset(g, &complement) {
+        return s.clone();
+    }
+
+    let comps = components(g, &complement);
+    // Case 1: a giant complement component.
+    for i in 0..comps.count() {
+        if 2 * comps.sizes[i] as usize >= n {
+            let giant = comps.members(i);
+            let mut k = alive.clone();
+            k.difference_with(&giant);
+            return k;
+        }
+    }
+    // Case 2: pick the complement component with the smallest edge
+    // expansion; the lemma guarantees one is ≤ S's.
+    let mut best: Option<(f64, usize)> = None;
+    for i in 0..comps.count() {
+        let members = comps.members(i);
+        let cut = Cut::measure(g, alive, members);
+        let ratio = cut.edge_cut as f64 / cut.size() as f64;
+        if best.map_or(true, |(b, _)| ratio < b) {
+            best = Some((ratio, i));
+        }
+    }
+    comps.members(best.expect("≥1 component").1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+
+    fn edge_ratio(g: &CsrGraph, alive: &NodeSet, s: &NodeSet) -> f64 {
+        let c = Cut::measure(g, alive, s.clone());
+        c.edge_cut as f64 / c.size() as f64
+    }
+
+    #[test]
+    fn already_compact_unchanged() {
+        let g = generators::cycle(10);
+        let alive = NodeSet::full(10);
+        let s = NodeSet::from_iter(10, [0, 1, 2]);
+        assert!(is_compact(&g, &alive, &s));
+        assert_eq!(compactify(&g, &alive, &s), s);
+    }
+
+    #[test]
+    fn giant_complement_component_case() {
+        // path 0..9; S = {4} disconnects 0-3 from 5-9.
+        // |alive\S| components: {0..3} (4 nodes), {5..9} (5 nodes ≥ 5).
+        // Case 1: K = alive \ {5..9} = {0,1,2,3,4} — compact, and its
+        // cut (1 edge) ≤ S's cut (2 edges).
+        let g = generators::path(10);
+        let alive = NodeSet::full(10);
+        let s = NodeSet::from_iter(10, [4]);
+        let k = compactify(&g, &alive, &s);
+        assert!(is_compact(&g, &alive, &k));
+        assert!(s.is_subset(&k));
+        assert!(edge_ratio(&g, &alive, &k) <= edge_ratio(&g, &alive, &s) + 1e-12);
+    }
+
+    #[test]
+    fn small_components_case() {
+        // star with long rays: center 0, three rays of length 3.
+        // S = {0} (the center) leaves three equal small components.
+        let mut b = fx_graph::GraphBuilder::new(10);
+        for r in 0..3u32 {
+            let base = 1 + 3 * r;
+            b.add_edge(0, base);
+            b.add_edge(base, base + 1);
+            b.add_edge(base + 1, base + 2);
+        }
+        let g = b.build();
+        let alive = NodeSet::full(10);
+        let s = NodeSet::from_iter(10, [0]);
+        let k = compactify(&g, &alive, &s);
+        assert!(is_compact(&g, &alive, &k));
+        // a ray has cut 1 / size 3 < center's 3/1
+        assert!(edge_ratio(&g, &alive, &k) <= edge_ratio(&g, &alive, &s) + 1e-12);
+        assert_eq!(k.len(), 3);
+    }
+
+    #[test]
+    fn lemma_holds_on_random_connected_sets() {
+        use fx_graph::traversal::bfs_ball;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let g = generators::torus(&[6, 6]);
+        let alive = NodeSet::full(36);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let seed = rng.gen_range(0..36u32);
+            let size = rng.gen_range(1..17usize);
+            let s = bfs_ball(&g, &alive, seed, size);
+            if s.is_empty() || 2 * s.len() >= 36 {
+                continue;
+            }
+            let k = compactify(&g, &alive, &s);
+            assert!(is_compact(&g, &alive, &k), "K not compact");
+            assert!(
+                edge_ratio(&g, &alive, &k) <= edge_ratio(&g, &alive, &s) + 1e-9,
+                "K expansion worse than S's"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_alive_mask() {
+        let g = generators::mesh(&[5, 5]);
+        let mut alive = NodeSet::full(25);
+        alive.remove(12); // hole in the middle
+        let s = NodeSet::from_iter(25, [0, 1]);
+        let k = compactify(&g, &alive, &s);
+        assert!(k.is_subset(&alive));
+        assert!(is_compact(&g, &alive, &k));
+    }
+}

@@ -1,0 +1,190 @@
+//! Recursive dissection — the Theorem 2.5 lower-bound process.
+//!
+//! For a graph of *uniform* expansion `α(·)`, repeatedly take the
+//! largest remaining piece, find its minimum-expansion cut `U`
+//! (`|U| ≤ |piece|/2`), and remove the separator `Γ(U)`. Stopping when
+//! every piece is `< εn`, the total number of removed nodes is
+//! `O(log(1/ε)/ε · α(n)·n)` — i.e. `ω(α(n)·n)` faults suffice to
+//! shatter any uniform-expansion graph into sublinear pieces.
+//! Experiment E3 measures the removed count against this bound.
+
+use crate::cutfinder::{find_thin_cut, CutObjective, CutStrategy};
+use fx_graph::boundary::node_boundary;
+use fx_graph::components::components;
+use fx_graph::{CsrGraph, NodeSet};
+use rand::Rng;
+
+/// Outcome of the dissection process.
+#[derive(Debug, Clone)]
+pub struct Dissection {
+    /// All removed (separator) nodes — the adversary's fault set.
+    pub removed: NodeSet,
+    /// Final pieces, each of size `< target_piece_size` (unless a
+    /// piece had no findable cut, which is recorded in `stuck`).
+    pub pieces: Vec<NodeSet>,
+    /// Pieces the cut oracle could not split further (only possible
+    /// with incomplete oracles on pathological inputs).
+    pub stuck: Vec<NodeSet>,
+    /// Number of cut-and-remove rounds performed.
+    pub rounds: usize,
+}
+
+impl Dissection {
+    /// Number of removed nodes (the fault budget the process used).
+    pub fn num_removed(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Size of the largest remaining piece.
+    pub fn largest_piece(&self) -> usize {
+        self.pieces
+            .iter()
+            .chain(self.stuck.iter())
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Dissects `(g, alive)` until every piece has fewer than
+/// `target_piece_size` nodes, removing minimum-expansion separators
+/// (`Γ(U)` of the best cut found by `strategy`).
+pub fn dissect<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    alive: &NodeSet,
+    target_piece_size: usize,
+    strategy: CutStrategy,
+    rng: &mut R,
+) -> Dissection {
+    assert!(target_piece_size >= 1);
+    let mut removed = NodeSet::empty(g.num_nodes());
+    let mut done: Vec<NodeSet> = Vec::new();
+    let mut stuck: Vec<NodeSet> = Vec::new();
+    let mut rounds = 0usize;
+
+    // worklist of pieces still too large
+    let mut work: Vec<NodeSet> = components_of(g, alive);
+    while let Some(piece) = pop_largest(&mut work) {
+        if piece.len() < target_piece_size {
+            done.push(piece);
+            continue;
+        }
+        // find the best cut in this piece regardless of threshold
+        let answer = find_thin_cut(g, &piece, CutObjective::Node, f64::INFINITY, strategy, rng);
+        let Some(cut) = answer.cut else {
+            stuck.push(piece);
+            continue;
+        };
+        rounds += 1;
+        // remove the separator Γ(U) (w.r.t. the piece)
+        let sep = node_boundary(g, &piece, &cut.side);
+        let mut rest = piece.clone();
+        rest.difference_with(&sep);
+        removed.union_with(&sep);
+        if sep.is_empty() {
+            // piece was disconnected: cut.side is a free component
+            rest.difference_with(&cut.side);
+            work.push(cut.side.clone());
+        } else {
+            rest.difference_with(&cut.side);
+            work.push(cut.side.clone());
+        }
+        // the remainder may itself be disconnected
+        for c in components_of(g, &rest) {
+            work.push(c);
+        }
+    }
+
+    Dissection {
+        removed,
+        pieces: done,
+        stuck,
+        rounds,
+    }
+}
+
+fn components_of(g: &CsrGraph, alive: &NodeSet) -> Vec<NodeSet> {
+    let comps = components(g, alive);
+    (0..comps.count()).map(|i| comps.members(i)).collect()
+}
+
+fn pop_largest(work: &mut Vec<NodeSet>) -> Option<NodeSet> {
+    if work.is_empty() {
+        return None;
+    }
+    let (idx, _) = work
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, p)| p.len())
+        .expect("nonempty");
+    Some(work.swap_remove(idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dissects_path_cheaply() {
+        // a path has α(m) = Θ(1/m): dissection into pieces < n/4
+        // needs only O(log) separators of size 1.
+        let g = generators::path(64);
+        let alive = NodeSet::full(64);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = dissect(&g, &alive, 16, CutStrategy::SpectralRefined, &mut rng);
+        assert!(d.largest_piece() < 16);
+        assert!(d.stuck.is_empty());
+        assert!(
+            d.num_removed() <= 12,
+            "path dissection used {} separators",
+            d.num_removed()
+        );
+    }
+
+    #[test]
+    fn pieces_partition_alive_minus_removed() {
+        let g = generators::mesh(&[8, 8]);
+        let alive = NodeSet::full(64);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = dissect(&g, &alive, 10, CutStrategy::SpectralRefined, &mut rng);
+        let mut seen = d.removed.clone();
+        let mut total = d.removed.len();
+        for p in d.pieces.iter().chain(d.stuck.iter()) {
+            assert!(seen.is_disjoint(p), "pieces overlap");
+            seen.union_with(p);
+            total += p.len();
+        }
+        assert_eq!(total, 64);
+        assert_eq!(seen, alive);
+    }
+
+    #[test]
+    fn respects_target_size() {
+        let g = generators::torus(&[6, 6]);
+        let alive = NodeSet::full(36);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for target in [4usize, 9, 18] {
+            let d = dissect(&g, &alive, target, CutStrategy::SpectralRefined, &mut rng);
+            assert!(d.largest_piece() < target, "target {target}");
+        }
+    }
+
+    #[test]
+    fn removal_scales_with_mesh_boundary() {
+        // 2-D mesh: α(n) ≈ 1/√n, so dissection into quarters should
+        // cost O(√n·polylog) nodes — sanity: far fewer than n/2.
+        let g = generators::mesh(&[16, 16]);
+        let alive = NodeSet::full(256);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = dissect(&g, &alive, 64, CutStrategy::SpectralRefined, &mut rng);
+        assert!(d.largest_piece() < 64);
+        assert!(
+            d.num_removed() < 100,
+            "mesh dissection too expensive: {}",
+            d.num_removed()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # fx-prune — the paper's core algorithms
+//!
+//! Constructive realizations of the two pruning algorithms of
+//! *"The Effect of Faults on Network Expansion"* (Bagchi et al.,
+//! SPAA'04) plus the quantitative statements around them:
+//!
+//! * [`prune`](prune::prune) — Fig. 1 / Theorem 2.1 (adversarial
+//!   faults, node expansion);
+//! * [`prune2`](prune2::prune2) — Fig. 2 / Theorem 3.4 (random
+//!   faults, edge expansion) with Lemma 3.3 compactification
+//!   ([`compact`]);
+//! * [`dissect`](dissect::dissect) — the Theorem 2.5 lower-bound
+//!   process (recursive separator removal);
+//! * [`cutfinder`] — the pluggable cut oracle (exact / spectral /
+//!   greedy) that makes the paper's existential "while ∃S" loops
+//!   runnable;
+//! * [`bounds`] — closed-form calculators for Claims 2.4/3.2 and
+//!   Theorems 2.3/2.5/3.1.
+//!
+//! ```
+//! use fx_prune::{prune, CutStrategy, theorem21};
+//! use fx_graph::{generators, NodeSet};
+//! use rand::SeedableRng;
+//!
+//! let g = generators::hypercube(4);
+//! let mut alive = NodeSet::full(16);
+//! alive.remove(3); // a fault
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let out = prune(&g, &alive, 0.5, 0.5, CutStrategy::Auto, &mut rng);
+//! assert!(out.kept.len() >= 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod compact;
+pub mod cutfinder;
+pub mod dissect;
+pub mod prune;
+pub mod prune2;
+
+pub use compact::{compactify, is_compact};
+pub use cutfinder::{find_thin_cut, CutObjective, CutStrategy, OracleAnswer};
+pub use dissect::{dissect, Dissection};
+pub use prune::{prune, theorem21, PruneOutcome, Theorem21};
+pub use prune2::{
+    prune2, theorem34_applicable, theorem34_max_epsilon, theorem34_max_p, theorem34_min_alpha_e,
+};

@@ -1,0 +1,236 @@
+//! `Prune(ε)` — Figure 1 of the paper, plus the Theorem 2.1 guarantee
+//! calculator.
+//!
+//! ```text
+//! Algorithm Prune(ε)
+//! 1: G₀ ← G_f ; i ← 0
+//! 2: while ∃ Sᵢ ⊆ Gᵢ with |Γ(Sᵢ)| ≤ α·ε·|Sᵢ| and |Sᵢ| ≤ |Gᵢ|/2
+//! 3:     Gᵢ₊₁ ← Gᵢ \ Sᵢ
+//! 4:     i ← i+1
+//! 5: end while
+//! 6: H ← Gᵢ
+//! ```
+//!
+//! Theorem 2.1: with `f` adversarial faults, `k ≥ 2`, `k·f/α ≤ n/4`,
+//! `Prune(1−1/k)` leaves `|H| ≥ n − k·f/α` with node expansion
+//! `≥ (1−1/k)·α`.
+
+use crate::cutfinder::{find_thin_cut, CutObjective, CutStrategy};
+use fx_expansion::cut::Cut;
+use fx_graph::{CsrGraph, NodeSet};
+use rand::Rng;
+
+/// Result of running `Prune`/`Prune2`.
+#[derive(Debug, Clone)]
+pub struct PruneOutcome {
+    /// The surviving subnetwork `H` (alive mask over the original
+    /// graph).
+    pub kept: NodeSet,
+    /// Every culled region, in cull order, with its witnessed
+    /// boundary — so each loop iteration is independently checkable.
+    pub culled: Vec<Cut>,
+    /// Number of cull iterations (`m` in the paper's notation).
+    pub iterations: usize,
+    /// True if the final "no qualifying cut" answer came from a
+    /// complete (exact) oracle — then `H`'s expansion really is
+    /// `> α·ε` and the Theorem 2.1 postcondition is *certified*, not
+    /// just heuristic.
+    pub certified: bool,
+}
+
+impl PruneOutcome {
+    /// Total number of culled nodes.
+    pub fn culled_nodes(&self) -> usize {
+        self.culled.iter().map(|c| c.size()).sum()
+    }
+}
+
+/// Runs `Prune(ε)` on the faulty graph `(g, alive)` against the
+/// fault-free expansion `alpha`.
+///
+/// `strategy` selects the cut oracle (see
+/// [`CutStrategy`]); `Auto` certifies small graphs exactly and uses
+/// spectral sweeps at scale. The loop always terminates: every cull
+/// removes ≥ 1 node.
+pub fn prune<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    alive: &NodeSet,
+    alpha: f64,
+    epsilon: f64,
+    strategy: CutStrategy,
+    rng: &mut R,
+) -> PruneOutcome {
+    assert!(alpha >= 0.0, "expansion must be nonnegative");
+    assert!((0.0..=1.0).contains(&epsilon), "ε must be in [0,1]");
+    let threshold = alpha * epsilon;
+    let mut current = alive.clone();
+    let mut culled = Vec::new();
+    #[allow(unused_assignments)]
+    let mut certified = false;
+    loop {
+        if current.is_empty() {
+            certified = true;
+            break;
+        }
+        let answer = find_thin_cut(g, &current, CutObjective::Node, threshold, strategy, rng);
+        match answer.cut {
+            Some(cut) => {
+                debug_assert!(
+                    cut.node_ratio() <= threshold + 1e-9,
+                    "oracle returned non-qualifying cut"
+                );
+                debug_assert!(2 * cut.size() <= current.len());
+                current.difference_with(&cut.side);
+                culled.push(cut);
+            }
+            None => {
+                certified = answer.complete;
+                break;
+            }
+        }
+    }
+    PruneOutcome {
+        kept: current,
+        iterations: culled.len(),
+        culled,
+        certified,
+    }
+}
+
+/// The Theorem 2.1 guarantee for given parameters, if its
+/// preconditions hold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Theorem21 {
+    /// Guaranteed minimum size of `H`: `n − k·f/α`.
+    pub min_kept: f64,
+    /// Guaranteed expansion of `H`: `(1−1/k)·α`.
+    pub min_expansion: f64,
+    /// The `ε` to run `Prune` with: `1 − 1/k`.
+    pub epsilon: f64,
+}
+
+/// Evaluates Theorem 2.1's guarantee; `None` when the preconditions
+/// (`k ≥ 2`, `k·f/α ≤ n/4`) fail.
+pub fn theorem21(n: usize, alpha: f64, f: usize, k: f64) -> Option<Theorem21> {
+    if k < 2.0 || alpha <= 0.0 {
+        return None;
+    }
+    let kf_over_alpha = k * f as f64 / alpha;
+    if kf_over_alpha > n as f64 / 4.0 {
+        return None;
+    }
+    Some(Theorem21 {
+        min_kept: n as f64 - kf_over_alpha,
+        min_expansion: (1.0 - 1.0 / k) * alpha,
+        epsilon: 1.0 - 1.0 / k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_expansion::exact::exact_node_expansion;
+    use fx_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_faults_prunes_nothing() {
+        // C_12 has α = 1/3; with ε = 1/2 the threshold is 1/6 < 1/3,
+        // so the fault-free cycle must survive intact (certified).
+        let g = generators::cycle(12);
+        let alive = NodeSet::full(12);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = prune(&g, &alive, 1.0 / 3.0, 0.5, CutStrategy::Exact, &mut rng);
+        assert_eq!(out.kept.len(), 12);
+        assert_eq!(out.iterations, 0);
+        assert!(out.certified);
+    }
+
+    #[test]
+    fn culls_dangling_fragment() {
+        // K_8 with a pendant path of 4: the path has tiny expansion
+        // and must be culled when pruning against K_8-like α.
+        let mut b = fx_graph::GraphBuilder::new(12);
+        for i in 0..8u32 {
+            for j in (i + 1)..8 {
+                b.add_edge(i, j);
+            }
+        }
+        b.add_edge(7, 8).add_edge(8, 9).add_edge(9, 10).add_edge(10, 11);
+        let g = b.build();
+        let alive = NodeSet::full(12);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = prune(&g, &alive, 1.0, 0.5, CutStrategy::Exact, &mut rng);
+        assert!(out.certified);
+        // the pendant path (boundary 1, size up to 4 → ratio 0.25)
+        // must be gone; the clique survives.
+        assert!(out.kept.len() >= 8);
+        for v in 0..8u32 {
+            assert!(out.kept.contains(v), "clique node {v} culled");
+        }
+        assert!(!out.kept.contains(11));
+        // post-condition: certified H has node expansion > α·ε
+        let (a, _) = exact_node_expansion(&g, &out.kept).unwrap();
+        assert!(a > 0.5, "H expansion {a}");
+    }
+
+    #[test]
+    fn theorem21_postcondition_holds_with_adversary() {
+        // Hypercube Q_4: α known ≥ ... use measured exact α of Q_4.
+        let g = generators::hypercube(4);
+        let full = NodeSet::full(16);
+        let (alpha, _) = exact_node_expansion(&g, &full).unwrap();
+        // adversary: kill 1 node (budget must satisfy k·f/α ≤ n/4;
+        // Q_4's Harper sets push α below 1, so f=2 would violate it)
+        let mut alive = full.clone();
+        alive.remove(0);
+        let f = 1;
+        let k = 2.0;
+        if let Some(t) = theorem21(16, alpha, f, k) {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let out = prune(&g, &alive, alpha, t.epsilon, CutStrategy::Exact, &mut rng);
+            assert!(out.certified);
+            assert!(
+                out.kept.len() as f64 >= t.min_kept - 1e-9,
+                "kept {} < guaranteed {}",
+                out.kept.len(),
+                t.min_kept
+            );
+            if out.kept.len() >= 2 {
+                let (a, _) = exact_node_expansion(&g, &out.kept).unwrap();
+                assert!(a >= t.min_expansion - 1e-9, "α(H)={a} < {}", t.min_expansion);
+            }
+        } else {
+            panic!("preconditions should hold for this tiny case");
+        }
+    }
+
+    #[test]
+    fn theorem21_preconditions() {
+        assert!(theorem21(100, 0.5, 1, 2.0).is_some());
+        assert!(theorem21(100, 0.5, 1, 1.5).is_none()); // k < 2
+        assert!(theorem21(100, 0.5, 50, 2.0).is_none()); // kf/α > n/4
+        assert!(theorem21(100, 0.0, 1, 2.0).is_none()); // α = 0
+    }
+
+    #[test]
+    fn prune_terminates_on_disconnected_mess() {
+        // many components: prune with a huge threshold culls down to
+        // at most half repeatedly and terminates.
+        let mut b = fx_graph::GraphBuilder::new(20);
+        for i in 0..10u32 {
+            b.add_edge(2 * i, 2 * i + 1);
+        }
+        let g = b.build();
+        let alive = NodeSet::full(20);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let out = prune(&g, &alive, 1.0, 1.0, CutStrategy::Auto, &mut rng);
+        // everything has expansion ≤ 1·1 here except possibly the last
+        // surviving pair; the loop must terminate with a small kept set
+        assert!(out.kept.len() <= 2);
+        for c in &out.culled {
+            assert!(c.verify(&g, &NodeSet::full(20)) || c.size() > 0);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Compact-set machinery: enumeration and random sampling.
+//!
+//! A set `U` is *compact* when both `U` and `V \ U` induce connected
+//! subgraphs (paper §1.4). The span maximizes over compact sets, so we
+//! need to (a) enumerate them exhaustively on small graphs and
+//! (b) sample them on large ones.
+//!
+//! Enumeration uses the classic include/exclude recursion over
+//! connected induced subgraphs (each connected set containing its
+//! minimum vertex is generated exactly once), filtered by complement
+//! connectivity.
+
+use fx_graph::traversal::is_connected_subset;
+use fx_graph::{CsrGraph, NodeId, NodeSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// True if `u` is compact in the (fully alive) graph: `u` and its
+/// complement both connected and both nonempty.
+pub fn is_compact_set(g: &CsrGraph, u: &NodeSet) -> bool {
+    if u.is_empty() || u.len() == g.num_nodes() {
+        return false;
+    }
+    let complement = u.complement();
+    is_connected_subset(g, u) && is_connected_subset(g, &complement)
+}
+
+/// Enumerates *connected* subsets of `g` (the fully alive graph),
+/// invoking `visit` for each; returns the number visited, or `None`
+/// if `cap` was exceeded (enumeration aborted).
+///
+/// `visit` returning `false` also aborts (with `Some(count)`).
+pub fn for_each_connected_subset<F: FnMut(&NodeSet) -> bool>(
+    g: &CsrGraph,
+    cap: usize,
+    mut visit: F,
+) -> Option<usize> {
+    let n = g.num_nodes();
+    let mut count = 0usize;
+    let mut set = NodeSet::empty(n);
+    let mut aborted = false;
+    let mut capped = false;
+
+    // Recursion with explicit helper: extends `set` (which contains
+    // root as its minimum element) using candidate list `ext`;
+    // `banned` marks nodes permanently excluded on this path.
+    fn recurse<F: FnMut(&NodeSet) -> bool>(
+        g: &CsrGraph,
+        root: NodeId,
+        set: &mut NodeSet,
+        ext: &[NodeId],
+        banned: &mut NodeSet,
+        count: &mut usize,
+        cap: usize,
+        visit: &mut F,
+        aborted: &mut bool,
+        capped: &mut bool,
+    ) {
+        if *aborted || *capped {
+            return;
+        }
+        *count += 1;
+        if *count > cap {
+            *capped = true;
+            return;
+        }
+        if !visit(set) {
+            *aborted = true;
+            return;
+        }
+        // Branch on each extension candidate in turn: include it
+        // (recursing with an extended candidate list), then ban it.
+        let mut newly_banned: Vec<NodeId> = Vec::new();
+        for (i, &u) in ext.iter().enumerate() {
+            if banned.contains(u) {
+                continue;
+            }
+            // include u
+            set.insert(u);
+            let mut next_ext: Vec<NodeId> = ext[i + 1..]
+                .iter()
+                .copied()
+                .filter(|&w| !banned.contains(w))
+                .collect();
+            for &w in g.neighbors(u) {
+                if w > root && !set.contains(w) && !banned.contains(w) && !next_ext.contains(&w) {
+                    next_ext.push(w);
+                }
+            }
+            recurse(g, root, set, &next_ext, banned, count, cap, visit, aborted, capped);
+            set.remove(u);
+            if *aborted || *capped {
+                break;
+            }
+            // exclude u for the remaining branches
+            banned.insert(u);
+            newly_banned.push(u);
+        }
+        for u in newly_banned {
+            banned.remove(u);
+        }
+    }
+
+    for root in 0..n as NodeId {
+        if aborted || capped {
+            break;
+        }
+        set.clear();
+        set.insert(root);
+        let mut banned = NodeSet::empty(n);
+        let ext: Vec<NodeId> = g.neighbors(root).iter().copied().filter(|&w| w > root).collect();
+        recurse(
+            g, root, &mut set, &ext, &mut banned, &mut count, cap, &mut visit, &mut aborted,
+            &mut capped,
+        );
+        set.remove(root);
+    }
+    if capped {
+        None
+    } else {
+        Some(count)
+    }
+}
+
+/// Enumerates *compact* sets, calling `visit` for each. Returns
+/// `(compact_count, exhaustive)` — `exhaustive` is false when the
+/// connected-subset cap was hit.
+pub fn for_each_compact_set<F: FnMut(&NodeSet) -> bool>(
+    g: &CsrGraph,
+    cap: usize,
+    mut visit: F,
+) -> (usize, bool) {
+    let mut compact = 0usize;
+    let full = for_each_connected_subset(g, cap, |s| {
+        if s.len() < g.num_nodes() {
+            let complement = s.complement();
+            if is_connected_subset(g, &complement) {
+                compact += 1;
+                return visit(s);
+            }
+        }
+        true
+    });
+    (compact, full.is_some())
+}
+
+/// Draws a random compact set by randomized connected growth from a
+/// random seed, rejecting samples whose complement is disconnected.
+/// Returns `None` after `max_attempts` rejections (e.g. disconnected
+/// graphs).
+pub fn random_compact_set<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    max_size: usize,
+    max_attempts: usize,
+    rng: &mut R,
+) -> Option<NodeSet> {
+    let n = g.num_nodes();
+    if n < 2 || max_size == 0 {
+        return None;
+    }
+    for _ in 0..max_attempts {
+        let target = rng.gen_range(1..=max_size.min(n - 1));
+        let seed = rng.gen_range(0..n as NodeId);
+        let mut set = NodeSet::empty(n);
+        set.insert(seed);
+        let mut frontier: Vec<NodeId> = g
+            .neighbors(seed)
+            .iter()
+            .copied()
+            .collect();
+        while set.len() < target && !frontier.is_empty() {
+            let idx = rng.gen_range(0..frontier.len());
+            let v = frontier.swap_remove(idx);
+            if set.contains(v) {
+                continue;
+            }
+            set.insert(v);
+            for &w in g.neighbors(v) {
+                if !set.contains(w) {
+                    frontier.push(w);
+                }
+            }
+        }
+        if is_compact_set(g, &set) {
+            return Some(set);
+        }
+        // second chance: sometimes the *complement* is the compact set
+        let comp = set.complement();
+        if comp.len() <= max_size && is_compact_set(g, &comp) && rng.gen_bool(0.5) {
+            return Some(comp);
+        }
+    }
+    None
+}
+
+/// Random spanning-tree-based compact sampler: picks a uniformly
+/// random edge ordering, grows the set along a random BFS tree —
+/// an alternative shape distribution used by the span sampler to
+/// diversify (elongated vs. blobby sets).
+pub fn random_compact_path<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    max_len: usize,
+    max_attempts: usize,
+    rng: &mut R,
+) -> Option<NodeSet> {
+    let n = g.num_nodes();
+    if n < 2 || max_len == 0 {
+        return None;
+    }
+    for _ in 0..max_attempts {
+        let target = rng.gen_range(1..=max_len.min(n - 1));
+        let mut v = rng.gen_range(0..n as NodeId);
+        let mut set = NodeSet::empty(n);
+        set.insert(v);
+        // random non-backtracking-ish walk
+        for _ in 1..target {
+            let nbs: Vec<NodeId> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| !set.contains(w))
+                .collect();
+            let Some(&next) = nbs.choose(rng) else { break };
+            set.insert(next);
+            v = next;
+        }
+        if is_compact_set(g, &set) {
+            return Some(set);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn connected_subset_count_path() {
+        // P_n has n(n+1)/2 connected subsets (contiguous intervals)
+        let g = generators::path(6);
+        let got = for_each_connected_subset(&g, 1_000_000, |_| true).unwrap();
+        assert_eq!(got, 6 * 7 / 2);
+    }
+
+    #[test]
+    fn connected_subset_count_cycle() {
+        // C_n: n·(n-1) proper arcs + 1 full set
+        let g = generators::cycle(6);
+        let got = for_each_connected_subset(&g, 1_000_000, |_| true).unwrap();
+        assert_eq!(got, 6 * 5 + 1);
+    }
+
+    #[test]
+    fn connected_subset_count_complete() {
+        // K_n: every nonempty subset is connected: 2^n - 1
+        let g = generators::complete(5);
+        let got = for_each_connected_subset(&g, 1_000_000, |_| true).unwrap();
+        assert_eq!(got, 31);
+    }
+
+    #[test]
+    fn all_enumerated_sets_are_connected_and_unique() {
+        let g = generators::mesh(&[3, 3]);
+        let mut seen = std::collections::HashSet::new();
+        for_each_connected_subset(&g, 1_000_000, |s| {
+            assert!(is_connected_subset(&g, s));
+            assert!(seen.insert(s.to_vec()), "duplicate {:?}", s.to_vec());
+            true
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn compact_count_cycle() {
+        // C_n compact sets: proper arcs (complement is an arc too):
+        // n(n-1) of them.
+        let g = generators::cycle(6);
+        let (compact, exhaustive) = for_each_compact_set(&g, 1_000_000, |_| true);
+        assert!(exhaustive);
+        assert_eq!(compact, 30);
+    }
+
+    #[test]
+    fn cap_aborts_enumeration() {
+        let g = generators::complete(12);
+        let res = for_each_connected_subset(&g, 100, |_| true);
+        assert!(res.is_none());
+        let (c, exhaustive) = for_each_compact_set(&g, 100, |_| true);
+        assert!(!exhaustive);
+        assert!(c <= 100);
+    }
+
+    #[test]
+    fn random_compact_sets_are_compact() {
+        let g = generators::torus(&[5, 5]);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let s = random_compact_set(&g, 12, 100, &mut rng).expect("sample");
+            assert!(is_compact_set(&g, &s));
+        }
+        for _ in 0..30 {
+            if let Some(s) = random_compact_path(&g, 12, 100, &mut rng) {
+                assert!(is_compact_set(&g, &s));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let g = generators::path(1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(random_compact_set(&g, 3, 10, &mut rng).is_none());
+        let (c, _) = for_each_compact_set(&g, 100, |_| true);
+        assert_eq!(c, 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! # fault-expansion
+//!
+//! A Rust reproduction of **"The Effect of Faults on Network
+//! Expansion"** (Bagchi, Bhargava, Chaudhary, Eppstein, Scheideler —
+//! SPAA 2004): how many node faults can a network sustain and still
+//! contain a linear-size subnetwork with (almost) its original
+//! expansion?
+//!
+//! The workspace provides, all built from scratch:
+//!
+//! * **`graph`** — CSR graphs, bitset masks, and every topology the
+//!   paper quantifies over (meshes/tori, hypercubes, butterflies,
+//!   de Bruijn, shuffle-exchange, Margulis and random-regular
+//!   expanders, chain subdivisions), plus Steiner-tree and parallel
+//!   machinery;
+//! * **`expansion`** — sparse-cut oracles: exact enumeration, a
+//!   from-scratch Lanczos/Fiedler solver, Cheeger sweeps, local
+//!   refinement, and two-sided expansion certificates;
+//! * **`faults`** — random and adversarial fault models;
+//! * **`prune`** — the paper's `Prune` (Thm 2.1) and `Prune2`
+//!   (Thm 3.4) algorithms with Lemma 3.3 compactification, the
+//!   Theorem 2.5 dissection process, and all closed-form bounds;
+//! * **`span`** — the span parameter `σ`, exact and sampled, with the
+//!   constructive Theorem 3.6 proof that d-dimensional meshes have
+//!   span ≤ 2;
+//! * **`percolation`** — Newman–Ziff Monte-Carlo and critical
+//!   probability estimation (the §1.1 survey table);
+//! * **`core`** — one-call resilience analyses with theorem-annotated
+//!   reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fault_expansion::prelude::*;
+//!
+//! // Build a 16×16 torus, let an adversary kill 8 nodes, and ask for
+//! // the guaranteed well-expanding core.
+//! let net = Family::Torus { dims: vec![16, 16] }.build(0);
+//! let report = analyze_adversarial(
+//!     &net,
+//!     &SparseCutAdversary { budget: 8 },
+//!     2.0,
+//!     &AnalyzerConfig::default(),
+//! );
+//! assert!(report.kept > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use fx_core as core;
+pub use fx_expansion as expansion;
+pub use fx_faults as faults;
+pub use fx_graph as graph;
+pub use fx_overlay as overlay;
+pub use fx_percolation as percolation;
+pub use fx_prune as prune;
+pub use fx_span as span;
+
+/// Everything a typical user needs, one `use` away.
+pub mod prelude {
+    pub use fx_core::{
+        analyze_adversarial, analyze_random, subdivided_expander, theory_table, AnalyzerConfig,
+        Family, Network, MESH_SPAN,
+    };
+    pub use fx_expansion::{
+        edge_expansion_bounds, node_expansion_bounds, spectral_sweep, Cut, Effort, EigenMethod,
+    };
+    pub use fx_faults::{
+        apply_faults, BestOfAdversary, ChainCenterAdversary, DegreeAdversary, ExactRandomFaults,
+        FaultModel, HyperplaneAdversary, RandomNodeFaults, SparseCutAdversary,
+    };
+    pub use fx_graph::{generators, CsrGraph, GraphBuilder, NodeId, NodeSet, SubView};
+    pub use fx_overlay::Overlay;
+    pub use fx_percolation::{estimate_critical, Mode, MonteCarlo};
+    pub use fx_prune::{
+        dissect, prune, prune2, theorem21, CutObjective, CutStrategy, PruneOutcome,
+    };
+    pub use fx_span::{exact_span, mesh_span_ratio, sampled_span, SpanEstimate};
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration: the §3 random-fault pipeline (percolation
+//! + Prune2 + span predictions).
+
+use fault_expansion::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The central §3 contrast (Theorem 3.1 vs Theorem 3.4/3.6): a torus
+/// and a subdivided expander with comparable expansion behave
+/// completely differently under the same random fault rate.
+#[test]
+fn expansion_does_not_predict_random_fault_resilience() {
+    let mc = MonteCarlo {
+        trials: 10,
+        threads: 2,
+        base_seed: 31,
+    };
+    // torus: ~1.6k nodes, α ~ 1/40; subdivided: k=16 chains on a
+    // 4-regular expander → α ~ 1/16 (comparable order).
+    let torus = Family::Torus { dims: vec![40, 40] }.build(0);
+    let (sub_net, _) = subdivided_expander(100, 4, 16, 7);
+
+    let keep = 0.85; // fault probability 0.15
+    let torus_gamma = mc.gamma_site_curve(&torus.graph, &[keep])[0].mean;
+    let sub_gamma = mc.gamma_site_curve(&sub_net.graph, &[keep])[0].mean;
+    assert!(
+        torus_gamma > 0.7,
+        "torus should keep a giant component at p=0.15: γ = {torus_gamma}"
+    );
+    assert!(
+        sub_gamma < torus_gamma - 0.2,
+        "subdivided expander should disintegrate much earlier: γ_sub = {sub_gamma}, γ_torus = {torus_gamma}"
+    );
+}
+
+/// Theorem 3.1 quantitatively: the disintegration point of the
+/// subdivided family scales like Θ(1/k).
+#[test]
+fn subdivided_tolerance_scales_inversely_with_k() {
+    let mc = MonteCarlo {
+        trials: 12,
+        threads: 2,
+        base_seed: 17,
+    };
+    let mut tolerance = Vec::new();
+    for k in [2usize, 8] {
+        let (net, _) = subdivided_expander(80, 4, k, 3);
+        let est = estimate_critical(&net.graph, Mode::Site, &mc, 0.1, 30);
+        tolerance.push(1.0 - est.p_star); // fault tolerance
+    }
+    assert!(
+        tolerance[0] > 1.8 * tolerance[1],
+        "k=2 tolerance {} should far exceed k=8 tolerance {}",
+        tolerance[0],
+        tolerance[1]
+    );
+}
+
+/// Prune2 under light random faults on a torus: keeps ≥ n/2 with
+/// positive expansion in (almost) every trial — the Theorem 3.4
+/// success event at fault rates far above the worst-case bound.
+#[test]
+fn prune2_succeeds_on_torus_at_light_p() {
+    let net = Family::Torus { dims: vec![12, 12] }.build(0);
+    let cfg = AnalyzerConfig {
+        seed: 23,
+        threads: 2,
+        ..Default::default()
+    };
+    let r = analyze_random(&net, 0.02, 0.125, MESH_SPAN, 10, &cfg);
+    assert!(r.success_rate >= 0.9, "success rate {}", r.success_rate);
+    assert!(r.mean_kept_fraction > 0.8);
+    assert!(r.mean_alpha_e_after > 0.0);
+    // the worst-case theorem bound is far smaller than 0.02 — report
+    // must mark it inapplicable rather than silently extrapolate
+    assert!(!r.theorem34_applicable);
+    assert!(r.theorem34_max_p < 0.02);
+}
+
+/// §1.1 survey sanity: K_n's bond-percolation threshold is near
+/// 1/(n−1) while the 2-D torus' is near 1/2 — two points from the
+/// paper's table reproduced in one test.
+#[test]
+fn survey_thresholds_two_points() {
+    let mc = MonteCarlo {
+        trials: 12,
+        threads: 2,
+        base_seed: 19,
+    };
+    let kn = Family::Complete { n: 100 }.build(0);
+    let kn_est = estimate_critical(&kn.graph, Mode::Bond, &mc, 0.1, 100);
+    assert!(
+        kn_est.p_star < 0.06,
+        "K_100 threshold ≈ 1/99, got {}",
+        kn_est.p_star
+    );
+
+    let torus = Family::Torus { dims: vec![24, 24] }.build(0);
+    let torus_est = estimate_critical(&torus.graph, Mode::Bond, &mc, 0.1, 20);
+    assert!(
+        (torus_est.p_star - 0.5).abs() < 0.15,
+        "2-D bond threshold ≈ 1/2 (Kesten), got {}",
+        torus_est.p_star
+    );
+}
+
+/// Monte-Carlo determinism across thread counts (the A3 property the
+/// whole experiment suite relies on).
+#[test]
+fn random_pipeline_thread_count_invariance() {
+    let net = Family::Hypercube { d: 6 }.build(0);
+    let base = AnalyzerConfig {
+        seed: 77,
+        threads: 1,
+        ..Default::default()
+    };
+    let par = AnalyzerConfig {
+        threads: 4,
+        ..base
+    };
+    let a = analyze_random(&net, 0.08, 0.1, 2.0, 8, &base);
+    let b = analyze_random(&net, 0.08, 0.1, 2.0, 8, &par);
+    assert_eq!(a.mean_gamma, b.mean_gamma);
+    assert_eq!(a.mean_kept_fraction, b.mean_kept_fraction);
+    assert_eq!(a.success_rate, b.success_rate);
+}
+
+/// Edge faults: the hypercube keeps a giant component at constant
+/// edge-survival rates (Hastad–Leighton–Newman regime).
+#[test]
+fn hypercube_edge_faults_giant_component() {
+    let g = fault_expansion::graph::generators::hypercube(9);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let kept = fault_expansion::faults::random_edge_faults(&g, 0.7, &mut rng);
+    let gamma = fault_expansion::percolation::gamma_bond(&kept);
+    assert!(gamma > 0.8, "Q_9 at keep 0.7: γ = {gamma}");
+}

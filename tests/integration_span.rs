@@ -1,0 +1,131 @@
+//! Cross-crate integration: the span machinery (§3.3) against the
+//! mesh theorems and the §4 conjectures.
+
+use fault_expansion::prelude::*;
+use fault_expansion::span::mesh::boundary_virtually_connected;
+use fault_expansion::span::span::set_span;
+use fx_graph::generators::MeshShape;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Theorem 3.6 exhaustively on small 2-D meshes: every compact set's
+/// constructive ratio < 2 AND the true Steiner ratio ≤ the
+/// constructive one.
+#[test]
+fn mesh_span_constructive_vs_exact_exhaustive() {
+    let dims = [3usize, 4];
+    let shape = MeshShape::new(&dims);
+    let g = fault_expansion::graph::generators::mesh(&dims);
+    let mut checked = 0usize;
+    fault_expansion::span::compact_sets::for_each_compact_set(&g, 10_000_000, |u| {
+        let constructive = mesh_span_ratio(&shape, &g, u).expect("nonempty boundary");
+        assert!(constructive < 2.0, "constructive ratio {constructive} ≥ 2");
+        let exact = set_span(&g, u).expect("measurable");
+        assert!(exact.exact, "small boundaries must use Dreyfus–Wagner");
+        assert!(
+            exact.ratio() <= constructive + 1e-9,
+            "exact {} > constructive {}",
+            exact.ratio(),
+            constructive
+        );
+        checked += 1;
+        true
+    });
+    assert!(checked > 100, "only {checked} compact sets checked");
+}
+
+/// Lemma 3.7 on random compact sets in 2-D, 3-D and 4-D meshes.
+#[test]
+fn lemma37_boundary_connectivity_up_to_4d() {
+    let cases: Vec<Vec<usize>> = vec![vec![8, 8], vec![4, 4, 4], vec![3, 3, 3, 3]];
+    let mut rng = SmallRng::seed_from_u64(21);
+    for dims in cases {
+        let shape = MeshShape::new(&dims);
+        let g = fault_expansion::graph::generators::mesh(&dims);
+        for _ in 0..20 {
+            let Some(u) =
+                fault_expansion::span::random_compact_set(&g, g.num_nodes() / 3, 300, &mut rng)
+            else {
+                continue;
+            };
+            assert!(
+                boundary_virtually_connected(&shape, &g, &u),
+                "Lemma 3.7 violated in {dims:?}"
+            );
+            let ratio = mesh_span_ratio(&shape, &g, &u).expect("ratio");
+            assert!(ratio < 2.0, "{dims:?}: ratio {ratio}");
+        }
+    }
+}
+
+/// §4 conjecture probe: sampled span lower bounds of butterfly,
+/// de Bruijn and shuffle-exchange stay small (consistent with O(1))
+/// and — crucially — do not grow with n in this range.
+#[test]
+fn conjecture_families_span_stays_small() {
+    let mut rng = SmallRng::seed_from_u64(33);
+    for d in [4usize, 6] {
+        for (name, g) in [
+            ("butterfly", fault_expansion::graph::generators::butterfly(d)),
+            ("de-bruijn", fault_expansion::graph::generators::de_bruijn(d + 3)),
+            (
+                "shuffle-exchange",
+                fault_expansion::graph::generators::shuffle_exchange(d + 3),
+            ),
+        ] {
+            let est = sampled_span(&g, 60, g.num_nodes() / 4, &mut rng);
+            assert!(
+                est.max_ratio < 8.0,
+                "{name}(d={d}) sampled span ratio {} suspiciously large",
+                est.max_ratio
+            );
+        }
+    }
+}
+
+/// Exact span of tiny meshes is monotone-ish in elongation and always
+/// within (1, 2]: a regression anchor for the span pipeline.
+#[test]
+fn exact_span_small_meshes_in_range() {
+    for dims in [[2usize, 4], [3, 3], [2, 6]] {
+        let g = fault_expansion::graph::generators::mesh(&dims);
+        let est = exact_span(&g, 10_000_000);
+        assert!(est.exhaustive, "{dims:?}");
+        assert!(
+            est.max_ratio > 1.0 && est.max_ratio <= 2.0,
+            "mesh{dims:?} span {}",
+            est.max_ratio
+        );
+    }
+}
+
+/// The span-based Theorem 3.4 p-bound orders topologies the same way
+/// their measured critical probabilities do (rank correlation on two
+/// contrasting families).
+#[test]
+fn span_bound_ranks_match_measured_thresholds() {
+    let mc = MonteCarlo {
+        trials: 8,
+        threads: 2,
+        base_seed: 3,
+    };
+    // torus (σ = 2) vs subdivided expander with long chains (σ grows
+    // with k: boundary 2 nodes, P(U) spans a whole chain)
+    let torus = Family::Torus { dims: vec![20, 20] }.build(0);
+    let (sub, _) = subdivided_expander(60, 4, 12, 9);
+    let mut rng = SmallRng::seed_from_u64(41);
+    let sigma_torus = sampled_span(&torus.graph, 40, 80, &mut rng).max_ratio;
+    let sigma_sub = sampled_span(&sub.graph, 40, 80, &mut rng).max_ratio;
+    assert!(
+        sigma_sub > sigma_torus,
+        "subdivided span lower bound {sigma_sub} should exceed torus' {sigma_torus}"
+    );
+    let t_torus = estimate_critical(&torus.graph, Mode::Site, &mc, 0.1, 20);
+    let t_sub = estimate_critical(&sub.graph, Mode::Site, &mc, 0.1, 20);
+    assert!(
+        t_sub.p_star > t_torus.p_star,
+        "higher span ⇒ higher critical probability: {} vs {}",
+        t_sub.p_star,
+        t_torus.p_star
+    );
+}

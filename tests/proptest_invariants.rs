@@ -1,0 +1,242 @@
+//! Property-based invariants across the workspace (proptest).
+//!
+//! Each property pins a contract the theorems rely on: set algebra,
+//! component/union-find agreement, Steiner approximation factors,
+//! Lemma 3.3 compactification, prune postconditions, and sweep
+//! monotonicity.
+
+use fault_expansion::prelude::*;
+use fx_expansion::cut::Cut;
+use fx_graph::boundary::{edge_cut_size, node_boundary};
+use fx_graph::components::components;
+use fx_graph::traversal::{bfs_ball, is_connected_subset};
+use fx_graph::tree::{dreyfus_wagner_cost, mehlhorn_steiner};
+use fx_graph::unionfind::UnionFind;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy: a random small graph as (n, edge list).
+fn small_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (3usize..16).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges.min(40)),
+        )
+    })
+}
+
+fn build(n: usize, pairs: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in pairs {
+        b.add_edge_skip_loop(u, v);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NodeSet algebra agrees with a HashSet model.
+    #[test]
+    fn bitset_matches_model(
+        n in 1usize..200,
+        a in proptest::collection::vec(0usize..200, 0..64),
+        b in proptest::collection::vec(0usize..200, 0..64),
+    ) {
+        use std::collections::BTreeSet;
+        let am: BTreeSet<u32> = a.iter().filter(|&&x| x < n).map(|&x| x as u32).collect();
+        let bm: BTreeSet<u32> = b.iter().filter(|&&x| x < n).map(|&x| x as u32).collect();
+        let aset = NodeSet::from_iter(n, am.iter().copied());
+        let bset = NodeSet::from_iter(n, bm.iter().copied());
+
+        let mut u = aset.clone();
+        u.union_with(&bset);
+        prop_assert_eq!(u.to_vec(), am.union(&bm).copied().collect::<Vec<_>>());
+
+        let mut i = aset.clone();
+        i.intersect_with(&bset);
+        prop_assert_eq!(i.to_vec(), am.intersection(&bm).copied().collect::<Vec<_>>());
+
+        let mut d = aset.clone();
+        d.difference_with(&bset);
+        prop_assert_eq!(d.to_vec(), am.difference(&bm).copied().collect::<Vec<_>>());
+
+        let c = aset.complement();
+        prop_assert_eq!(c.len(), n - am.len());
+        prop_assert_eq!(aset.len(), am.len());
+    }
+
+    /// Union-find over graph edges produces exactly the BFS components.
+    #[test]
+    fn unionfind_agrees_with_bfs_components((n, pairs) in small_graph()) {
+        let g = build(n, &pairs);
+        let mut uf = UnionFind::new(n);
+        for e in g.edges() {
+            uf.union(e.u, e.v);
+        }
+        let alive = NodeSet::full(n);
+        let comps = components(&g, &alive);
+        prop_assert_eq!(uf.num_components(), comps.count());
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                prop_assert_eq!(
+                    uf.connected(u, v),
+                    comps.label[u as usize] == comps.label[v as usize]
+                );
+            }
+        }
+    }
+
+    /// Mehlhorn's tree is a valid tree spanning the terminals, within
+    /// 2× of the Dreyfus–Wagner optimum.
+    #[test]
+    fn mehlhorn_within_twice_optimal(
+        (n, pairs) in small_graph(),
+        term_seed in proptest::collection::vec(0usize..16, 1..5),
+    ) {
+        let g = build(n, &pairs);
+        let alive = NodeSet::full(n);
+        let terms: Vec<u32> = {
+            let mut t: Vec<u32> = term_seed.iter().map(|&x| (x % n) as u32).collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        let exact = dreyfus_wagner_cost(&g, &alive, &terms);
+        let approx = mehlhorn_steiner(&g, &alive, &terms);
+        match (exact, approx) {
+            (Some(opt), Some(tree)) => {
+                prop_assert!(tree.validate(&g).is_ok());
+                prop_assert!(tree.spans(&terms));
+                prop_assert!(tree.num_edges() as u32 >= opt);
+                prop_assert!(tree.num_edges() as u32 <= 2 * opt.max(1));
+            }
+            (None, None) => {} // terminals disconnected: both refuse
+            (Some(opt), None) => {
+                // Mehlhorn only fails when terminals are disconnected,
+                // in which case DW must have failed too.
+                prop_assert!(false, "Mehlhorn failed where DW found cost {opt}");
+            }
+            (None, Some(_)) => prop_assert!(false, "DW failed where Mehlhorn succeeded"),
+        }
+    }
+
+    /// Lemma 3.3: compactify returns a compact set with no worse edge
+    /// expansion, on arbitrary connected graphs and BFS-ball seeds.
+    #[test]
+    fn compactify_no_worse_expansion(
+        (n, pairs) in small_graph(),
+        seed in 0usize..16,
+        size in 1usize..8,
+    ) {
+        let g = build(n, &pairs);
+        let alive = NodeSet::full(n);
+        // only meaningful on connected graphs
+        prop_assume!(fault_expansion::graph::components::is_connected(&g, &alive));
+        let s = bfs_ball(&g, &alive, (seed % n) as u32, size);
+        prop_assume!(!s.is_empty() && 2 * s.len() < n);
+        let k = fault_expansion::prune::compactify(&g, &alive, &s);
+        prop_assert!(fault_expansion::prune::is_compact(&g, &alive, &k));
+        let ratio = |x: &NodeSet| {
+            edge_cut_size(&g, &alive, x) as f64 / x.len() as f64
+        };
+        prop_assert!(ratio(&k) <= ratio(&s) + 1e-9);
+    }
+
+    /// Prune postcondition with the exact oracle: H admits no
+    /// qualifying cut, and every culled cut was genuinely thin.
+    #[test]
+    fn prune_postcondition_exact(
+        (n, pairs) in small_graph(),
+        faults in proptest::collection::vec(0usize..16, 0..4),
+        alpha_cents in 10u32..150,
+    ) {
+        let g = build(n, &pairs);
+        let mut alive = NodeSet::full(n);
+        for f in faults {
+            alive.remove((f % n) as u32);
+        }
+        let alpha = alpha_cents as f64 / 100.0;
+        let eps = 0.5;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let out = prune(&g, &alive, alpha, eps, CutStrategy::Exact, &mut rng);
+        prop_assert!(out.certified);
+        // replay cull thinness
+        let mut state = alive.clone();
+        for cut in &out.culled {
+            prop_assert!(cut.side.is_subset(&state));
+            let b = node_boundary(&g, &state, &cut.side).len();
+            prop_assert!(b as f64 <= alpha * eps * cut.side.len() as f64 + 1e-9);
+            state.difference_with(&cut.side);
+        }
+        prop_assert_eq!(&state, &out.kept);
+        // postcondition: exact oracle finds nothing ≤ threshold in H
+        if out.kept.len() >= 2 {
+            let ans = fault_expansion::prune::find_thin_cut(
+                &g, &out.kept, CutObjective::Node, alpha * eps, CutStrategy::Exact, &mut rng,
+            );
+            prop_assert!(ans.complete);
+            prop_assert!(ans.cut.is_none());
+        }
+    }
+
+    /// Sweep-returned cuts verify against the graph and respect the
+    /// half-size constraint (soundness of the witnessed upper bound).
+    #[test]
+    fn sweep_cuts_verify((n, pairs) in small_graph()) {
+        let g = build(n, &pairs);
+        let alive = NodeSet::full(n);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let out = spectral_sweep(&g, &alive, EigenMethod::Lanczos, &mut rng);
+        if let Some(c) = out.best_node {
+            prop_assert!(c.verify(&g, &alive));
+        }
+        if let Some(c) = out.best_edge {
+            prop_assert!(c.verify(&g, &alive));
+        }
+    }
+
+    /// Newman–Ziff curves are monotone and consistent with γ extremes.
+    #[test]
+    fn newman_ziff_monotone((n, pairs) in small_graph(), seed in 0u64..1000) {
+        let g = build(n, &pairs);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let curve = fault_expansion::percolation::site_sweep(&g, &mut rng);
+        prop_assert_eq!(curve.len(), n + 1);
+        prop_assert_eq!(curve[0], 0);
+        for w in curve.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let full_comp = components(&g, &NodeSet::full(n));
+        let biggest = full_comp.largest().map_or(0, |(_, s)| s) as u32;
+        prop_assert_eq!(curve[n], biggest);
+    }
+
+    /// BFS balls are connected subsets of the requested size (or the
+    /// whole reachable region).
+    #[test]
+    fn bfs_balls_connected((n, pairs) in small_graph(), seed in 0usize..16, size in 1usize..16) {
+        let g = build(n, &pairs);
+        let alive = NodeSet::full(n);
+        let ball = bfs_ball(&g, &alive, (seed % n) as u32, size);
+        prop_assert!(!ball.is_empty());
+        prop_assert!(ball.len() <= size.max(1));
+        prop_assert!(is_connected_subset(&g, &ball));
+    }
+
+    /// Cut measurement is internally consistent: boundary and edge cut
+    /// recomputed from scratch match, and ratios are nonnegative.
+    #[test]
+    fn cut_measurement_consistent((n, pairs) in small_graph(), picks in proptest::collection::vec(0usize..16, 1..8)) {
+        let g = build(n, &pairs);
+        let alive = NodeSet::full(n);
+        let side = NodeSet::from_iter(n, picks.iter().map(|&x| (x % n) as u32));
+        let cut = Cut::measure(&g, &alive, side);
+        prop_assert!(cut.verify(&g, &alive));
+        if cut.size() > 0 {
+            prop_assert!(cut.node_ratio() >= 0.0);
+        }
+    }
+}
