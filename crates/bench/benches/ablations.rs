@@ -39,7 +39,14 @@ fn bench_cut_oracles(c: &mut Criterion) {
         small.bench_function(format!("cycle_{n}"), |b| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(2);
-                find_thin_cut(&g, &alive, CutObjective::Node, 0.3, CutStrategy::Exact, &mut rng)
+                find_thin_cut(
+                    &g,
+                    &alive,
+                    CutObjective::Node,
+                    0.3,
+                    CutStrategy::Exact,
+                    &mut rng,
+                )
             })
         });
     }
@@ -56,7 +63,6 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Shortened criterion cycle: the suite has many groups and several
 /// seconds-long iterations; 1.5s windows keep the full run tractable

@@ -38,16 +38,12 @@ fn bench_sweep(c: &mut Criterion) {
     for d in [8usize, 10, 12] {
         let g = fx_graph::generators::hypercube(d);
         let alive = NodeSet::full(g.num_nodes());
-        group.bench_with_input(
-            BenchmarkId::new("hypercube", g.num_nodes()),
-            &d,
-            |b, _| {
-                b.iter(|| {
-                    let mut rng = SmallRng::seed_from_u64(2);
-                    spectral_sweep(&g, &alive, EigenMethod::Lanczos, &mut rng)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("hypercube", g.num_nodes()), &d, |b, _| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(2);
+                spectral_sweep(&g, &alive, EigenMethod::Lanczos, &mut rng)
+            })
+        });
     }
     group.finish();
 }
@@ -64,7 +60,6 @@ fn bench_exact(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Shortened criterion cycle: the suite has many groups and several
 /// seconds-long iterations; 1.5s windows keep the full run tractable

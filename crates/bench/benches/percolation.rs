@@ -71,7 +71,6 @@ fn bench_sweep_families(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Shortened criterion cycle: the suite has many groups and several
 /// seconds-long iterations; 1.5s windows keep the full run tractable
 /// while still averaging enough samples for stable medians.

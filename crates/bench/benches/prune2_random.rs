@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fx_faults::{FaultModel, RandomNodeFaults};
+use fx_graph::traversal::bfs_ball;
 use fx_graph::NodeSet;
 use fx_prune::{compactify, prune2, CutStrategy};
-use fx_graph::traversal::bfs_ball;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -25,7 +25,14 @@ fn bench_prune2(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("torus2d", n), &n, |b, _| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(6);
-                prune2(&g, &alive, 1.0, 0.125, CutStrategy::SpectralRefined, &mut rng)
+                prune2(
+                    &g,
+                    &alive,
+                    1.0,
+                    0.125,
+                    CutStrategy::SpectralRefined,
+                    &mut rng,
+                )
             })
         });
     }
@@ -43,7 +50,6 @@ fn bench_compactify(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Shortened criterion cycle: the suite has many groups and several
 /// seconds-long iterations; 1.5s windows keep the full run tractable

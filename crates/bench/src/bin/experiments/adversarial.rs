@@ -23,15 +23,29 @@ pub fn e1_theorem21(opts: &Opts) {
     let scale = if opts.quick { 6 } else { 10 };
     let families = vec![
         Family::Hypercube { d: scale },
-        Family::Margulis { m: 1 << (scale / 2) },
-        Family::RandomRegular { n: 1 << scale, d: 4 },
+        Family::Margulis {
+            m: 1 << (scale / 2),
+        },
+        Family::RandomRegular {
+            n: 1 << scale,
+            d: 4,
+        },
     ];
     let mut t = Table::new(
         "E1",
         "Theorem 2.1: adversarial faults vs pruned expansion (k=2, sparse-cut adversary)",
         &[
-            "network", "n", "alpha", "f", "gamma", "kept", "min_kept", "alphaH_up",
-            "alphaH_low", "min_alpha", "ok",
+            "network",
+            "n",
+            "alpha",
+            "f",
+            "gamma",
+            "kept",
+            "min_kept",
+            "alphaH_up",
+            "alphaH_low",
+            "min_alpha",
+            "ok",
         ],
     );
     let cfg = AnalyzerConfig {
@@ -95,8 +109,16 @@ pub fn e2_subdivided_lower_bound(opts: &Opts) {
         "E2",
         "Theorem 2.3 / Claim 2.4: subdivided expanders shatter at Θ(α·n) adversarial faults",
         &[
-            "k", "n_H", "alpha_up", "claim_2/k", "faults", "faults/n_H", "k*f/n_H",
-            "biggest_comp", "bound_O(dk)", "sublinear",
+            "k",
+            "n_H",
+            "alpha_up",
+            "claim_2/k",
+            "faults",
+            "faults/n_H",
+            "k*f/n_H",
+            "biggest_comp",
+            "bound_O(dk)",
+            "sublinear",
         ],
     );
     for k in [2usize, 4, 8, 16] {
@@ -110,7 +132,10 @@ pub fn e2_subdivided_lower_bound(opts: &Opts) {
             &mut rng,
         );
         let m = sub.original_edges.len();
-        let adv = ChainCenterAdversary { sub: &sub, budget: m };
+        let adv = ChainCenterAdversary {
+            sub: &sub,
+            budget: m,
+        };
         let failed = adv.sample(&net.graph, &mut rng);
         let alive = apply_faults(&net.graph, &failed);
         let comps = components(&net.graph, &alive);
@@ -118,7 +143,10 @@ pub fn e2_subdivided_lower_bound(opts: &Opts) {
         let bound = theorem23_component_bound(4, k);
         let sublinear = biggest <= bound;
         if opts.check {
-            assert!(sublinear, "E2: component {biggest} exceeds O(δk) bound {bound}");
+            assert!(
+                sublinear,
+                "E2: component {biggest} exceeds O(δk) bound {bound}"
+            );
             // Claim 2.4 upper bound (constant slack 2 allowed for the
             // sweep's approximation)
             assert!(
@@ -156,7 +184,14 @@ pub fn e3_dissection(opts: &Opts) {
         "E3",
         "Theorem 2.5: dissecting the mesh into <εn pieces with o(n) separator nodes",
         &[
-            "side", "n", "eps", "removed", "removed/n", "bound", "removed/bound", "pieces",
+            "side",
+            "n",
+            "eps",
+            "removed",
+            "removed/n",
+            "bound",
+            "removed/bound",
+            "pieces",
             "largest",
         ],
     );

@@ -23,8 +23,16 @@ pub fn e15_embedding_slowdown(opts: &Opts) {
         "E15",
         "extension (§1.2): fault-free → faulty self-embedding, LMR slowdown proxy ℓ+c+d",
         &[
-            "network", "p", "stage", "hosts", "load", "congestion", "dilation",
-            "mean_dil", "slowdown", "unrouted",
+            "network",
+            "p",
+            "stage",
+            "hosts",
+            "load",
+            "congestion",
+            "dilation",
+            "mean_dil",
+            "slowdown",
+            "unrouted",
         ],
     );
     let nets = if opts.quick {
@@ -63,10 +71,7 @@ pub fn e15_embedding_slowdown(opts: &Opts) {
                         "E15: {} embedding must route all ideal edges",
                         net.name
                     );
-                    assert!(
-                        q.slowdown_proxy < net.n(),
-                        "E15: slowdown proxy degenerate"
-                    );
+                    assert!(q.slowdown_proxy < net.n(), "E15: slowdown proxy degenerate");
                 }
                 t.row(vec![
                     net.name.clone(),

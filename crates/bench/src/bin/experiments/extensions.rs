@@ -22,7 +22,12 @@ pub fn e12_routing_congestion(opts: &Opts) {
         "E12",
         "extension: permutation-routing congestion — healthy vs faulty vs pruned",
         &[
-            "network", "stage", "nodes", "routed", "failed", "max_congestion",
+            "network",
+            "stage",
+            "nodes",
+            "routed",
+            "failed",
+            "max_congestion",
             "mean_dilation",
         ],
     );
@@ -98,7 +103,14 @@ pub fn e13_load_balancing(opts: &Opts) {
     let mut t = Table::new(
         "E13",
         "extension: diffusion load-balancing rounds — healthy vs faulty vs pruned",
-        &["network", "stage", "nodes", "rounds", "contraction", "balanced"],
+        &[
+            "network",
+            "stage",
+            "nodes",
+            "rounds",
+            "contraction",
+            "balanced",
+        ],
     );
     let nets = if opts.quick {
         vec![Family::RandomRegular { n: 128, d: 4 }]
@@ -180,7 +192,13 @@ pub fn e14_overlay_churn(opts: &Opts) {
         "E14",
         "extension: CAN overlays under churn — expansion and fault tolerance vs dimension",
         &[
-            "d", "peers", "mean_deg", "alpha_low", "alpha_up", "gamma_p0.1", "vol_max/min",
+            "d",
+            "peers",
+            "mean_deg",
+            "alpha_low",
+            "alpha_up",
+            "gamma_p0.1",
+            "vol_max/min",
         ],
     );
     let cfg = AnalyzerConfig::default();
@@ -220,7 +238,11 @@ pub fn e14_overlay_churn(opts: &Opts) {
         // every overlay keeps a giant component at p = 0.1 (constant
         // tolerance, as the mesh span results predict)
         for (i, g) in gammas.iter().enumerate() {
-            assert!(*g > 0.6, "E14: overlay d={} lost its giant component: γ={g}", i + 2);
+            assert!(
+                *g > 0.6,
+                "E14: overlay d={} lost its giant component: γ={g}",
+                i + 2
+            );
         }
     }
     t.print();

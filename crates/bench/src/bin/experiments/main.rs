@@ -91,5 +91,8 @@ fn main() {
     if want("e16") {
         span_exp::e16_torus_span(&opts);
     }
-    eprintln!("\n[experiments done in {:.1}s]", started.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[experiments done in {:.1}s]",
+        started.elapsed().as_secs_f64()
+    );
 }

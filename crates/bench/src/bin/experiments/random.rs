@@ -26,7 +26,13 @@ pub fn e4_random_disintegration(opts: &Opts) {
         "E4",
         "Theorem 3.1: disintegration threshold scales with Θ(1/k) for subdivided expanders",
         &[
-            "network", "n", "alpha~", "p*_survive", "tolerance", "k*tol", "thm31_p",
+            "network",
+            "n",
+            "alpha~",
+            "p*_survive",
+            "tolerance",
+            "k*tol",
+            "thm31_p",
         ],
     );
     let mut tol_times_k = Vec::new();
@@ -47,7 +53,10 @@ pub fn e4_random_disintegration(opts: &Opts) {
     }
     // contrast: torus with comparable/worse expansion
     let side = if opts.quick { 32 } else { 48 };
-    let torus = Family::Torus { dims: vec![side, side] }.build(0);
+    let torus = Family::Torus {
+        dims: vec![side, side],
+    }
+    .build(0);
     let est = estimate_critical(&torus.graph, Mode::Site, &mc, 0.1, 40);
     t.row(vec![
         torus.name.clone(),
@@ -87,8 +96,16 @@ pub fn e5_prune2_meshes(opts: &Opts) {
         "E5",
         "Theorem 3.4: Prune2 under random faults on meshes (σ=2 by Thm 3.6, ε=1/(2δ))",
         &[
-            "network", "delta", "p", "thm_p_max", "mean_gamma", "success", "kept",
-            "alphaE_H", "target_eps*aE", "applicable",
+            "network",
+            "delta",
+            "p",
+            "thm_p_max",
+            "mean_gamma",
+            "success",
+            "kept",
+            "alphaE_H",
+            "target_eps*aE",
+            "applicable",
         ],
     );
     let nets = if opts.quick {
@@ -97,7 +114,9 @@ pub fn e5_prune2_meshes(opts: &Opts) {
         vec![
             Family::Torus { dims: vec![32, 32] },
             Family::Mesh { dims: vec![32, 32] },
-            Family::Torus { dims: vec![10, 10, 10] },
+            Family::Torus {
+                dims: vec![10, 10, 10],
+            },
         ]
     };
     let cfg = AnalyzerConfig {
@@ -131,7 +150,11 @@ pub fn e5_prune2_meshes(opts: &Opts) {
                 f(r.mean_kept_fraction),
                 f(r.mean_alpha_e_after),
                 f(target),
-                if r.theorem34_applicable { "yes".into() } else { "no".into() },
+                if r.theorem34_applicable {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]);
         }
     }
@@ -157,31 +180,42 @@ pub fn e7_critical_probabilities(opts: &Opts) {
     let scale = !opts.quick;
     let cases = vec![
         Case {
-            fam: Family::Complete { n: if scale { 200 } else { 80 } },
+            fam: Family::Complete {
+                n: if scale { 200 } else { 80 },
+            },
             mode: Mode::Bond,
             paper: 1.0 / (if scale { 199.0 } else { 79.0 }),
             note: "Erdos-Renyi 1/(n-1)",
         },
         Case {
-            fam: Family::RandomRegular { n: if scale { 1000 } else { 300 }, d: 4 },
+            fam: Family::RandomRegular {
+                n: if scale { 1000 } else { 300 },
+                d: 4,
+            },
             mode: Mode::Bond,
             paper: 0.25,
             note: "d*n/2 edges: ~1/d",
         },
         Case {
-            fam: Family::Torus { dims: if scale { vec![48, 48] } else { vec![24, 24] } },
+            fam: Family::Torus {
+                dims: if scale { vec![48, 48] } else { vec![24, 24] },
+            },
             mode: Mode::Bond,
             paper: 0.5,
             note: "Kesten 1/2",
         },
         Case {
-            fam: Family::Hypercube { d: if scale { 10 } else { 8 } },
+            fam: Family::Hypercube {
+                d: if scale { 10 } else { 8 },
+            },
             mode: Mode::Bond,
             paper: 1.0 / (if scale { 10.0 } else { 8.0 }),
             note: "AKS 1/d",
         },
         Case {
-            fam: Family::Butterfly { d: if scale { 8 } else { 6 } },
+            fam: Family::Butterfly {
+                d: if scale { 8 } else { 6 },
+            },
             mode: Mode::Site,
             paper: 0.3865, // midpoint of (0.337, 0.436)
             note: "KNT in (0.337,0.436)",

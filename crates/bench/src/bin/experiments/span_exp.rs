@@ -21,7 +21,12 @@ pub fn e6_mesh_span(opts: &Opts) {
         "E6",
         "Theorem 3.6: span of d-dimensional meshes ≤ 2 (constructive + exact)",
         &[
-            "mesh", "mode", "sets", "max_ratio", "constructive_max", "lemma37_violations",
+            "mesh",
+            "mode",
+            "sets",
+            "max_ratio",
+            "constructive_max",
+            "lemma37_violations",
         ],
     );
 
@@ -53,7 +58,12 @@ pub fn e6_mesh_span(opts: &Opts) {
     let sampled: Vec<Vec<usize>> = if opts.quick {
         vec![vec![8, 8], vec![4, 4, 4]]
     } else {
-        vec![vec![12, 12], vec![5, 5, 5], vec![3, 3, 3, 3], vec![3, 3, 3, 3, 3]]
+        vec![
+            vec![12, 12],
+            vec![5, 5, 5],
+            vec![3, 3, 3, 3],
+            vec![3, 3, 3, 3, 3],
+        ]
     };
     let samples = if opts.quick { 40 } else { 150 };
     for dims in sampled {
@@ -103,6 +113,7 @@ pub fn e6_mesh_span(opts: &Opts) {
 
 /// E8 — Claim 3.2: connected-subgraph counts vs. the `n·δ^{2r}`
 /// Euler-tour bound.
+#[allow(clippy::needless_range_loop)] // r is the semantic subgraph size
 pub fn e8_subgraph_counting(opts: &Opts) {
     let mut t = Table::new(
         "E8",
@@ -157,6 +168,7 @@ pub fn e8_subgraph_counting(opts: &Opts) {
 /// for tori vs. same-shape meshes, plus exhaustive checks on tiny
 /// tori. Observation recorded in EXPERIMENTS.md: small sampled ratios
 /// (wraparound shortens Steiner trees even for split boundaries).
+#[allow(clippy::single_element_loop)] // tiny-case list is meant to grow
 pub fn e16_torus_span(opts: &Opts) {
     let mut t = Table::new(
         "E16",
@@ -221,8 +233,13 @@ pub fn e9_span_conjectures(opts: &Opts) {
         &["family", "d", "n", "samples", "span_lower_bound"],
     );
     let samples = if opts.quick { 60 } else { 200 };
-    let dims: Vec<usize> = if opts.quick { vec![3, 4] } else { vec![3, 4, 5, 6] };
+    let dims: Vec<usize> = if opts.quick {
+        vec![3, 4]
+    } else {
+        vec![3, 4, 5, 6]
+    };
     let mut per_family: Vec<(String, Vec<f64>)> = Vec::new();
+    #[allow(clippy::type_complexity)]
     let families: [(&str, fn(usize) -> fx_graph::CsrGraph); 3] = [
         ("butterfly", generators::butterfly),
         ("de-bruijn", |d| generators::de_bruijn(d + 3)),

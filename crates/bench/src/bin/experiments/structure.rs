@@ -23,14 +23,23 @@ pub fn e10_pruned_diameter(opts: &Opts) {
     let mut t = Table::new(
         "E10",
         "§4: pruned-component diameter vs O(α⁻¹ log n) (constant = diam·α/ln n)",
-        &["network", "p", "kept", "alphaH_up", "diam(H)", "bound_const"],
+        &[
+            "network",
+            "p",
+            "kept",
+            "alphaH_up",
+            "diam(H)",
+            "bound_const",
+        ],
     );
     let nets = if opts.quick {
         vec![Family::Torus { dims: vec![16, 16] }]
     } else {
         vec![
             Family::Torus { dims: vec![24, 24] },
-            Family::Torus { dims: vec![8, 8, 8] },
+            Family::Torus {
+                dims: vec![8, 8, 8],
+            },
             Family::RandomRegular { n: 512, d: 4 },
         ]
     };
@@ -58,12 +67,8 @@ pub fn e10_pruned_diameter(opts: &Opts) {
             if out.kept.len() < 4 {
                 continue;
             }
-            let after = node_expansion_bounds(
-                &net.graph,
-                &out.kept,
-                Effort::SpectralRefined,
-                &mut rng,
-            );
+            let after =
+                node_expansion_bounds(&net.graph, &out.kept, Effort::SpectralRefined, &mut rng);
             let diam = diameter_two_sweep(&net.graph, &out.kept).unwrap_or(0);
             let ln_n = (net.n() as f64).ln();
             let constant = diam as f64 * after.upper / ln_n;
@@ -96,7 +101,11 @@ pub fn e11_compactification(opts: &Opts) {
         "E11",
         "Lemma 3.3: K_G(S) compact with no worse edge expansion (randomized audit)",
         &[
-            "network", "samples", "compact_ok", "ratio_ok", "max_ratio(K)/ratio(S)",
+            "network",
+            "samples",
+            "compact_ok",
+            "ratio_ok",
+            "max_ratio(K)/ratio(S)",
         ],
     );
     let nets = vec![
@@ -124,9 +133,8 @@ pub fn e11_compactification(opts: &Opts) {
             }
             tried += 1;
             let k = compactify(&net.graph, &alive, &s);
-            let ratio = |x: &NodeSet| {
-                edge_cut_size(&net.graph, &alive, x) as f64 / x.len().max(1) as f64
-            };
+            let ratio =
+                |x: &NodeSet| edge_cut_size(&net.graph, &alive, x) as f64 / x.len().max(1) as f64;
             let (rs, rk) = (ratio(&s), ratio(&k));
             if is_compact(&net.graph, &alive, &k) {
                 compact_ok += 1;

@@ -95,14 +95,42 @@ pub fn record(table: &Table) {
         return;
     }
     let path = dir.join(format!("{}.json", table.id.to_lowercase()));
-    match serde_json::to_string_pretty(&table.to_rows()) {
-        Ok(js) => {
-            if let Err(e) = std::fs::write(&path, js) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {}: {e}", table.id),
+    let js = fx_json::to_string_pretty(&table.to_rows());
+    if let Err(e) = std::fs::write(&path, js) {
+        eprintln!("warning: could not write {}: {e}", path.display());
     }
+}
+
+/// Escapes one CSV cell per RFC 4180 (quote when the cell contains a
+/// comma, quote, or newline).
+fn csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Renders the table as an RFC 4180 CSV document (header + rows).
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table.headers.iter().map(|h| csv_cell(h)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in &table.rows {
+        let cells: Vec<String> = row.iter().map(|c| csv_cell(c)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the table as CSV to `path`, creating parent directories.
+pub fn write_csv(table: &Table, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_csv(table))
 }
 
 /// Formats a float compactly for table cells.
@@ -144,5 +172,17 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("EX", "demo", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new("EX", "demo", &["label", "x"]);
+        t.row(vec!["plain".into(), "1".into()]);
+        t.row(vec!["has,comma".into(), "quote\"d".into()]);
+        let csv = to_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "label,x");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"has,comma\",\"quote\"\"d\"");
     }
 }

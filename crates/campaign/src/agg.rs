@@ -1,0 +1,181 @@
+//! Streaming aggregation: Welford mean/variance per
+//! `(group, metric)` with normal-approximation 95% confidence
+//! intervals.
+//!
+//! Aggregates are always computed by replaying results in sorted
+//! `(group, replicate)` order, so the floating-point accumulation
+//! order — and therefore every output bit — is independent of the
+//! execution schedule. This is what makes
+//! `run → kill → resume → aggregate` bit-identical to an uninterrupted
+//! run.
+
+use crate::exec::CellResult;
+use std::collections::BTreeMap;
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    /// Samples seen.
+    pub count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the normal-approximation 95% CI
+    /// (`1.96·s/√n`; 0 for < 2 samples).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Aggregated statistics of one metric within one group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAggregate {
+    /// Group key (`graph|fault|algo`).
+    pub group: String,
+    /// Metric name.
+    pub metric: String,
+    /// The accumulated statistics.
+    pub stats: Welford,
+}
+
+/// Aggregates results by `(group, metric)` in deterministic order.
+///
+/// Results are first sorted by `(group, replicate, key)`; every call
+/// with the same result *set* therefore produces bit-identical
+/// statistics, regardless of the order cells completed in.
+pub fn aggregate(results: &[CellResult]) -> Vec<GroupAggregate> {
+    let mut sorted: Vec<&CellResult> = results.iter().collect();
+    sorted.sort_by(|a, b| (a.group(), a.replicate, &a.key).cmp(&(b.group(), b.replicate, &b.key)));
+    // BTreeMap keyed by (group, metric-insertion-rank, metric): keeps
+    // the output grouped and sorted, with metrics in first-seen order
+    // inside each group so tables read like the cell metrics do.
+    let mut rank: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut acc: BTreeMap<(String, usize, String), Welford> = BTreeMap::new();
+    for r in sorted {
+        let group = r.group();
+        for (metric, value) in &r.metrics {
+            if !value.is_finite() {
+                continue; // a null/NaN metric must not poison the mean
+            }
+            let next_rank = rank.len();
+            let metric_rank = *rank
+                .entry((group.clone(), metric.clone()))
+                .or_insert(next_rank);
+            acc.entry((group.clone(), metric_rank, metric.clone()))
+                .or_default()
+                .push(*value);
+        }
+    }
+    acc.into_iter()
+        .map(|((group, _, metric), stats)| GroupAggregate {
+            group,
+            metric,
+            stats,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(key: &str, graph: &str, replicate: usize, metrics: &[(&str, f64)]) -> CellResult {
+        CellResult {
+            key: key.to_string(),
+            graph: graph.to_string(),
+            fault: "none".into(),
+            algo: "span".into(),
+            replicate,
+            seed: 0,
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            wall_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn welford_matches_naive_two_pass() {
+        let xs = [0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4];
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert!(w.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        let mut results = vec![
+            result("a|r0", "a", 0, &[("x", 1.0), ("y", 10.0)]),
+            result("a|r1", "a", 1, &[("x", 2.0), ("y", 20.0)]),
+            result("a|r2", "a", 2, &[("x", 4.0), ("y", 40.0)]),
+            result("b|r0", "b", 0, &[("x", 7.0)]),
+        ];
+        let forward = aggregate(&results);
+        results.reverse();
+        let backward = aggregate(&results);
+        assert_eq!(forward, backward, "must be schedule-independent");
+        let x_a = forward
+            .iter()
+            .find(|a| a.group.starts_with("a|") && a.metric == "x")
+            .unwrap();
+        assert_eq!(x_a.stats.count, 3);
+        assert!((x_a.stats.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_keep_first_seen_order_within_group() {
+        let results = vec![result("a|r0", "a", 0, &[("zeta", 1.0), ("alpha", 2.0)])];
+        let aggs = aggregate(&results);
+        assert_eq!(aggs[0].metric, "zeta");
+        assert_eq!(aggs[1].metric, "alpha");
+    }
+
+    #[test]
+    fn non_finite_metrics_are_skipped() {
+        let results = vec![
+            result("a|r0", "a", 0, &[("x", f64::NAN)]),
+            result("a|r1", "a", 1, &[("x", 3.0)]),
+        ];
+        let aggs = aggregate(&results);
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].stats.count, 1);
+        assert_eq!(aggs[0].stats.mean(), 3.0);
+    }
+}

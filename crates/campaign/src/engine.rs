@@ -1,0 +1,325 @@
+//! The campaign engine: expand → (skip journaled) → execute on the
+//! work-stealing pool → journal → aggregate → emit artifacts.
+//!
+//! `run` and `resume` are the same operation — a run that finds
+//! journaled cells skips them, so resuming after a kill (or growing a
+//! spec with new axis values) only pays for missing cells.
+
+use crate::agg::{aggregate, GroupAggregate};
+use crate::exec::{run_cell, CellResult};
+use crate::grid::{expand, Cell};
+use crate::journal::Journal;
+use crate::spec::CampaignSpec;
+use fx_bench::{f as fmt_f, Table};
+use fx_graph::par::Pool;
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+/// Execution options for one `run`/`resume` invocation.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads (`0` = [`fx_graph::par::default_threads`]).
+    pub threads: usize,
+    /// Stop after executing this many cells (testing / incremental
+    /// runs); journaled cells do not count.
+    pub limit: Option<usize>,
+    /// Suppress the progress/table output.
+    pub quiet: bool,
+    /// Override the spec's artifact directory.
+    pub output: Option<PathBuf>,
+}
+
+/// What a `run`/`resume`/`report` invocation did.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Total cells in the grid.
+    pub total_cells: usize,
+    /// Cells found in the journal and skipped.
+    pub skipped: usize,
+    /// Cells executed by this invocation.
+    pub executed: usize,
+    /// True when every grid cell is journaled after this invocation.
+    pub complete: bool,
+    /// Aggregates over all journaled results.
+    pub aggregates: Vec<GroupAggregate>,
+    /// Files written (journal + artifacts).
+    pub artifacts: Vec<PathBuf>,
+}
+
+/// Resolves the artifact directory for a spec + options.
+fn output_dir(spec: &CampaignSpec, opts: &RunOptions) -> PathBuf {
+    opts.output.clone().unwrap_or_else(|| spec.output.clone())
+}
+
+/// The journal a spec checkpoints into.
+pub fn journal_for(spec: &CampaignSpec, opts: &RunOptions) -> Journal {
+    Journal::new(output_dir(spec, opts).join("journal.jsonl"))
+}
+
+/// Runs (or resumes) a campaign: executes every non-journaled cell,
+/// then aggregates and writes artifacts.
+pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String> {
+    let cells = expand(spec);
+    let journal = journal_for(spec, opts);
+    let existing = journal.load()?;
+    let done: HashSet<&str> = existing.iter().map(|r| r.key.as_str()).collect();
+
+    let mut pending: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| !done.contains(c.key().as_str()))
+        .collect();
+    let skipped = cells.len() - pending.len();
+    if let Some(limit) = opts.limit {
+        pending.truncate(limit);
+    }
+
+    if !opts.quiet {
+        eprintln!(
+            "campaign {}: {} cells ({} journaled, running {})",
+            spec.name,
+            cells.len(),
+            skipped,
+            pending.len()
+        );
+    }
+
+    let executed = pending.len();
+    if executed > 0 {
+        let writer = journal.appender()?;
+        let threads = if opts.threads == 0 {
+            fx_graph::par::default_threads()
+        } else {
+            opts.threads
+        };
+        // One cell per steal: cells are coarse units (whole analyses),
+        // so batching would only hurt balance and coarsen the
+        // checkpoint granularity.
+        let pool = Pool { threads, batch: 1 };
+        let errors = parking_lot::Mutex::new(Vec::<String>::new());
+        pool.for_each(
+            executed,
+            (
+                |i: usize| run_cell(spec, pending[i]),
+                |_first: usize, batch: Vec<(usize, CellResult)>| {
+                    for (_, result) in batch {
+                        if !opts.quiet {
+                            eprintln!("  done {:<48} [{:.0} ms]", result.key, result.wall_ms);
+                        }
+                        if let Err(e) = writer.append(&result) {
+                            errors.lock().push(e);
+                        }
+                    }
+                },
+            ),
+        );
+        let errors = errors.into_inner();
+        if let Some(first) = errors.first() {
+            return Err(format!(
+                "{} journal append(s) failed; first: {first}",
+                errors.len()
+            ));
+        }
+    }
+
+    // reload so aggregation sees exactly what is durable on disk,
+    // including the cells this invocation just appended
+    let results = journal.load()?;
+    finish(
+        spec,
+        opts,
+        &journal,
+        &results,
+        cells.len(),
+        skipped,
+        executed,
+    )
+}
+
+/// Aggregates the journal and writes artifacts without executing
+/// anything.
+pub fn report(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String> {
+    let cells = expand(spec);
+    let journal = journal_for(spec, opts);
+    let existing = journal.load()?;
+    let done: HashSet<&str> = existing.iter().map(|r| r.key.as_str()).collect();
+    let skipped = cells
+        .iter()
+        .filter(|c| done.contains(c.key().as_str()))
+        .count();
+    finish(spec, opts, &journal, &existing, cells.len(), skipped, 0)
+}
+
+/// Shared tail of `run`/`report`: aggregate the journaled results
+/// deterministically and emit artifacts. `results` are the loaded
+/// journal contents — always the durable on-disk records (never
+/// in-memory `CellResult`s that skipped the serialization round
+/// trip), which is what makes interrupted and uninterrupted histories
+/// aggregate bit-identically.
+fn finish(
+    spec: &CampaignSpec,
+    opts: &RunOptions,
+    journal: &Journal,
+    results: &[CellResult],
+    total_cells: usize,
+    skipped: usize,
+    executed: usize,
+) -> Result<RunSummary, String> {
+    let aggregates = aggregate(results);
+    let complete = skipped + executed >= total_cells;
+
+    let dir = output_dir(spec, opts);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+
+    // Artifacts carry full precision; only the printed table rounds
+    // (through fmt_f) for readability.
+    let csv_path = dir.join("aggregates.csv");
+    fx_bench::write_csv(&aggregates_table(spec, &aggregates, false), &csv_path)
+        .map_err(|e| format!("writing CSV: {e}"))?;
+    let json_path = dir.join("aggregates.json");
+    std::fs::write(&json_path, aggregates_json(&aggregates).to_string_pretty())
+        .map_err(|e| format!("writing JSON: {e}"))?;
+
+    if !opts.quiet {
+        aggregates_table(spec, &aggregates, true).print();
+        if !complete {
+            eprintln!(
+                "campaign {}: partial — {}/{} cells journaled (resume to finish)",
+                spec.name,
+                skipped + executed,
+                total_cells
+            );
+        }
+    }
+
+    Ok(RunSummary {
+        total_cells,
+        skipped,
+        executed,
+        complete,
+        aggregates,
+        artifacts: vec![journal.path().to_path_buf(), csv_path, json_path],
+    })
+}
+
+/// Renders aggregates in long form: one row per `(group, metric)`.
+/// `rounded` picks the compact display format (stdout) over the exact
+/// shortest-round-trip format (CSV artifact).
+fn aggregates_table(spec: &CampaignSpec, aggregates: &[GroupAggregate], rounded: bool) -> Table {
+    let num = |x: f64| if rounded { fmt_f(x) } else { format!("{x}") };
+    let mut table = Table::new(
+        &spec.name,
+        &format!("campaign aggregates ({} replicates)", spec.replicates),
+        &["cell", "metric", "n", "mean", "std", "ci95"],
+    );
+    for a in aggregates {
+        table.row(vec![
+            a.group.clone(),
+            a.metric.clone(),
+            a.stats.count.to_string(),
+            num(a.stats.mean()),
+            num(a.stats.std()),
+            num(a.stats.ci95_half_width()),
+        ]);
+    }
+    table
+}
+
+/// Full-precision JSON artifact: one object per `(group, metric)`,
+/// keeping the metric name (which `Table::to_rows` would drop).
+fn aggregates_json(aggregates: &[GroupAggregate]) -> fx_json::Json {
+    use fx_json::Json;
+    Json::Arr(
+        aggregates
+            .iter()
+            .map(|a| {
+                Json::Obj(vec![
+                    ("cell".to_string(), Json::Str(a.group.clone())),
+                    ("metric".to_string(), Json::Str(a.metric.clone())),
+                    ("n".to_string(), Json::UInt(a.stats.count)),
+                    ("mean".to_string(), Json::Num(a.stats.mean())),
+                    ("std".to_string(), Json::Num(a.stats.std())),
+                    ("ci95".to_string(), Json::Num(a.stats.ci95_half_width())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_in(dir: &std::path::Path) -> CampaignSpec {
+        let mut spec = CampaignSpec::parse(
+            r#"
+name = "engine-test"
+seed = 5
+replicates = 2
+graphs = ["torus:5,5", "cycle:16"]
+faults = ["none", "random-exact:3"]
+algorithms = ["expansion-cert"]
+"#,
+        )
+        .unwrap();
+        spec.output = dir.to_path_buf();
+        spec
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fx-campaign-engine-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn run_executes_grid_and_writes_artifacts() {
+        let dir = temp_dir("full");
+        let spec = spec_in(&dir);
+        let opts = RunOptions {
+            threads: 2,
+            quiet: true,
+            ..Default::default()
+        };
+        let summary = run(&spec, &opts).unwrap();
+        assert_eq!(summary.total_cells, 8);
+        assert_eq!(summary.executed, 8);
+        assert_eq!(summary.skipped, 0);
+        assert!(summary.complete);
+        assert!(!summary.aggregates.is_empty());
+        for artifact in &summary.artifacts {
+            assert!(artifact.exists(), "{}", artifact.display());
+        }
+        // a second run is a no-op
+        let again = run(&spec, &opts).unwrap();
+        assert_eq!(again.executed, 0);
+        assert_eq!(again.skipped, 8);
+        assert_eq!(again.aggregates, summary.aggregates);
+    }
+
+    #[test]
+    fn limit_executes_prefix_and_report_never_executes() {
+        let dir = temp_dir("limit");
+        let spec = spec_in(&dir);
+        let opts = RunOptions {
+            threads: 1,
+            limit: Some(3),
+            quiet: true,
+            ..Default::default()
+        };
+        let partial = run(&spec, &opts).unwrap();
+        assert_eq!(partial.executed, 3);
+        assert!(!partial.complete);
+        let reported = report(
+            &spec,
+            &RunOptions {
+                quiet: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(reported.executed, 0);
+        assert_eq!(reported.skipped, 3);
+        assert!(!reported.complete);
+    }
+}

@@ -1,0 +1,313 @@
+//! Cell execution: one [`Cell`] in, one [`CellResult`] out.
+//!
+//! Every cell is computed from its own deterministic seed with
+//! single-threaded inner analyses (the campaign pool parallelizes
+//! *across* cells), so a cell's metrics are a pure function of
+//! `(spec params, cell identity, campaign seed)` — the property the
+//! resume machinery and the determinism integration test rely on.
+
+use crate::grid::Cell;
+use crate::spec::{Algo, CampaignSpec, FaultSpec};
+use fx_core::{analyze_adversarial, analyze_random, AnalyzerConfig, Family, Network};
+use fx_expansion::certificate::{edge_expansion_bounds, node_expansion_bounds, Effort};
+use fx_faults::{
+    apply_faults, DegreeAdversary, ExactRandomFaults, FaultModel, RandomNodeFaults,
+    SparseCutAdversary,
+};
+use fx_graph::components::gamma;
+use fx_percolation::{estimate_critical, Mode, MonteCarlo};
+use fx_prune::theorem34_max_epsilon;
+use fx_span::span::{exact_span, sampled_span};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The journaled outcome of one executed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Cell key (`graph|fault|algo|rN`).
+    pub key: String,
+    /// Graph spec string.
+    pub graph: String,
+    /// Fault model (display form).
+    pub fault: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Replicate index.
+    pub replicate: usize,
+    /// The seed the cell ran with (audit trail).
+    pub seed: u64,
+    /// Named deterministic metrics.
+    pub metrics: Vec<(String, f64)>,
+    /// Wall-clock milliseconds (informational; never aggregated, so
+    /// journals from different machines aggregate identically).
+    pub wall_ms: f64,
+}
+
+fx_json::impl_json_object!(CellResult {
+    key,
+    graph,
+    fault,
+    algo,
+    replicate,
+    seed,
+    metrics,
+    wall_ms
+});
+
+impl CellResult {
+    /// Aggregation group (cell key minus the replicate axis).
+    pub fn group(&self) -> String {
+        format!("{}|{}|{}", self.graph, self.fault, self.algo)
+    }
+
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Builds the fault model for a cell (graph-independent).
+fn fault_model(fault: &FaultSpec) -> Box<dyn FaultModel> {
+    match fault {
+        FaultSpec::None => Box::new(ExactRandomFaults { f: 0 }),
+        FaultSpec::Random { p } => Box::new(RandomNodeFaults { p: *p }),
+        FaultSpec::RandomExact { f } => Box::new(ExactRandomFaults { f: *f }),
+        FaultSpec::SparseCut { budget } => Box::new(SparseCutAdversary { budget: *budget }),
+        FaultSpec::Degree { budget } => Box::new(DegreeAdversary { budget: *budget }),
+    }
+}
+
+/// Executes one cell. Panics only on internal invariant violations;
+/// spec-level errors were rejected at parse time.
+pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
+    let started = std::time::Instant::now();
+    let family = Family::from_spec(&cell.graph).expect("graph spec validated at parse time");
+    // Distinct derived streams: one for (randomized) graph builds, one
+    // for the algorithm, so adding randomness to one never perturbs
+    // the other.
+    let net = family.build(cell.seed ^ 0x6A09_E667_F3BC_C908);
+    let mut rng = SmallRng::seed_from_u64(cell.seed);
+    let params = &spec.params;
+
+    let metrics: Vec<(String, f64)> = match cell.algo {
+        Algo::Prune => {
+            let model = fault_model(&cell.fault);
+            let cfg = AnalyzerConfig {
+                seed: cell.seed,
+                threads: 1,
+                ..Default::default()
+            };
+            let r = analyze_adversarial(&net, model.as_ref(), params.k, &cfg);
+            let n = r.n.max(1) as f64;
+            let mut m = vec![
+                ("n".to_string(), r.n as f64),
+                ("faults".to_string(), r.faults as f64),
+                ("gamma_after_faults".to_string(), r.gamma_after_faults),
+                ("kept_fraction".to_string(), r.kept as f64 / n),
+                ("culled".to_string(), r.culled as f64),
+                ("alpha_after".to_string(), r.alpha_after.point()),
+                ("certified".to_string(), f64::from(r.certified)),
+            ];
+            if let (Some(kept), Some(exp)) = (r.guaranteed_min_kept, r.guaranteed_min_expansion) {
+                m.push(("thm21_min_kept".to_string(), kept));
+                m.push(("thm21_min_expansion".to_string(), exp));
+            }
+            m
+        }
+        Algo::Prune2 => {
+            let FaultSpec::Random { p } = cell.fault else {
+                unreachable!("prune2 × non-random rejected at parse time")
+            };
+            let epsilon = params
+                .epsilon
+                .unwrap_or_else(|| theorem34_max_epsilon(net.max_degree()));
+            let cfg = AnalyzerConfig {
+                seed: cell.seed,
+                threads: 1,
+                ..Default::default()
+            };
+            let r = analyze_random(&net, p, epsilon, params.sigma, params.trials, &cfg);
+            vec![
+                ("n".to_string(), r.n as f64),
+                ("p".to_string(), p),
+                ("epsilon".to_string(), epsilon),
+                ("mean_gamma".to_string(), r.mean_gamma),
+                ("kept_fraction".to_string(), r.mean_kept_fraction),
+                ("success".to_string(), r.success_rate),
+                ("alpha_e_after".to_string(), r.mean_alpha_e_after),
+                ("thm34_max_p".to_string(), r.theorem34_max_p),
+                (
+                    "thm34_applicable".to_string(),
+                    f64::from(r.theorem34_applicable),
+                ),
+            ]
+        }
+        Algo::Percolation => match cell.fault {
+            FaultSpec::Random { p } => {
+                let alive = fx_percolation::sample_alive_nodes(net.n(), 1.0 - p, &mut rng);
+                let g_frac = fx_percolation::gamma_site(&net.graph, &alive);
+                vec![
+                    ("n".to_string(), net.n() as f64),
+                    ("p".to_string(), p),
+                    (
+                        "alive_fraction".to_string(),
+                        alive.len() as f64 / net.n().max(1) as f64,
+                    ),
+                    ("gamma".to_string(), g_frac),
+                ]
+            }
+            _ => {
+                let mc = MonteCarlo {
+                    trials: params.trials.max(4),
+                    threads: 1,
+                    base_seed: cell.seed,
+                };
+                let mode = if params.site_mode {
+                    Mode::Site
+                } else {
+                    Mode::Bond
+                };
+                let est = estimate_critical(&net.graph, mode, &mc, params.gamma, params.grid);
+                vec![
+                    ("n".to_string(), net.n() as f64),
+                    ("p_star".to_string(), est.p_star),
+                    ("tolerance".to_string(), 1.0 - est.p_star),
+                ]
+            }
+        },
+        Algo::Span => {
+            if net.n() <= 20 {
+                let est = exact_span(&net.graph, 50_000_000);
+                vec![
+                    ("n".to_string(), net.n() as f64),
+                    ("span".to_string(), est.max_ratio),
+                    ("sets_examined".to_string(), est.sets_examined as f64),
+                    ("exhaustive".to_string(), f64::from(est.exhaustive)),
+                ]
+            } else {
+                let est = sampled_span(&net.graph, params.samples, net.n() / 4, &mut rng);
+                vec![
+                    ("n".to_string(), net.n() as f64),
+                    ("span".to_string(), est.max_ratio),
+                    ("sets_examined".to_string(), est.sets_examined as f64),
+                    ("exhaustive".to_string(), 0.0),
+                ]
+            }
+        }
+        Algo::ExpansionCert => expansion_cert_metrics(&net, cell, &mut rng),
+    };
+
+    CellResult {
+        key: cell.key(),
+        graph: cell.graph.clone(),
+        fault: cell.fault.to_string(),
+        algo: cell.algo.to_string(),
+        replicate: cell.replicate,
+        seed: cell.seed,
+        metrics,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn expansion_cert_metrics(net: &Network, cell: &Cell, rng: &mut SmallRng) -> Vec<(String, f64)> {
+    let model = fault_model(&cell.fault);
+    let failed = model.sample(&net.graph, rng);
+    let alive = apply_faults(&net.graph, &failed);
+    if alive.is_empty() {
+        return vec![
+            ("n".to_string(), net.n() as f64),
+            ("faults".to_string(), failed.len() as f64),
+            ("gamma".to_string(), 0.0),
+        ];
+    }
+    let a = node_expansion_bounds(&net.graph, &alive, Effort::Auto, rng);
+    let ae = edge_expansion_bounds(&net.graph, &alive, Effort::Auto, rng);
+    vec![
+        ("n".to_string(), net.n() as f64),
+        ("faults".to_string(), failed.len() as f64),
+        ("gamma".to_string(), gamma(&net.graph, &alive)),
+        ("alpha_lower".to_string(), a.lower),
+        ("alpha_upper".to_string(), a.upper.min(1e6)),
+        ("alpha_e_lower".to_string(), ae.lower),
+        ("alpha_e_upper".to_string(), ae.upper.min(1e6)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::expand;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec::parse(
+            r#"
+name = "exec-test"
+seed = 11
+replicates = 2
+graphs = ["torus:5,5", "hypercube:4"]
+faults = ["none", "random:0.1", "adversarial:2"]
+algorithms = ["prune", "expansion-cert"]
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cells_execute_and_are_deterministic() {
+        let spec = small_spec();
+        let cells = expand(&spec);
+        for cell in cells.iter().take(6) {
+            let a = run_cell(&spec, cell);
+            let b = run_cell(&spec, cell);
+            assert_eq!(a.metrics, b.metrics, "{}", cell.key());
+            assert_eq!(a.key, cell.key());
+            assert!(a.metric("n").unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn prune2_and_percolation_and_span_cells() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "axes"
+graphs = ["torus:6,6"]
+faults = ["random:0.05"]
+algorithms = ["prune2", "percolation"]
+"#,
+        )
+        .unwrap();
+        for cell in expand(&spec) {
+            let r = run_cell(&spec, &cell);
+            match cell.algo {
+                Algo::Prune2 => {
+                    assert!(r.metric("kept_fraction").unwrap() >= 0.0);
+                    assert!(r.metric("thm34_max_p").unwrap() > 0.0);
+                }
+                Algo::Percolation => {
+                    let g_frac = r.metric("gamma").unwrap();
+                    assert!((0.0..=1.0).contains(&g_frac));
+                }
+                _ => unreachable!(),
+            }
+        }
+        let span_spec =
+            CampaignSpec::parse("name = \"s\"\ngraphs = [\"mesh:3,4\"]\nalgorithms = [\"span\"]")
+                .unwrap();
+        let r = run_cell(&span_spec, &expand(&span_spec)[0]);
+        assert_eq!(r.metric("exhaustive"), Some(1.0));
+        assert!(r.metric("span").unwrap() <= 2.0 + 1e-9, "Theorem 3.6");
+    }
+
+    #[test]
+    fn cell_result_json_roundtrip() {
+        let spec = small_spec();
+        let cell = &expand(&spec)[0];
+        let r = run_cell(&spec, cell);
+        let text = fx_json::to_string(&r);
+        let back: CellResult = fx_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+}

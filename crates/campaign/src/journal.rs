@@ -1,0 +1,227 @@
+//! JSONL checkpoint journal: one [`CellResult`] per line, appended and
+//! flushed as cells complete, so a killed campaign loses at most the
+//! cells that were mid-flight — `resume` skips everything already on
+//! disk.
+//!
+//! Robustness rules:
+//! * a truncated / corrupt **final** line (the typical kill artifact)
+//!   is ignored;
+//! * corrupt lines elsewhere are reported as errors (the journal is a
+//!   record of work paid for — silent data loss would be worse than a
+//!   loud failure);
+//! * duplicate keys keep the **first** occurrence (cells are pure
+//!   functions of their identity, so any duplicate is an identical
+//!   re-run).
+
+use crate::exec::CellResult;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A campaign's journal file.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Journal at `path` (conventionally `<output>/journal.jsonl`).
+    pub fn new(path: PathBuf) -> Self {
+        Journal { path }
+    }
+
+    /// The journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads all journaled results (empty when the file is absent).
+    pub fn load(&self) -> Result<Vec<CellResult>, String> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("cannot read {}: {e}", self.path.display())),
+        };
+        let mut results: Vec<CellResult> = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match fx_json::from_str::<CellResult>(line) {
+                Ok(r) => {
+                    if seen.insert(r.key.clone()) {
+                        results.push(r);
+                    }
+                }
+                Err(e) if i + 1 == lines.len() => {
+                    // torn final line from a kill mid-write: drop it
+                    eprintln!(
+                        "campaign: ignoring truncated final journal line in {}: {e}",
+                        self.path.display()
+                    );
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "{}:{}: corrupt journal line: {e}",
+                        self.path.display(),
+                        i + 1
+                    ));
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Opens the journal for appending (creates parent directories).
+    ///
+    /// A kill mid-append can leave a torn final line with no trailing
+    /// newline; appending onto it would merge two records into one
+    /// corrupt *interior* line and poison every future load. The torn
+    /// fragment is already ignored by [`Journal::load`], so it is
+    /// truncated away here before appending resumes.
+    pub fn appender(&self) -> Result<JournalWriter, String> {
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        match std::fs::read(&self.path) {
+            Ok(data) if !data.is_empty() && !data.ends_with(b"\n") => {
+                let keep = data
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
+                let file = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&self.path)
+                    .map_err(|e| format!("cannot open {}: {e}", self.path.display()))?;
+                file.set_len(keep as u64)
+                    .map_err(|e| format!("cannot truncate torn journal line: {e}"))?;
+                eprintln!(
+                    "campaign: dropped torn trailing journal line in {}",
+                    self.path.display()
+                );
+            }
+            _ => {}
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| format!("cannot open {}: {e}", self.path.display()))?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+}
+
+/// Concurrent append handle; each append writes and flushes one line.
+pub struct JournalWriter {
+    file: Mutex<std::fs::File>,
+}
+
+impl JournalWriter {
+    /// Appends one result (line-buffered + flushed: crash-safe
+    /// checkpoint granularity is a single cell).
+    pub fn append(&self, result: &CellResult) -> Result<(), String> {
+        let mut line = fx_json::to_string(result);
+        line.push('\n');
+        let mut file = self.file.lock();
+        file.write_all(line.as_bytes())
+            .and_then(|_| file.flush())
+            .map_err(|e| format!("journal write failed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(key: &str, x: f64) -> CellResult {
+        CellResult {
+            key: key.to_string(),
+            graph: "torus:4,4".into(),
+            fault: "none".into(),
+            algo: "span".into(),
+            replicate: 0,
+            seed: 1,
+            metrics: vec![("x".into(), x)],
+            wall_ms: 0.5,
+        }
+    }
+
+    fn temp_journal(name: &str) -> Journal {
+        let dir =
+            std::env::temp_dir().join(format!("fx-campaign-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Journal::new(dir.join("journal.jsonl"))
+    }
+
+    #[test]
+    fn append_load_roundtrip_with_dedup() {
+        let j = temp_journal("roundtrip");
+        let w = j.appender().unwrap();
+        w.append(&result("a", 1.0)).unwrap();
+        w.append(&result("b", 2.0)).unwrap();
+        w.append(&result("a", 99.0)).unwrap(); // duplicate: first wins
+        drop(w);
+        let loaded = j.load().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].key, "a");
+        assert_eq!(loaded[0].metric("x"), Some(1.0));
+        assert_eq!(loaded[1].key, "b");
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let j = temp_journal("missing");
+        assert!(j.load().unwrap().is_empty());
+    }
+
+    #[test]
+    fn appender_truncates_torn_line_so_resume_appends_cleanly() {
+        let j = temp_journal("torn-append");
+        let w = j.appender().unwrap();
+        w.append(&result("a", 1.0)).unwrap();
+        drop(w);
+        // kill mid-append: torn fragment with no trailing newline
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(j.path())
+            .unwrap();
+        f.write_all(b"{\"key\":\"b\",\"gra").unwrap();
+        drop(f);
+        // resume: the appender must not merge onto the fragment
+        let w = j.appender().unwrap();
+        w.append(&result("c", 3.0)).unwrap();
+        drop(w);
+        let loaded = j.load().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].key, "a");
+        assert_eq!(loaded[1].key, "c");
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored_but_interior_corruption_errors() {
+        let j = temp_journal("torn");
+        let w = j.appender().unwrap();
+        w.append(&result("a", 1.0)).unwrap();
+        drop(w);
+        // simulate a kill mid-write
+        let mut raw = std::fs::read_to_string(j.path()).unwrap();
+        raw.push_str("{\"key\":\"b\",\"graph\":");
+        std::fs::write(j.path(), &raw).unwrap();
+        let loaded = j.load().unwrap();
+        assert_eq!(loaded.len(), 1);
+
+        // interior corruption is a hard error
+        let good = fx_json::to_string(&result("c", 3.0));
+        std::fs::write(j.path(), format!("not json\n{good}\n")).unwrap();
+        assert!(j.load().is_err());
+    }
+}

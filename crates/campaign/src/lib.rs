@@ -1,0 +1,84 @@
+//! # fx-campaign — declarative, parallel, resumable experiment
+//! campaigns
+//!
+//! Every claim in *"The Effect of Faults on Network Expansion"*
+//! (Bagchi et al., SPAA 2004) is a statement over a **grid** of
+//! scenarios: graph family × size × fault model × fault rate ×
+//! algorithm. This crate turns that grid into a first-class object:
+//!
+//! 1. **Declare** the grid in a small TOML-subset spec
+//!    ([`CampaignSpec`]) — graph specs (`torus:16,16`,
+//!    `hypercube:10`, …) × fault models (`random:p`, `adversarial:k`,
+//!    …) × algorithms (`prune`, `prune2`, `percolation`, `span`,
+//!    `expansion-cert`) × replicates.
+//! 2. **Expand** it into [`Cell`]s with deterministic per-cell seeds
+//!    derived from the cell *identity* (editing a spec never
+//!    reshuffles seeds of untouched cells).
+//! 3. **Execute** cells on the work-stealing
+//!    [`Pool`](fx_graph::par::Pool), journaling each completed cell to
+//!    a JSONL checkpoint as it finishes — a killed run loses at most
+//!    the in-flight cells, and `resume` skips everything already paid
+//!    for.
+//! 4. **Aggregate** with online Welford mean/variance + 95% CIs in a
+//!    schedule-independent order, so interrupted-and-resumed runs
+//!    produce bit-identical statistics.
+//! 5. **Emit** artifacts (`aggregates.csv`, `aggregates.json`, the
+//!    printed table) through `fx-bench`'s table machinery.
+//!
+//! The `fxnet campaign run|resume|report` subcommands wrap this crate;
+//! `specs/` in the repository root ships campaign ports of the former
+//! stand-alone experiment binaries.
+//!
+//! ## Example
+//!
+//! ```ignore
+//! use fx_campaign::{run, CampaignSpec, RunOptions};
+//!
+//! let spec = CampaignSpec::parse(r#"
+//! name = "quick"
+//! replicates = 4
+//! graphs = ["torus:8,8", "hypercube:6"]
+//! faults = ["random:0.05"]
+//! algorithms = ["prune"]
+//! "#)?;
+//! let summary = run(&spec, &RunOptions::default())?;
+//! assert!(summary.complete);
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! ## Spec reference
+//!
+//! | key | meaning | default |
+//! |---|---|---|
+//! | `name` | campaign id (artifact prefix) | required |
+//! | `graphs` | list of graph specs | required |
+//! | `algorithms` | list of algorithms | required |
+//! | `faults` | list of fault models | `["none"]` |
+//! | `replicates` | replicates per grid point | 1 |
+//! | `seed` | master seed | 42 |
+//! | `output` | artifact directory | `results/campaigns/<name>` |
+//! | `[params] k` | Theorem 2.1 `k` | 2.0 |
+//! | `[params] epsilon` | `Prune2` ε | `1/(2δ)` per network |
+//! | `[params] sigma` | assumed span σ | 2.0 |
+//! | `[params] trials` | in-cell Monte-Carlo trials | 1 |
+//! | `[params] samples` | sampled-span samples | 200 |
+//! | `[params] gamma` | `p*` γ threshold | 0.1 |
+//! | `[params] grid` | `p*` search resolution | 50 |
+//! | `[params] mode` | percolation `site`/`bond` | `site` |
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod engine;
+pub mod exec;
+pub mod grid;
+pub mod journal;
+pub mod spec;
+pub mod toml;
+
+pub use agg::{aggregate, GroupAggregate, Welford};
+pub use engine::{journal_for, report, run, RunOptions, RunSummary};
+pub use exec::{run_cell, CellResult};
+pub use grid::{cell_seed, expand, Cell};
+pub use journal::{Journal, JournalWriter};
+pub use spec::{Algo, CampaignSpec, FaultSpec, Params};

@@ -1,0 +1,512 @@
+//! Campaign specification: the declarative description of a scenario
+//! grid, parsed from the TOML subset in [`crate::toml`].
+//!
+//! A campaign is a grid
+//! `graphs × faults × algorithms × replicates`; every row below the
+//! grid axes is validated eagerly so a bad spec fails before any cell
+//! runs.
+
+use crate::toml::{TomlDoc, TomlValue};
+use fx_core::Family;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A fault model axis value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// No faults injected.
+    None,
+    /// I.i.d. node faults with probability `p` (`random:p`).
+    Random {
+        /// Per-node fault probability.
+        p: f64,
+    },
+    /// Exactly `f` uniform random node faults (`random-exact:f`).
+    RandomExact {
+        /// Failed-node count.
+        f: usize,
+    },
+    /// Sparse-cut adversary with a node budget
+    /// (`adversarial:k` / `sparse-cut:k`).
+    SparseCut {
+        /// Adversary budget.
+        budget: usize,
+    },
+    /// Highest-degree-first adversary (`degree:k`).
+    Degree {
+        /// Adversary budget.
+        budget: usize,
+    },
+}
+
+impl FaultSpec {
+    /// Parses a compact fault spec string.
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let (name, param) = spec.split_once(':').unwrap_or((spec, ""));
+        let usize_param = || -> Result<usize, String> {
+            param
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault spec {spec:?}: bad integer parameter {param:?}"))
+        };
+        match name {
+            "none" => {
+                if param.is_empty() {
+                    Ok(FaultSpec::None)
+                } else {
+                    Err(format!("fault spec {spec:?}: `none` takes no parameter"))
+                }
+            }
+            "random" => {
+                let p: f64 = param
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("fault spec {spec:?}: bad probability {param:?}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault spec {spec:?}: probability out of [0,1]"));
+                }
+                Ok(FaultSpec::Random { p })
+            }
+            "random-exact" => Ok(FaultSpec::RandomExact { f: usize_param()? }),
+            "adversarial" | "sparse-cut" => Ok(FaultSpec::SparseCut {
+                budget: usize_param()?,
+            }),
+            "degree" => Ok(FaultSpec::Degree {
+                budget: usize_param()?,
+            }),
+            other => Err(format!(
+                "unknown fault model {other:?} (try none | random:0.05 | random-exact:8 | \
+                 adversarial:8 | degree:8)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpec::None => write!(f, "none"),
+            FaultSpec::Random { p } => write!(f, "random:{p}"),
+            FaultSpec::RandomExact { f: n } => write!(f, "random-exact:{n}"),
+            FaultSpec::SparseCut { budget } => write!(f, "adversarial:{budget}"),
+            FaultSpec::Degree { budget } => write!(f, "degree:{budget}"),
+        }
+    }
+}
+
+/// An algorithm axis value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Theorem 2.1 pipeline: adversarial faults + `Prune`.
+    Prune,
+    /// Theorem 3.4 pipeline: random faults + `Prune2`.
+    Prune2,
+    /// Percolation: `γ` at a survival rate, or `p*` when fault-free.
+    Percolation,
+    /// Span estimation (exact for tiny graphs, sampled otherwise).
+    Span,
+    /// Two-sided expansion certificates of the (faulted) graph.
+    ExpansionCert,
+}
+
+impl Algo {
+    /// Parses an algorithm name.
+    pub fn parse(name: &str) -> Result<Algo, String> {
+        match name {
+            "prune" => Ok(Algo::Prune),
+            "prune2" => Ok(Algo::Prune2),
+            "percolation" => Ok(Algo::Percolation),
+            "span" => Ok(Algo::Span),
+            "expansion-cert" => Ok(Algo::ExpansionCert),
+            other => Err(format!(
+                "unknown algorithm {other:?} (try prune | prune2 | percolation | span | \
+                 expansion-cert)"
+            )),
+        }
+    }
+
+    /// Whether this algorithm can run under the given fault model; a
+    /// `Err` explains the incompatibility (reported at spec
+    /// validation, before anything runs).
+    pub fn accepts(&self, fault: &FaultSpec) -> Result<(), String> {
+        match (self, fault) {
+            (Algo::Prune2, FaultSpec::Random { .. }) => Ok(()),
+            (Algo::Prune2, other) => Err(format!(
+                "prune2 implements the random-fault theorem (3.4); fault model `{other}` is not \
+                 i.i.d. random — use `random:p`"
+            )),
+            (Algo::Percolation, FaultSpec::None | FaultSpec::Random { .. }) => Ok(()),
+            (Algo::Percolation, other) => Err(format!(
+                "percolation measures random dilution; fault model `{other}` is adversarial"
+            )),
+            (Algo::Span, FaultSpec::None) => Ok(()),
+            (Algo::Span, other) => Err(format!(
+                "span is a property of the fault-free graph; drop fault model `{other}`"
+            )),
+            (Algo::Prune | Algo::ExpansionCert, _) => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for Algo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Algo::Prune => "prune",
+            Algo::Prune2 => "prune2",
+            Algo::Percolation => "percolation",
+            Algo::Span => "span",
+            Algo::ExpansionCert => "expansion-cert",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tunable parameters shared by all cells (the `[params]` table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Theorem 2.1 `k` (prune threshold `ε = 1 − 1/k`).
+    pub k: f64,
+    /// `Prune2` ε; `None` uses the Theorem 3.4 ceiling `1/(2δ)` per
+    /// network.
+    pub epsilon: Option<f64>,
+    /// Assumed span `σ` for Theorem 3.4 preconditions.
+    pub sigma: f64,
+    /// Monte-Carlo trials *inside* one cell (replicates are the outer
+    /// loop; keep this at 1 unless a cell-level mean is wanted).
+    pub trials: usize,
+    /// Sampled-span sample count.
+    pub samples: usize,
+    /// `γ` threshold for critical-probability estimation.
+    pub gamma: f64,
+    /// Grid resolution for critical-probability search.
+    pub grid: usize,
+    /// Percolation mode: `site` or `bond` (critical estimation only).
+    pub site_mode: bool,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            k: 2.0,
+            epsilon: None,
+            sigma: 2.0,
+            trials: 1,
+            samples: 200,
+            gamma: 0.1,
+            grid: 50,
+            site_mode: true,
+        }
+    }
+}
+
+/// A declarative campaign: the grid plus execution defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (artifact prefix).
+    pub name: String,
+    /// Master seed; every cell derives its own deterministic seed.
+    pub seed: u64,
+    /// Replicates per grid point.
+    pub replicates: usize,
+    /// Artifact directory (journal, CSV/JSON outputs).
+    pub output: PathBuf,
+    /// Graph axis (compact `Family::from_spec` strings).
+    pub graphs: Vec<String>,
+    /// Fault-model axis.
+    pub faults: Vec<FaultSpec>,
+    /// Algorithm axis.
+    pub algorithms: Vec<Algo>,
+    /// Shared tunables.
+    pub params: Params,
+}
+
+impl CampaignSpec {
+    /// Parses and validates a spec document.
+    pub fn parse(text: &str) -> Result<CampaignSpec, String> {
+        let doc = TomlDoc::parse(text)?;
+        Self::from_doc(&doc)
+    }
+
+    /// Reads and parses a spec file.
+    pub fn load(path: &std::path::Path) -> Result<CampaignSpec, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    fn from_doc(doc: &TomlDoc) -> Result<CampaignSpec, String> {
+        let name = doc
+            .get("name")
+            .and_then(TomlValue::as_str)
+            .ok_or("missing `name = \"…\"`")?
+            .to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!(
+                "campaign name {name:?} must be non-empty [a-zA-Z0-9_-]"
+            ));
+        }
+        let seed = match doc.get("seed") {
+            None => 42,
+            Some(v) => v
+                .as_usize()
+                .map(|s| s as u64)
+                .ok_or("`seed` must be a non-negative integer")?,
+        };
+        let replicates = match doc.get("replicates") {
+            None => 1,
+            Some(v) => {
+                let r = v
+                    .as_usize()
+                    .ok_or("`replicates` must be a non-negative integer")?;
+                if r == 0 {
+                    return Err("`replicates` must be ≥ 1".into());
+                }
+                r
+            }
+        };
+        let output = match doc.get("output") {
+            None => PathBuf::from(format!("results/campaigns/{name}")),
+            Some(v) => PathBuf::from(v.as_str().ok_or("`output` must be a string path")?),
+        };
+
+        let string_list = |key: &str| -> Result<Vec<String>, String> {
+            let Some(v) = doc.get(key) else {
+                return Ok(Vec::new());
+            };
+            let items = v.as_array().ok_or(format!("`{key}` must be an array"))?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_string)
+                        .ok_or(format!("`{key}` entries must be strings"))
+                })
+                .collect()
+        };
+
+        let graphs = string_list("graphs")?;
+        if graphs.is_empty() {
+            return Err("`graphs` must list at least one graph spec".into());
+        }
+        for g in &graphs {
+            Family::from_spec(g).map_err(|e| format!("graphs entry {g:?}: {e}"))?;
+        }
+
+        let fault_strings = string_list("faults")?;
+        let faults = if fault_strings.is_empty() {
+            vec![FaultSpec::None]
+        } else {
+            fault_strings
+                .iter()
+                .map(|s| FaultSpec::parse(s))
+                .collect::<Result<_, _>>()?
+        };
+
+        let algo_strings = string_list("algorithms")?;
+        if algo_strings.is_empty() {
+            return Err("`algorithms` must list at least one algorithm".into());
+        }
+        let algorithms: Vec<Algo> = algo_strings
+            .iter()
+            .map(|s| Algo::parse(s))
+            .collect::<Result<_, _>>()?;
+
+        // the whole grid must be well-formed before anything runs
+        for algo in &algorithms {
+            for fault in &faults {
+                algo.accepts(fault)
+                    .map_err(|e| format!("invalid grid point ({algo} × {fault}): {e}"))?;
+            }
+        }
+
+        let mut params = Params::default();
+        let pf = |key: &str| -> Result<Option<f64>, String> {
+            match doc.get_in("params", key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or(format!("params.{key} must be a number")),
+            }
+        };
+        let pu = |key: &str| -> Result<Option<usize>, String> {
+            match doc.get_in("params", key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_usize()
+                    .map(Some)
+                    .ok_or(format!("params.{key} must be a non-negative integer")),
+            }
+        };
+        if let Some(k) = pf("k")? {
+            if k < 2.0 {
+                return Err("params.k must be ≥ 2 (Theorem 2.1)".into());
+            }
+            params.k = k;
+        }
+        if let Some(eps) = pf("epsilon")? {
+            if !(0.0..=1.0).contains(&eps) {
+                return Err("params.epsilon must be in [0, 1]".into());
+            }
+            params.epsilon = Some(eps);
+        }
+        if let Some(sigma) = pf("sigma")? {
+            params.sigma = sigma;
+        }
+        if let Some(t) = pu("trials")? {
+            params.trials = t.max(1);
+        }
+        if let Some(s) = pu("samples")? {
+            params.samples = s.max(1);
+        }
+        if let Some(g) = pf("gamma")? {
+            params.gamma = g;
+        }
+        if let Some(g) = pu("grid")? {
+            params.grid = g.max(2);
+        }
+        if let Some(mode) = doc.get_in("params", "mode") {
+            match mode.as_str() {
+                Some("site") => params.site_mode = true,
+                Some("bond") => params.site_mode = false,
+                _ => return Err("params.mode must be \"site\" or \"bond\"".into()),
+            }
+        }
+        if let Some(table) = doc.tables.get("params") {
+            const KNOWN: &[&str] = &[
+                "k", "epsilon", "sigma", "trials", "samples", "gamma", "grid", "mode",
+            ];
+            for key in table.keys() {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(format!("unknown params key `{key}`"));
+                }
+            }
+        }
+        const KNOWN_ROOT: &[&str] = &[
+            "name",
+            "seed",
+            "replicates",
+            "output",
+            "graphs",
+            "faults",
+            "algorithms",
+        ];
+        for key in doc.root.keys() {
+            if !KNOWN_ROOT.contains(&key.as_str()) {
+                return Err(format!("unknown key `{key}`"));
+            }
+        }
+        for table in doc.tables.keys() {
+            if table != "params" {
+                return Err(format!("unknown table `[{table}]`"));
+            }
+        }
+
+        Ok(CampaignSpec {
+            name,
+            seed,
+            replicates,
+            output,
+            graphs,
+            faults,
+            algorithms,
+            params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+name = "demo"
+seed = 7
+replicates = 3
+graphs = ["torus:8,8", "hypercube:4"]
+faults = ["none", "random:0.05", "adversarial:4"]
+algorithms = ["prune", "expansion-cert"]
+
+[params]
+k = 2.0
+trials = 2
+"#;
+
+    #[test]
+    fn parses_and_validates() {
+        let spec = CampaignSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.replicates, 3);
+        assert_eq!(spec.graphs.len(), 2);
+        assert_eq!(spec.faults.len(), 3);
+        assert_eq!(spec.algorithms, vec![Algo::Prune, Algo::ExpansionCert]);
+        assert_eq!(spec.params.trials, 2);
+        assert_eq!(spec.output, PathBuf::from("results/campaigns/demo"));
+    }
+
+    #[test]
+    fn defaults_are_filled() {
+        let spec =
+            CampaignSpec::parse("name = \"d\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]")
+                .unwrap();
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.replicates, 1);
+        assert_eq!(spec.faults, vec![FaultSpec::None]);
+        assert_eq!(spec.params, Params::default());
+    }
+
+    #[test]
+    fn rejects_invalid_grid_points() {
+        let bad = "name = \"d\"\ngraphs = [\"cycle:10\"]\nfaults = [\"adversarial:2\"]\n\
+                   algorithms = [\"prune2\"]";
+        let err = CampaignSpec::parse(bad).unwrap_err();
+        assert!(err.contains("prune2"), "{err}");
+
+        let bad = "name = \"d\"\ngraphs = [\"cycle:10\"]\nfaults = [\"random:0.1\"]\n\
+                   algorithms = [\"span\"]";
+        assert!(CampaignSpec::parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_graphs_and_unknown_keys() {
+        assert!(CampaignSpec::parse(
+            "name = \"d\"\ngraphs = [\"klein:3\"]\nalgorithms = [\"span\"]"
+        )
+        .is_err());
+        assert!(CampaignSpec::parse(
+            "name = \"d\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\nbogus = 1"
+        )
+        .is_err());
+        assert!(CampaignSpec::parse(
+            "name = \"d\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n[params]\nzz = 1"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fault_spec_roundtrip() {
+        for s in [
+            "none",
+            "random:0.05",
+            "random-exact:8",
+            "adversarial:4",
+            "degree:2",
+        ] {
+            let f = FaultSpec::parse(s).unwrap();
+            assert_eq!(f.to_string(), s);
+        }
+        assert_eq!(
+            FaultSpec::parse("sparse-cut:4").unwrap(),
+            FaultSpec::SparseCut { budget: 4 }
+        );
+        assert!(FaultSpec::parse("random:1.5").is_err());
+        assert!(FaultSpec::parse("random:x").is_err());
+        assert!(FaultSpec::parse("none:3").is_err());
+        assert!(FaultSpec::parse("gamma-ray").is_err());
+    }
+}

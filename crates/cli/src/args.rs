@@ -6,11 +6,14 @@
 
 use fx_core::Family;
 
-/// Parsed command line: positional command plus key/value options.
+/// Parsed command line: positional command (plus optional trailing
+/// positionals, e.g. `campaign run`) and key/value options.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand (first positional).
     pub command: Option<String>,
+    /// Positionals after the command (e.g. `run` in `campaign run`).
+    pub positionals: Vec<String>,
     /// `--key value` pairs.
     pub options: Vec<(String, String)>,
     /// Bare `--flag`s.
@@ -35,7 +38,7 @@ impl Args {
             } else if args.command.is_none() {
                 args.command = Some(tok);
             } else {
-                return Err(format!("unexpected positional argument: {tok}"));
+                args.positionals.push(tok);
             }
         }
         Ok(args)
@@ -66,80 +69,11 @@ impl Args {
     }
 }
 
-/// Parses a graph spec `family:params` into a [`Family`].
+/// Parses a graph spec `family:params` into a [`Family`] (delegates
+/// to [`Family::from_spec`], the shared parser also used by campaign
+/// specs).
 pub fn parse_graph_spec(spec: &str) -> Result<Family, String> {
-    let (name, params) = spec.split_once(':').unwrap_or((spec, ""));
-    let nums: Vec<usize> = if params.is_empty() {
-        Vec::new()
-    } else {
-        params
-            .split(',')
-            .map(|p| p.trim().parse().map_err(|_| format!("bad parameter: {p}")))
-            .collect::<Result<_, _>>()?
-    };
-    let need = |k: usize| -> Result<(), String> {
-        if nums.len() == k {
-            Ok(())
-        } else {
-            Err(format!("{name} expects {k} parameter(s), got {}", nums.len()))
-        }
-    };
-    match name {
-        "hypercube" => {
-            need(1)?;
-            Ok(Family::Hypercube { d: nums[0] })
-        }
-        "mesh" => {
-            if nums.is_empty() {
-                return Err("mesh expects at least one side".into());
-            }
-            Ok(Family::Mesh { dims: nums })
-        }
-        "torus" => {
-            if nums.is_empty() {
-                return Err("torus expects at least one side".into());
-            }
-            Ok(Family::Torus { dims: nums })
-        }
-        "butterfly" => {
-            need(1)?;
-            Ok(Family::Butterfly { d: nums[0] })
-        }
-        "wrapped-butterfly" => {
-            need(1)?;
-            Ok(Family::WrappedButterfly { d: nums[0] })
-        }
-        "debruijn" | "de-bruijn" => {
-            need(1)?;
-            Ok(Family::DeBruijn { d: nums[0] })
-        }
-        "shuffle-exchange" => {
-            need(1)?;
-            Ok(Family::ShuffleExchange { d: nums[0] })
-        }
-        "margulis" => {
-            need(1)?;
-            Ok(Family::Margulis { m: nums[0] })
-        }
-        "random-regular" | "rr" => {
-            need(2)?;
-            Ok(Family::RandomRegular {
-                n: nums[0],
-                d: nums[1],
-            })
-        }
-        "cycle" => {
-            need(1)?;
-            Ok(Family::Cycle { n: nums[0] })
-        }
-        "complete" => {
-            need(1)?;
-            Ok(Family::Complete { n: nums[0] })
-        }
-        other => Err(format!(
-            "unknown family: {other} (try torus:16,16 | hypercube:10 | random-regular:1024,4 …)"
-        )),
-    }
+    Family::from_spec(spec)
 }
 
 #[cfg(test)]
@@ -163,8 +97,10 @@ mod tests {
     }
 
     #[test]
-    fn rejects_extra_positionals() {
-        assert!(Args::parse(["a".to_string(), "b".to_string()]).is_err());
+    fn collects_extra_positionals() {
+        let a = Args::parse(["campaign".to_string(), "run".to_string()]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("campaign"));
+        assert_eq!(a.positionals, vec!["run".to_string()]);
     }
 
     #[test]

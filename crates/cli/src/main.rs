@@ -6,11 +6,15 @@
 //! fxnet percolate --graph torus:32,32 --mode site --trials 16
 //! fxnet span      --graph mesh:4,4
 //! fxnet theory    --graph torus:16,16 --sigma 2
+//! fxnet campaign  run --spec specs/random_faults.toml --threads 8
+//! fxnet campaign  resume --spec specs/random_faults.toml
+//! fxnet campaign  report --spec specs/random_faults.toml
 //! ```
 
 mod args;
 
 use args::{parse_graph_spec, Args};
+use fx_campaign::{CampaignSpec, RunOptions};
 use fx_core::{analyze_adversarial, theory_table, AnalyzerConfig, Network};
 use fx_expansion::certificate::{
     edge_expansion_bounds, node_expansion_bounds, Effort, ExpansionBounds,
@@ -22,6 +26,15 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
 
+/// `println!` that tolerates a closed stdout (e.g. piping into
+/// `head`) instead of panicking on SIGPIPE.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
 const USAGE: &str = "fxnet <command> [options]
 
 commands:
@@ -32,6 +45,12 @@ commands:
                                                 critical probability estimate
   span       --graph SPEC [--samples N]         span (exact ≤ 20 nodes, else sampled)
   theory     --graph SPEC [--sigma S]           the paper's bounds for this network
+  campaign   run|resume --spec FILE [--threads N] [--limit N] [--out DIR] [--quiet]
+             report     --spec FILE [--out DIR]
+                                                declarative scenario campaigns
+                                                (journaled, resumable, parallel)
+
+global:     --threads N   worker threads (or FXNET_THREADS; default: cores, ≤ 16)
 
 graph SPEC: torus:16,16 | mesh:8,8,8 | hypercube:10 | butterfly:8 |
             debruijn:10 | shuffle-exchange:10 | margulis:32 |
@@ -61,13 +80,73 @@ fn build_network(args: &Args) -> Result<(Network, u64), String> {
     Ok((family.build(seed), seed))
 }
 
+/// `--threads N`, defaulting to `FXNET_THREADS` / available cores.
+fn threads_option(args: &Args) -> Result<usize, String> {
+    let threads: usize = args.get_parsed("threads", fx_graph::par::default_threads())?;
+    if threads == 0 {
+        return Err("--threads must be ≥ 1".into());
+    }
+    Ok(threads)
+}
+
+fn run_campaign(args: &Args) -> Result<(), String> {
+    let action = args
+        .positionals
+        .first()
+        .map(String::as_str)
+        .ok_or("campaign requires an action: run | resume | report")?;
+    if let Some(extra) = args.positionals.get(1) {
+        return Err(format!("unexpected positional argument: {extra}"));
+    }
+    let spec_path = args.get("spec").ok_or("missing --spec FILE")?;
+    let spec = CampaignSpec::load(std::path::Path::new(spec_path))?;
+    let opts = RunOptions {
+        threads: args.get_parsed("threads", 0usize)?,
+        limit: match args.get("limit") {
+            None => None,
+            Some(_) => Some(args.get_parsed("limit", 0usize)?),
+        },
+        quiet: args.has_flag("quiet"),
+        output: args.get("out").map(std::path::PathBuf::from),
+    };
+    let summary = match action {
+        // `resume` IS `run` — a run that finds journaled cells skips
+        // them; the alias exists so intent reads clearly in scripts.
+        "run" | "resume" => fx_campaign::run(&spec, &opts)?,
+        "report" => fx_campaign::report(&spec, &opts)?,
+        other => return Err(format!("unknown campaign action: {other}")),
+    };
+    // `let _ =`: tolerate a closed stdout (e.g. piping into `head`)
+    // like Table::print does, instead of panicking on SIGPIPE.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
+        "campaign {}: {} cells — {} journaled, {} executed{}",
+        spec.name,
+        summary.total_cells,
+        summary.skipped,
+        summary.executed,
+        if summary.complete {
+            ", complete"
+        } else {
+            ", PARTIAL"
+        }
+    );
+    for artifact in &summary.artifacts {
+        let _ = writeln!(out, "  artifact: {}", artifact.display());
+    }
+    Ok(())
+}
+
 fn show_bounds(label: &str, b: &ExpansionBounds) {
     let upper = if b.upper.is_finite() {
         format!("{:.6}", b.upper)
     } else {
         "∞".into()
     };
-    println!(
+    outln!(
         "{label}: [{:.6}, {upper}]{}{}",
         b.lower,
         if b.exact { " (exact)" } else { "" },
@@ -84,11 +163,18 @@ fn show_bounds(label: &str, b: &ExpansionBounds) {
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    // only `campaign` takes a trailing action word; a stray positional
+    // anywhere else is a mistyped invocation, not something to ignore
+    if args.command.as_deref() != Some("campaign") {
+        if let Some(extra) = args.positionals.first() {
+            return Err(format!("unexpected positional argument: {extra}"));
+        }
+    }
     match args.command.as_deref() {
         Some("expansion") => {
             let (net, seed) = build_network(args)?;
             let mut rng = SmallRng::seed_from_u64(seed);
-            println!(
+            outln!(
                 "{}: n={}, m={}, δ={}",
                 net.name,
                 net.n(),
@@ -113,14 +199,22 @@ fn run(args: &Args) -> Result<(), String> {
                 "random" => Box::new(ExactRandomFaults { f: faults }),
                 other => return Err(format!("unknown adversary: {other}")),
             };
-            let r = analyze_adversarial(&net, model.as_ref(), k, &AnalyzerConfig::default());
-            println!("{}: {} faults by {}", r.network, r.faults, r.adversary);
-            println!("γ after faults: {:.4}", r.gamma_after_faults);
-            println!(
+            let config = AnalyzerConfig {
+                threads: threads_option(args)?,
+                ..AnalyzerConfig::default()
+            };
+            let r = analyze_adversarial(&net, model.as_ref(), k, &config);
+            outln!("{}: {} faults by {}", r.network, r.faults, r.adversary);
+            outln!("γ after faults: {:.4}", r.gamma_after_faults);
+            outln!(
                 "Prune(ε={:.3}): kept {}/{} (culled {}), certified: {}",
-                r.epsilon, r.kept, r.n, r.culled, r.certified
+                r.epsilon,
+                r.kept,
+                r.n,
+                r.culled,
+                r.certified
             );
-            println!(
+            outln!(
                 "α(H) ∈ [{:.4}, {}]",
                 r.alpha_after.lower,
                 r.alpha_after
@@ -129,9 +223,9 @@ fn run(args: &Args) -> Result<(), String> {
             );
             match (r.guaranteed_min_kept, r.guaranteed_min_expansion) {
                 (Some(s), Some(e)) => {
-                    println!("Theorem 2.1 guarantees: |H| ≥ {s:.1}, α(H) ≥ {e:.4}")
+                    outln!("Theorem 2.1 guarantees: |H| ≥ {s:.1}, α(H) ≥ {e:.4}")
                 }
-                _ => println!("Theorem 2.1 preconditions not met (k·f/α > n/4)"),
+                _ => outln!("Theorem 2.1 preconditions not met (k·f/α > n/4)"),
             }
             Ok(())
         }
@@ -146,35 +240,44 @@ fn run(args: &Args) -> Result<(), String> {
             let gamma: f64 = args.get_parsed("gamma", 0.1)?;
             let mc = MonteCarlo {
                 trials,
-                threads: fx_graph::par::default_threads(),
+                threads: threads_option(args)?,
                 base_seed: seed,
             };
             let est = estimate_critical(&net.graph, mode, &mc, gamma, 50);
-            println!(
+            outln!(
                 "{}: critical survival probability p* ≈ {:.4} (γ threshold {}, {} trials)",
-                net.name, est.p_star, gamma, trials
+                net.name,
+                est.p_star,
+                gamma,
+                trials
             );
-            println!("fault tolerance 1 − p* ≈ {:.4}", 1.0 - est.p_star);
+            outln!("fault tolerance 1 − p* ≈ {:.4}", 1.0 - est.p_star);
             Ok(())
         }
         Some("span") => {
             let (net, seed) = build_network(args)?;
             if net.n() <= 20 {
                 let est = exact_span(&net.graph, 50_000_000);
-                println!(
+                outln!(
                     "{}: span = {:.4} ({} compact sets{})",
                     net.name,
                     est.max_ratio,
                     est.sets_examined,
-                    if est.exhaustive { ", exhaustive" } else { ", capped" }
+                    if est.exhaustive {
+                        ", exhaustive"
+                    } else {
+                        ", capped"
+                    }
                 );
             } else {
                 let samples: usize = args.get_parsed("samples", 200)?;
                 let mut rng = SmallRng::seed_from_u64(seed);
                 let est = sampled_span(&net.graph, samples, net.n() / 4, &mut rng);
-                println!(
+                outln!(
                     "{}: span ≥ {:.4} (sampled over {} compact sets)",
-                    net.name, est.max_ratio, est.sets_examined
+                    net.name,
+                    est.max_ratio,
+                    est.sets_examined
                 );
             }
             Ok(())
@@ -186,14 +289,30 @@ fn run(args: &Args) -> Result<(), String> {
             let full = net.full_mask();
             let a = node_expansion_bounds(&net.graph, &full, Effort::Auto, &mut rng);
             let t = theory_table(net.n(), net.max_degree(), a.upper.min(1e6), sigma);
-            println!("{} (α upper bound {:.4}, σ = {sigma}):", net.name, a.upper);
-            println!("  Thm 2.1 max adversarial faults (k=2): {:.1}", t.thm21_max_faults_k2);
-            println!("  Thm 3.4 max fault probability:        {:.3e}", t.thm34_max_p);
-            println!("  Thm 3.4 ε ceiling:                    {:.4}", t.thm34_max_epsilon);
-            println!("  Thm 3.4 αe floor:                     {:.4}", t.thm34_min_alpha_e);
-            println!("  §4 diameter bound α⁻¹·ln n:           {:.1}", t.diameter_bound);
+            outln!("{} (α upper bound {:.4}, σ = {sigma}):", net.name, a.upper);
+            outln!(
+                "  Thm 2.1 max adversarial faults (k=2): {:.1}",
+                t.thm21_max_faults_k2
+            );
+            outln!(
+                "  Thm 3.4 max fault probability:        {:.3e}",
+                t.thm34_max_p
+            );
+            outln!(
+                "  Thm 3.4 ε ceiling:                    {:.4}",
+                t.thm34_max_epsilon
+            );
+            outln!(
+                "  Thm 3.4 αe floor:                     {:.4}",
+                t.thm34_min_alpha_e
+            );
+            outln!(
+                "  §4 diameter bound α⁻¹·ln n:           {:.1}",
+                t.diameter_bound
+            );
             Ok(())
         }
+        Some("campaign") => run_campaign(args),
         Some(other) => Err(format!("unknown command: {other}")),
         None => Err("missing command".into()),
     }

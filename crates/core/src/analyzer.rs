@@ -63,7 +63,14 @@ pub fn analyze_adversarial(
     let gamma_after = gamma(&net.graph, &alive);
 
     let epsilon = 1.0 - 1.0 / k;
-    let out = prune(&net.graph, &alive, alpha, epsilon, config.strategy, &mut rng);
+    let out = prune(
+        &net.graph,
+        &alive,
+        alpha,
+        epsilon,
+        config.strategy,
+        &mut rng,
+    );
     let alpha_after = node_expansion_bounds(&net.graph, &out.kept, config.effort, &mut rng);
 
     let guarantee = theorem21(net.n(), alpha, failed.len(), k);
@@ -128,13 +135,16 @@ pub fn analyze_random(
             gamma: g_frac,
             kept_fraction,
             success: 2 * out.kept.len() >= n,
-            alpha_e_after: if after.upper.is_finite() { after.upper } else { 0.0 },
+            alpha_e_after: if after.upper.is_finite() {
+                after.upper
+            } else {
+                0.0
+            },
         }
     });
 
-    let mean = |f: &dyn Fn(&Trial) -> f64| {
-        results.iter().map(|t| f(t)).sum::<f64>() / trials.max(1) as f64
-    };
+    let mean =
+        |f: &dyn Fn(&Trial) -> f64| results.iter().map(f).sum::<f64>() / trials.max(1) as f64;
     RandomFaultReport {
         network: net.name.clone(),
         p,

@@ -137,7 +137,11 @@ mod tests {
         let load = point_load(&g, &alive, 0, 160.0);
         let out = diffuse(&g, &alive, &load, 1e-6, 10_000);
         assert!(out.final_imbalance < 1e-6);
-        assert!(out.rounds < 200, "clique should balance fast: {}", out.rounds);
+        assert!(
+            out.rounds < 200,
+            "clique should balance fast: {}",
+            out.rounds
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub fn embed_nearest<R: Rng + ?Sized>(
     alive: &NodeSet,
     rng: &mut R,
 ) -> (EmbeddingQuality, Vec<NodeId>) {
-    assert_eq!(ideal.num_nodes(), host.num_nodes(), "same node universe required");
+    assert_eq!(
+        ideal.num_nodes(),
+        host.num_nodes(),
+        "same node universe required"
+    );
     let n = host.num_nodes();
     // nearest alive host node for every universe node
     let sources: Vec<NodeId> = alive.to_vec();

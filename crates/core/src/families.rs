@@ -5,10 +5,9 @@ use crate::network::Network;
 use fx_graph::generators::{self, SubdividedGraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// A buildable graph family.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Family {
     /// Hypercube `Q_d`.
     Hypercube {
@@ -69,6 +68,20 @@ pub enum Family {
     },
 }
 
+fx_json::impl_json_enum!(Family {
+    Hypercube { d },
+    Mesh { dims },
+    Torus { dims },
+    Butterfly { d },
+    WrappedButterfly { d },
+    DeBruijn { d },
+    ShuffleExchange { d },
+    Margulis { m },
+    RandomRegular { n, d },
+    Cycle { n },
+    Complete { n },
+});
+
 impl Family {
     /// Builds the graph (randomized families use `seed`).
     pub fn build(&self, seed: u64) -> Network {
@@ -90,6 +103,87 @@ impl Family {
             Family::Complete { n } => generators::complete(*n),
         };
         Network::new(name, graph)
+    }
+
+    /// Parses a compact graph spec `family:param,param,…` (the format
+    /// used by the `fxnet` CLI and campaign specs), e.g. `torus:16,16`,
+    /// `hypercube:10`, `random-regular:1024,4`.
+    pub fn from_spec(spec: &str) -> Result<Family, String> {
+        let (name, params) = spec.split_once(':').unwrap_or((spec, ""));
+        let nums: Vec<usize> = if params.is_empty() {
+            Vec::new()
+        } else {
+            params
+                .split(',')
+                .map(|p| p.trim().parse().map_err(|_| format!("bad parameter: {p}")))
+                .collect::<Result<_, _>>()?
+        };
+        let need = |k: usize| -> Result<(), String> {
+            if nums.len() == k {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{name} expects {k} parameter(s), got {}",
+                    nums.len()
+                ))
+            }
+        };
+        match name {
+            "hypercube" => {
+                need(1)?;
+                Ok(Family::Hypercube { d: nums[0] })
+            }
+            "mesh" => {
+                if nums.is_empty() {
+                    return Err("mesh expects at least one side".into());
+                }
+                Ok(Family::Mesh { dims: nums })
+            }
+            "torus" => {
+                if nums.is_empty() {
+                    return Err("torus expects at least one side".into());
+                }
+                Ok(Family::Torus { dims: nums })
+            }
+            "butterfly" => {
+                need(1)?;
+                Ok(Family::Butterfly { d: nums[0] })
+            }
+            "wrapped-butterfly" => {
+                need(1)?;
+                Ok(Family::WrappedButterfly { d: nums[0] })
+            }
+            "debruijn" | "de-bruijn" => {
+                need(1)?;
+                Ok(Family::DeBruijn { d: nums[0] })
+            }
+            "shuffle-exchange" => {
+                need(1)?;
+                Ok(Family::ShuffleExchange { d: nums[0] })
+            }
+            "margulis" => {
+                need(1)?;
+                Ok(Family::Margulis { m: nums[0] })
+            }
+            "random-regular" | "rr" => {
+                need(2)?;
+                Ok(Family::RandomRegular {
+                    n: nums[0],
+                    d: nums[1],
+                })
+            }
+            "cycle" => {
+                need(1)?;
+                Ok(Family::Cycle { n: nums[0] })
+            }
+            "complete" => {
+                need(1)?;
+                Ok(Family::Complete { n: nums[0] })
+            }
+            other => Err(format!(
+                "unknown family: {other} (try torus:16,16 | hypercube:10 | random-regular:1024,4 …)"
+            )),
+        }
     }
 
     /// Short display name.
@@ -116,10 +210,7 @@ pub fn subdivided_expander(n: usize, d: usize, k: usize, seed: u64) -> (Network,
     let mut rng = SmallRng::seed_from_u64(seed);
     let base = generators::random_regular(n, d, &mut rng);
     let sub = generators::subdivide(&base, k);
-    let net = Network::new(
-        format!("subdivided(n={n},d={d},k={k})"),
-        sub.graph.clone(),
-    );
+    let net = Network::new(format!("subdivided(n={n},d={d},k={k})"), sub.graph.clone());
     (net, sub)
 }
 
@@ -131,7 +222,14 @@ mod tests {
     fn families_build_with_expected_sizes() {
         assert_eq!(Family::Hypercube { d: 5 }.build(0).n(), 32);
         assert_eq!(Family::Mesh { dims: vec![4, 4] }.build(0).n(), 16);
-        assert_eq!(Family::Torus { dims: vec![3, 3, 3] }.build(0).n(), 27);
+        assert_eq!(
+            Family::Torus {
+                dims: vec![3, 3, 3]
+            }
+            .build(0)
+            .n(),
+            27
+        );
         assert_eq!(Family::Butterfly { d: 3 }.build(0).n(), 32);
         assert_eq!(Family::WrappedButterfly { d: 3 }.build(0).n(), 24);
         assert_eq!(Family::DeBruijn { d: 5 }.build(0).n(), 32);
@@ -160,10 +258,31 @@ mod tests {
     }
 
     #[test]
-    fn family_serde_roundtrip() {
+    fn from_spec_parses_all_families() {
+        assert_eq!(
+            Family::from_spec("torus:4,4").unwrap(),
+            Family::Torus { dims: vec![4, 4] }
+        );
+        assert_eq!(
+            Family::from_spec("hypercube:5").unwrap(),
+            Family::Hypercube { d: 5 }
+        );
+        assert_eq!(
+            Family::from_spec("rr:100,4").unwrap(),
+            Family::RandomRegular { n: 100, d: 4 }
+        );
+        assert!(Family::from_spec("torus").is_err());
+        assert!(Family::from_spec("hypercube:1,2").is_err());
+        assert!(Family::from_spec("klein-bottle:3").is_err());
+        assert!(Family::from_spec("mesh:3,x").is_err());
+    }
+
+    #[test]
+    fn family_json_roundtrip() {
         let f = Family::Mesh { dims: vec![8, 8] };
-        let js = serde_json::to_string(&f).unwrap();
-        let back: Family = serde_json::from_str(&js).unwrap();
+        let js = fx_json::to_string(&f);
+        assert_eq!(js, "{\"Mesh\":{\"dims\":[8,8]}}");
+        let back: Family = fx_json::from_str(&js).unwrap();
         assert_eq!(f, back);
     }
 }

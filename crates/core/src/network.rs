@@ -2,7 +2,6 @@
 //! facts, the object the high-level analyses consume.
 
 use fx_graph::{CsrGraph, NodeSet};
-use serde::{Deserialize, Serialize};
 
 /// A named network under study.
 #[derive(Debug, Clone)]
@@ -39,7 +38,7 @@ impl Network {
 }
 
 /// Serializable summary of a network (for report JSON).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkSummary {
     /// Display name.
     pub name: String,
@@ -50,6 +49,13 @@ pub struct NetworkSummary {
     /// Maximum degree.
     pub max_degree: usize,
 }
+
+fx_json::impl_json_object!(NetworkSummary {
+    name,
+    nodes,
+    edges,
+    max_degree
+});
 
 impl From<&Network> for NetworkSummary {
     fn from(n: &Network) -> Self {
@@ -76,7 +82,7 @@ mod tests {
         assert_eq!(s.nodes, 16);
         assert_eq!(s.edges, 32);
         assert_eq!(s.name, "Q4");
-        let js = serde_json::to_string(&s).unwrap();
+        let js = fx_json::to_string(&s);
         assert!(js.contains("\"max_degree\":4"));
     }
 }

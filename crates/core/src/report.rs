@@ -2,10 +2,9 @@
 //! experiment harness records to JSON.
 
 use fx_expansion::ExpansionBounds;
-use serde::{Deserialize, Serialize};
 
 /// Serializable form of an expansion interval.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundsSummary {
     /// Certified lower bound.
     pub lower: f64,
@@ -15,11 +14,21 @@ pub struct BoundsSummary {
     pub exact: bool,
 }
 
+fx_json::impl_json_object!(BoundsSummary {
+    lower,
+    upper,
+    exact
+});
+
 impl From<&ExpansionBounds> for BoundsSummary {
     fn from(b: &ExpansionBounds) -> Self {
         BoundsSummary {
             lower: b.lower,
-            upper: if b.upper.is_finite() { Some(b.upper) } else { None },
+            upper: if b.upper.is_finite() {
+                Some(b.upper)
+            } else {
+                None
+            },
             exact: b.exact,
         }
     }
@@ -33,7 +42,7 @@ impl BoundsSummary {
 }
 
 /// Report of one adversarial-fault analysis (Theorem 2.1 pipeline).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AdversarialReport {
     /// Network name.
     pub network: String,
@@ -63,9 +72,25 @@ pub struct AdversarialReport {
     pub certified: bool,
 }
 
+fx_json::impl_json_object!(AdversarialReport {
+    network,
+    adversary,
+    n,
+    faults,
+    alpha_before,
+    gamma_after_faults,
+    epsilon,
+    kept,
+    culled,
+    alpha_after,
+    guaranteed_min_kept,
+    guaranteed_min_expansion,
+    certified
+});
+
 /// Report of one random-fault analysis (Theorem 3.4 pipeline),
 /// aggregated over trials.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RandomFaultReport {
     /// Network name.
     pub network: String,
@@ -95,9 +120,24 @@ pub struct RandomFaultReport {
     pub theorem34_applicable: bool,
 }
 
+fx_json::impl_json_object!(RandomFaultReport {
+    network,
+    p,
+    trials,
+    n,
+    alpha_e_before,
+    epsilon,
+    mean_gamma,
+    mean_kept_fraction,
+    success_rate,
+    mean_alpha_e_after,
+    theorem34_max_p,
+    theorem34_applicable
+});
+
 /// One row of an experiment table (generic container the harness
 /// writes to JSON).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRow {
     /// Experiment id (e.g. "E1").
     pub experiment: String,
@@ -106,6 +146,12 @@ pub struct ExperimentRow {
     /// Named measured values.
     pub values: Vec<(String, f64)>,
 }
+
+fx_json::impl_json_object!(ExperimentRow {
+    experiment,
+    label,
+    values
+});
 
 #[cfg(test)]
 mod tests {
@@ -122,7 +168,7 @@ mod tests {
         let s = BoundsSummary::from(&b);
         assert_eq!(s.upper, None);
         assert!((s.point() - 0.1).abs() < 1e-12);
-        let js = serde_json::to_string(&s).unwrap();
+        let js = fx_json::to_string(&s);
         assert!(js.contains("null"));
     }
 
@@ -133,18 +179,26 @@ mod tests {
             adversary: "sparse-cut(f=2)".into(),
             n: 16,
             faults: 2,
-            alpha_before: BoundsSummary { lower: 0.5, upper: Some(1.0), exact: false },
+            alpha_before: BoundsSummary {
+                lower: 0.5,
+                upper: Some(1.0),
+                exact: false,
+            },
             gamma_after_faults: 0.9,
             epsilon: 0.5,
             kept: 14,
             culled: 0,
-            alpha_after: BoundsSummary { lower: 0.4, upper: Some(0.8), exact: false },
+            alpha_after: BoundsSummary {
+                lower: 0.4,
+                upper: Some(0.8),
+                exact: false,
+            },
             guaranteed_min_kept: Some(12.0),
             guaranteed_min_expansion: Some(0.25),
             certified: true,
         };
-        let js = serde_json::to_string(&r).unwrap();
-        let back: AdversarialReport = serde_json::from_str(&js).unwrap();
+        let js = fx_json::to_string(&r);
+        let back: AdversarialReport = fx_json::from_str(&js).unwrap();
         assert_eq!(back.kept, 14);
         assert_eq!(back.network, "Q4");
     }

@@ -3,10 +3,8 @@
 //! these beside measured values; the `--check` mode asserts the
 //! measured side lands on the predicted side.
 
-use serde::{Deserialize, Serialize};
-
 /// The paper's predictions instantiated for one network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TheoryTable {
     /// Node count.
     pub n: usize,
@@ -27,6 +25,17 @@ pub struct TheoryTable {
     /// component (`O(·)`, constant 1).
     pub diameter_bound: f64,
 }
+
+fx_json::impl_json_object!(TheoryTable {
+    n,
+    delta,
+    sigma,
+    thm21_max_faults_k2,
+    thm34_max_p,
+    thm34_max_epsilon,
+    thm34_min_alpha_e,
+    diameter_bound
+});
 
 /// Builds the table given measured/known `alpha` (node expansion) and
 /// `sigma`.
@@ -61,7 +70,7 @@ mod tests {
         assert!((t.thm34_max_epsilon - 0.125).abs() < 1e-12);
         assert!(t.thm34_max_p > 0.0 && t.thm34_max_p < 1e-4);
         assert!(t.diameter_bound > 0.0);
-        let js = serde_json::to_string(&t).unwrap();
+        let js = fx_json::to_string(&t);
         assert!(js.contains("thm34_max_p"));
     }
 

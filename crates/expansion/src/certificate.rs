@@ -210,11 +210,23 @@ mod tests {
         let alive = NodeSet::full(64);
         let mut rng = SmallRng::seed_from_u64(4);
         let b = edge_expansion_bounds(&g, &alive, Effort::SpectralRefined, &mut rng);
-        assert!(b.lower <= b.upper + 1e-12, "lower {} > upper {}", b.lower, b.upper);
-        assert!(b.lower > 0.0, "connected graph must get positive lower bound");
+        assert!(
+            b.lower <= b.upper + 1e-12,
+            "lower {} > upper {}",
+            b.lower,
+            b.upper
+        );
+        assert!(
+            b.lower > 0.0,
+            "connected graph must get positive lower bound"
+        );
         // true αe of the 8x8 torus is 2*8/32 = 0.5 (cut a band)
         assert!(b.upper >= 0.5 - 1e-9);
-        assert!(b.upper <= 1.5, "sweep should find a decent band cut: {}", b.upper);
+        assert!(
+            b.upper <= 1.5,
+            "sweep should find a decent band cut: {}",
+            b.upper
+        );
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub fn exact_node_expansion(g: &CsrGraph, alive: &NodeSet) -> Option<(f64, Cut)>
         }
         let boundary = (union_neighbors(&mg, subset) & !subset).count_ones();
         let ratio = boundary as f64 / size as f64;
-        if best.map_or(true, |(b, _)| ratio < b) {
+        if best.is_none_or(|(b, _)| ratio < b) {
             best = Some((ratio, subset));
         }
     }
@@ -125,14 +125,18 @@ pub fn exact_edge_expansion(g: &CsrGraph, alive: &NodeSet) -> Option<(f64, Cut)>
         let denom = size.min(n - size);
         let cut = edge_cut_of(&mg, subset);
         let ratio = cut as f64 / denom as f64;
-        if best.map_or(true, |(b, _)| ratio < b) {
+        if best.is_none_or(|(b, _)| ratio < b) {
             best = Some((ratio, subset));
         }
     }
     let (ratio, subset) = best?;
     // return the smaller side as the witness
     let size = subset.count_ones() as usize;
-    let chosen = if size * 2 <= n { subset } else { full & !subset };
+    let chosen = if size * 2 <= n {
+        subset
+    } else {
+        full & !subset
+    };
     let side = NodeSet::from_iter(
         g.num_nodes(),
         (0..n).filter(|&i| chosen >> i & 1 == 1).map(|i| mg.back[i]),
@@ -173,7 +177,10 @@ mod tests {
     #[test]
     fn disconnected_graph_zero_expansion() {
         let mut b = fx_graph::GraphBuilder::new(6);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4).add_edge(4, 5);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(3, 4)
+            .add_edge(4, 5);
         let g = b.build();
         let alive = NodeSet::full(6);
         let (a, wit) = exact_node_expansion(&g, &alive).unwrap();

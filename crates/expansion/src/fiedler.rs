@@ -93,7 +93,11 @@ mod tests {
         for i in 6..10 {
             assert_eq!(f.scores[i].signum(), -sign_a, "clique B node {i}");
         }
-        assert!(f.lambda2 < 0.2, "barbell gap should be small: {}", f.lambda2);
+        assert!(
+            f.lambda2 < 0.2,
+            "barbell gap should be small: {}",
+            f.lambda2
+        );
     }
 
     #[test]
@@ -104,6 +108,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(21);
         let a = fiedler(&comp, EigenMethod::Lanczos, 150, 1e-12, &mut rng).unwrap();
         let b = fiedler(&comp, EigenMethod::Power, 5000, 1e-13, &mut rng).unwrap();
-        assert!((a.lambda2 - b.lambda2).abs() < 1e-5, "{} vs {}", a.lambda2, b.lambda2);
+        assert!(
+            (a.lambda2 - b.lambda2).abs() < 1e-5,
+            "{} vs {}",
+            a.lambda2,
+            b.lambda2
+        );
     }
 }

@@ -60,7 +60,11 @@ fn sturm_count(alpha: &[f64], beta: &[f64], x: f64) -> usize {
     let mut count = 0usize;
     let mut d = 1.0f64;
     for i in 0..alpha.len() {
-        let b2 = if i == 0 { 0.0 } else { beta[i - 1] * beta[i - 1] };
+        let b2 = if i == 0 {
+            0.0
+        } else {
+            beta[i - 1] * beta[i - 1]
+        };
         d = alpha[i] - x - b2 / d;
         if d == 0.0 {
             d = -1e-300; // perturb exact singularity
@@ -104,7 +108,12 @@ fn tridiag_kth_largest(alpha: &[f64], beta: &[f64], k: usize) -> f64 {
 
 /// Eigenvector of the tridiagonal for eigenvalue `mu` by inverse
 /// iteration (tridiagonal solve with partial pivoting).
-fn tridiag_eigenvector<R: Rng + ?Sized>(alpha: &[f64], beta: &[f64], mu: f64, rng: &mut R) -> Vec<f64> {
+fn tridiag_eigenvector<R: Rng + ?Sized>(
+    alpha: &[f64],
+    beta: &[f64],
+    mu: f64,
+    rng: &mut R,
+) -> Vec<f64> {
     let m = alpha.len();
     let mut y: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let nrm = norm(&y).max(1e-300);
@@ -132,7 +141,9 @@ fn solve_tridiag_shifted(alpha: &[f64], beta: &[f64], shift: f64, b: &[f64]) -> 
     // Row i of the (pivoted) upper-triangular factor: columns
     // i, i+1, i+2 → (d, u1, u2); u2 fills in when rows swap.
     let mut d: Vec<f64> = alpha.iter().map(|&a| a - shift).collect();
-    let mut u1: Vec<f64> = (0..m).map(|i| if i < m - 1 { beta[i] } else { 0.0 }).collect();
+    let mut u1: Vec<f64> = (0..m)
+        .map(|i| if i < m - 1 { beta[i] } else { 0.0 })
+        .collect();
     let mut u2: Vec<f64> = vec![0.0; m];
     let mut rhs = b.to_vec();
     for i in 0..m - 1 {
@@ -342,7 +353,9 @@ mod tests {
         let alive = NodeSet::full(g.num_nodes());
         let comp = CompactComponent::largest(g, &alive).unwrap();
         let mut rng = SmallRng::seed_from_u64(12345);
-        lanczos_lambda2(&comp, 200, 1e-10, &mut rng).unwrap().lambda2
+        lanczos_lambda2(&comp, 200, 1e-10, &mut rng)
+            .unwrap()
+            .lambda2
     }
 
     #[test]

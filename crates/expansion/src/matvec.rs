@@ -58,6 +58,7 @@ impl CompactComponent {
 
     /// `y = M x` with `M = D^{-1/2} A D^{-1/2}` (symmetric, spectrum
     /// in `[-1, 1]`, top eigenvalue 1 with eigenvector `D^{1/2}·1`).
+    #[allow(clippy::needless_range_loop)] // v indexes x, y, and the graph at once
     pub fn apply_normalized_adjacency(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.len());
         debug_assert_eq!(y.len(), self.len());
@@ -84,7 +85,11 @@ impl CompactComponent {
 
     /// Translates compact ids into a `NodeSet` over a universe of
     /// `universe` nodes (the original graph's node count).
-    pub fn to_original_in(&self, universe: usize, compact: impl IntoIterator<Item = u32>) -> NodeSet {
+    pub fn to_original_in(
+        &self,
+        universe: usize,
+        compact: impl IntoIterator<Item = u32>,
+    ) -> NodeSet {
         NodeSet::from_iter(universe, compact.into_iter().map(|c| self.back[c as usize]))
     }
 }

@@ -96,20 +96,20 @@ pub fn sweep_by_scores(
         let rest = n - k;
         // edge objective: cut / min(k, rest)
         let er = edge_cut as f64 / k.min(rest) as f64;
-        if best_edge.map_or(true, |(b, _)| er < b) {
+        if best_edge.is_none_or(|(b, _)| er < b) {
             best_edge = Some((er, k));
         }
         // node objective, prefix side (requires k ≤ n/2)
         if 2 * k <= n {
             let nr = boundary_prefix as f64 / k as f64;
-            if best_node.map_or(true, |(b, _, _)| nr < b) {
+            if best_node.is_none_or(|(b, _, _)| nr < b) {
                 best_node = Some((nr, k, true));
             }
         }
         // node objective, complement side (requires rest ≤ n/2)
         if 2 * rest <= n && rest > 0 {
             let nr = boundary_complement as f64 / rest as f64;
-            if best_node.map_or(true, |(b, _, _)| nr < b) {
+            if best_node.is_none_or(|(b, _, _)| nr < b) {
                 best_node = Some((nr, k, false));
             }
         }

@@ -80,10 +80,7 @@ impl FaultModel for ChainCenterAdversary<'_> {
             "adversary built for a different graph"
         );
         let centers = self.sub.centers();
-        NodeSet::from_iter(
-            g.num_nodes(),
-            centers.into_iter().take(self.budget),
-        )
+        NodeSet::from_iter(g.num_nodes(), centers.into_iter().take(self.budget))
     }
 
     fn name(&self) -> String {
@@ -174,10 +171,8 @@ impl FaultModel for BestOfAdversary<'_> {
         for s in &self.strategies {
             let failed = s.sample(g, rng);
             let alive = failed.complement();
-            let score = components(g, &alive)
-                .largest()
-                .map_or(0, |(_, size)| size);
-            if best.as_ref().map_or(true, |(b, _)| score < *b) {
+            let score = components(g, &alive).largest().map_or(0, |(_, size)| size);
+            if best.as_ref().is_none_or(|(b, _)| score < *b) {
                 best = Some((score, failed));
             }
         }
@@ -241,7 +236,11 @@ mod tests {
         let sub = generators::subdivide(&base, 4);
         let m = sub.original_edges.len();
         let mut rng = SmallRng::seed_from_u64(8);
-        let failed = ChainCenterAdversary { sub: &sub, budget: m }.sample(&sub.graph, &mut rng);
+        let failed = ChainCenterAdversary {
+            sub: &sub,
+            budget: m,
+        }
+        .sample(&sub.graph, &mut rng);
         assert_eq!(failed.len(), m);
         let alive = failed.complement();
         // all components sublinear: ≤ 1 + δ(k/2 + 1)
@@ -255,7 +254,11 @@ mod tests {
         let shape = MeshShape::new(&[9, 9]);
         let g = generators::mesh(&[9, 9]);
         let mut rng = SmallRng::seed_from_u64(9);
-        let adv = HyperplaneAdversary { shape, axis: 0, budget: 9 };
+        let adv = HyperplaneAdversary {
+            shape,
+            axis: 0,
+            budget: 9,
+        };
         let failed = adv.sample(&g, &mut rng);
         assert_eq!(failed.len(), 9);
         let alive = failed.complement();

@@ -25,9 +25,7 @@ pub mod model;
 pub mod random;
 
 pub use adversary::{
-    BestOfAdversary, ChainCenterAdversary, DegreeAdversary, HyperplaneAdversary,
-    SparseCutAdversary,
+    BestOfAdversary, ChainCenterAdversary, DegreeAdversary, HyperplaneAdversary, SparseCutAdversary,
 };
 pub use model::{apply_faults, FaultModel};
 pub use random::{random_edge_faults, ExactRandomFaults, RandomNodeFaults};
-

@@ -16,7 +16,11 @@ pub struct RandomNodeFaults {
 
 impl FaultModel for RandomNodeFaults {
     fn sample(&self, g: &CsrGraph, rng: &mut dyn RngCore) -> NodeSet {
-        assert!((0.0..=1.0).contains(&self.p), "fault probability {} out of range", self.p);
+        assert!(
+            (0.0..=1.0).contains(&self.p),
+            "fault probability {} out of range",
+            self.p
+        );
         let mut failed = NodeSet::empty(g.num_nodes());
         for v in 0..g.num_nodes() as NodeId {
             if rng.gen_bool(self.p) {
@@ -59,7 +63,10 @@ impl FaultModel for ExactRandomFaults {
 /// (Edge faults change the graph rather than a node mask, so this is a
 /// free function rather than a [`FaultModel`].)
 pub fn random_edge_faults<R: Rng + ?Sized>(g: &CsrGraph, keep: f64, rng: &mut R) -> CsrGraph {
-    assert!((0.0..=1.0).contains(&keep), "keep probability {keep} out of range");
+    assert!(
+        (0.0..=1.0).contains(&keep),
+        "keep probability {keep} out of range"
+    );
     let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
     for e in g.edges() {
         if rng.gen_bool(keep) {
@@ -113,7 +120,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let h = random_edge_faults(&g, 0.5, &mut rng);
         assert_eq!(h.num_nodes(), 20);
-        assert!(h.num_edges() < 150 && h.num_edges() > 50, "{}", h.num_edges());
+        assert!(
+            h.num_edges() < 150 && h.num_edges() > 50,
+            "{}",
+            h.num_edges()
+        );
         let full = random_edge_faults(&g, 1.0, &mut rng);
         assert_eq!(full.num_edges(), 190);
         let none = random_edge_faults(&g, 0.0, &mut rng);

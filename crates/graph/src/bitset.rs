@@ -10,12 +10,11 @@
 //! mutating operations keep it consistent.
 
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
 
 const WORD_BITS: usize = 64;
 
 /// A subset of the node universe `0..capacity`.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct NodeSet {
     words: Vec<u64>,
     /// Universe size (number of valid node ids).
@@ -97,7 +96,11 @@ impl NodeSet {
     #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
         let v = v as usize;
-        debug_assert!(v < self.capacity, "node {v} outside universe {}", self.capacity);
+        debug_assert!(
+            v < self.capacity,
+            "node {v} outside universe {}",
+            self.capacity
+        );
         (self.words[v / WORD_BITS] >> (v % WORD_BITS)) & 1 == 1
     }
 
@@ -105,7 +108,11 @@ impl NodeSet {
     #[inline]
     pub fn insert(&mut self, v: NodeId) -> bool {
         let i = v as usize;
-        assert!(i < self.capacity, "node {i} outside universe {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "node {i} outside universe {}",
+            self.capacity
+        );
         let w = &mut self.words[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         if *w & mask == 0 {
@@ -121,7 +128,11 @@ impl NodeSet {
     #[inline]
     pub fn remove(&mut self, v: NodeId) -> bool {
         let i = v as usize;
-        assert!(i < self.capacity, "node {i} outside universe {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "node {i} outside universe {}",
+            self.capacity
+        );
         let w = &mut self.words[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         if *w & mask != 0 {
@@ -205,7 +216,10 @@ impl NodeSet {
     /// True if every member of `self` is in `other`.
     pub fn is_subset(&self, other: &NodeSet) -> bool {
         self.assert_same_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterator over members in increasing order.
@@ -267,6 +281,30 @@ impl<'a> IntoIterator for &'a NodeSet {
     type IntoIter = Iter<'a>;
     fn into_iter(self) -> Iter<'a> {
         self.iter()
+    }
+}
+
+// JSON form: `{"capacity": n, "nodes": [ids…]}` — semantic rather than
+// word-level, so the encoding is independent of WORD_BITS.
+impl fx_json::ToJson for NodeSet {
+    fn to_json(&self) -> fx_json::Json {
+        fx_json::Json::Obj(vec![
+            ("capacity".to_string(), self.capacity.to_json()),
+            ("nodes".to_string(), self.to_vec().to_json()),
+        ])
+    }
+}
+
+impl fx_json::FromJson for NodeSet {
+    fn from_json(v: &fx_json::Json) -> Result<Self, String> {
+        let capacity = usize::from_json(v.get("capacity").unwrap_or(&fx_json::Json::Null))
+            .map_err(|e| format!("NodeSet.capacity: {e}"))?;
+        let nodes = Vec::<NodeId>::from_json(v.get("nodes").unwrap_or(&fx_json::Json::Null))
+            .map_err(|e| format!("NodeSet.nodes: {e}"))?;
+        if let Some(&bad) = nodes.iter().find(|&&id| id as usize >= capacity) {
+            return Err(format!("NodeSet: node {bad} outside capacity {capacity}"));
+        }
+        Ok(NodeSet::from_iter(capacity, nodes))
     }
 }
 

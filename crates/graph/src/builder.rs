@@ -20,7 +20,10 @@ impl GraphBuilder {
     /// A builder for a graph with `n` nodes and no edges yet.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "graph too large for u32 node ids");
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-reserves capacity for `m` edges.
@@ -82,7 +85,10 @@ mod tests {
     #[test]
     fn dedups_and_canonicalizes() {
         let mut b = GraphBuilder::new(3);
-        b.add_edge(0, 1).add_edge(1, 0).add_edge(1, 2).add_edge(1, 2);
+        b.add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(1, 2)
+            .add_edge(1, 2);
         let g = b.build();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.neighbors(1), &[0, 2]);

@@ -91,7 +91,9 @@ pub fn gamma(g: &CsrGraph, alive: &NodeSet) -> f64 {
         return 0.0;
     }
     let comps = components(g, alive);
-    comps.largest().map_or(0.0, |(_, s)| s as f64 / g.num_nodes() as f64)
+    comps
+        .largest()
+        .map_or(0.0, |(_, s)| s as f64 / g.num_nodes() as f64)
 }
 
 /// True if the alive portion is connected (the empty set counts as

@@ -10,13 +10,12 @@
 
 use crate::bitset::NodeSet;
 use crate::node::{Edge, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Immutable undirected graph in CSR form.
 ///
 /// Construct via [`GraphBuilder`](crate::GraphBuilder) or the generator
 /// functions in [`generators`](crate::generators).
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` indexes `targets` for node `v`.
     offsets: Vec<u32>,
@@ -49,7 +48,10 @@ impl CsrGraph {
         assert!(n <= u32::MAX as usize, "graph too large for u32 node ids");
         let mut degree = vec![0u32; n];
         for e in edges {
-            assert!((e.u as usize) < n && (e.v as usize) < n, "edge {e:?} out of range (n={n})");
+            assert!(
+                (e.u as usize) < n && (e.v as usize) < n,
+                "edge {e:?} out of range (n={n})"
+            );
             degree[e.u as usize] += 1;
             degree[e.v as usize] += 1;
         }
@@ -106,12 +108,18 @@ impl CsrGraph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over all nodes (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).min().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v as NodeId))
+            .min()
+            .unwrap_or(0)
     }
 
     /// True if `{u,v}` is an edge (binary search, O(log deg)).
@@ -137,7 +145,10 @@ impl CsrGraph {
 
     /// Degree of `v` counting only neighbors in `alive`.
     pub fn degree_in(&self, v: NodeId, alive: &NodeSet) -> usize {
-        self.neighbors(v).iter().filter(|&&w| alive.contains(w)).count()
+        self.neighbors(v)
+            .iter()
+            .filter(|&&w| alive.contains(w))
+            .count()
     }
 
     /// Structural sanity check: sorted unique neighbor lists, symmetric
@@ -174,13 +185,33 @@ impl CsrGraph {
     }
 }
 
+// JSON form delegates to the portable edge list
+// ([`GraphData`](crate::io::GraphData)): `{"n": …, "edges": [[u,v]…]}`.
+impl fx_json::ToJson for CsrGraph {
+    fn to_json(&self) -> fx_json::Json {
+        fx_json::ToJson::to_json(&crate::io::GraphData::from(self))
+    }
+}
+
+impl fx_json::FromJson for CsrGraph {
+    fn from_json(v: &fx_json::Json) -> Result<Self, String> {
+        let data = <crate::io::GraphData as fx_json::FromJson>::from_json(v)?;
+        Ok(CsrGraph::from(&data))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn triangle_plus_pendant() -> CsrGraph {
         // 0-1, 1-2, 0-2 triangle; 3 pendant on 2.
-        let edges = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2), Edge::new(2, 3)];
+        let edges = [
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(0, 2),
+            Edge::new(2, 3),
+        ];
         CsrGraph::from_canonical_edges(4, &edges)
     }
 

@@ -159,14 +159,17 @@ mod tests {
         assert_eq!(diameter_two_sweep(&generators::path(10), &alive10), Some(9));
         // and a valid lower bound on cycles
         let ts = diameter_two_sweep(&generators::cycle(10), &alive10).unwrap();
-        assert!(ts <= 5 && ts >= 4);
+        assert!((4..=5).contains(&ts));
     }
 
     #[test]
     fn diameter_uses_largest_component() {
         // two components: path of 4 and edge
         let mut b = GraphBuilder::new(6);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(4, 5);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(4, 5);
         let g = b.build();
         assert_eq!(diameter_exact(&g, &NodeSet::full(6)), Some(3));
     }

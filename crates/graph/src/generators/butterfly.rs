@@ -32,7 +32,7 @@ pub fn butterfly(d: usize) -> CsrGraph {
 /// Wrapped butterfly `WBF(d)`: `d * 2^d` nodes, levels mod `d`
 /// (level-d edges wrap to level 0). 4-regular for `d >= 3`.
 pub fn wrapped_butterfly(d: usize) -> CsrGraph {
-    assert!(d >= 1 && d < 27, "wrapped butterfly needs 1 <= d < 27");
+    assert!((1..27).contains(&d), "wrapped butterfly needs 1 <= d < 27");
     let rows = 1usize << d;
     let n = d * rows;
     let mut b = GraphBuilder::with_capacity(n, 2 * d * rows);

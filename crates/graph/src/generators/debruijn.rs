@@ -11,7 +11,7 @@ use crate::node::NodeId;
 /// `2u mod 2^d` and `2u+1 mod 2^d` (undirected, loops dropped,
 /// parallel edges merged). Max degree 4.
 pub fn de_bruijn(d: usize) -> CsrGraph {
-    assert!(d >= 1 && d < 32, "de Bruijn dimension must be 1..32");
+    assert!((1..32).contains(&d), "de Bruijn dimension must be 1..32");
     let n = 1usize << d;
     let mask = n - 1;
     let mut b = GraphBuilder::with_capacity(n, 2 * n);
@@ -26,7 +26,10 @@ pub fn de_bruijn(d: usize) -> CsrGraph {
 /// `u ~ u^1`, shuffle edges `u ~ rotl_d(u)` (cyclic left rotation of
 /// the d-bit string; fixed points dropped). Max degree 3.
 pub fn shuffle_exchange(d: usize) -> CsrGraph {
-    assert!(d >= 1 && d < 32, "shuffle-exchange dimension must be 1..32");
+    assert!(
+        (1..32).contains(&d),
+        "shuffle-exchange dimension must be 1..32"
+    );
     let n = 1usize << d;
     let mask = n - 1;
     let rotl = |u: usize| ((u << 1) | (u >> (d - 1))) & mask;

@@ -188,7 +188,7 @@ mod tests {
         assert_eq!(g.num_nodes(), 27);
         assert_eq!(g.max_degree(), 6); // center
         assert_eq!(g.min_degree(), 3); // corners
-        // edge count: 3 * (2*3*3) = 54
+                                       // edge count: 3 * (2*3*3) = 54
         assert_eq!(g.num_edges(), 54);
     }
 

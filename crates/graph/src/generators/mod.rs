@@ -8,8 +8,8 @@
 //! Theorem 2.3.
 
 mod butterfly;
-mod composite;
 mod classic;
+mod composite;
 mod debruijn;
 mod expander;
 mod geometric;
@@ -19,8 +19,8 @@ mod random;
 mod subdivide;
 
 pub use butterfly::{butterfly, wrapped_butterfly};
-pub use composite::{barbell, caterpillar, lollipop, ring_of_cliques};
 pub use classic::{balanced_binary_tree, complete, complete_bipartite, cycle, path, star};
+pub use composite::{barbell, caterpillar, lollipop, ring_of_cliques};
 pub use debruijn::{de_bruijn, shuffle_exchange};
 pub use expander::margulis;
 pub use geometric::random_geometric;

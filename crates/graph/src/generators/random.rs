@@ -91,14 +91,17 @@ pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
 /// practically never restarts for the (n, d) ranges the experiments
 /// use; we cap at 1000 attempts defensively.
 pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> CsrGraph {
-    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a d-regular graph"
+    );
     assert!(d < n, "degree {d} must be < n = {n}");
     if d == 0 {
         return GraphBuilder::new(n).build();
     }
     'attempt: for _ in 0..1000 {
         let mut stubs: Vec<NodeId> = (0..n as NodeId)
-            .flat_map(|v| std::iter::repeat(v).take(d))
+            .flat_map(|v| std::iter::repeat_n(v, d))
             .collect();
         stubs.shuffle(rng);
         let mut seen = std::collections::HashSet::with_capacity(n * d);

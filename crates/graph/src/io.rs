@@ -1,20 +1,21 @@
-//! Graph (de)serialization: serde-friendly edge-list form and a plain
+//! Graph (de)serialization: a JSON-friendly edge-list form and a plain
 //! text format (`n` then one `u v` pair per line) for interchange with
 //! external tools.
 
 use crate::csr::CsrGraph;
 use crate::node::{Edge, NodeId};
-use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 
 /// Portable edge-list representation of a graph.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphData {
     /// Node count.
     pub n: usize,
     /// Canonical edges (`u < v`).
     pub edges: Vec<(NodeId, NodeId)>,
 }
+
+fx_json::impl_json_object!(GraphData { n, edges });
 
 impl From<&CsrGraph> for GraphData {
     fn from(g: &CsrGraph) -> Self {

@@ -221,7 +221,11 @@ mod tests {
         let demands = permutation_demands(&alive, &mut rng);
         let stats = route_demands(&g, &alive, &demands, &mut rng);
         assert_eq!(stats.routed, 64);
-        assert!(stats.max_edge_congestion < 32, "{}", stats.max_edge_congestion);
+        assert!(
+            stats.max_edge_congestion < 32,
+            "{}",
+            stats.max_edge_congestion
+        );
         assert!(stats.mean_dilation <= 8.0);
     }
 }

@@ -40,7 +40,11 @@ pub fn graph_stats(g: &CsrGraph, alive: &NodeSet) -> GraphStats {
         edges: total / 2,
         min_degree: if nodes == 0 { 0 } else { min_d },
         max_degree: max_d,
-        mean_degree: if nodes == 0 { 0.0 } else { total as f64 / nodes as f64 },
+        mean_degree: if nodes == 0 {
+            0.0
+        } else {
+            total as f64 / nodes as f64
+        },
         components: comps.count(),
         gamma: comps
             .largest()

@@ -164,7 +164,11 @@ pub fn mehlhorn_steiner(g: &CsrGraph, alive: &NodeSet, terminals: &[NodeId]) -> 
             }
             let (a, b) = {
                 let (ia, ib) = (tindex(su) as u32, tindex(sv) as u32);
-                if ia < ib { (ia, ib) } else { (ib, ia) }
+                if ia < ib {
+                    (ia, ib)
+                } else {
+                    (ib, ia)
+                }
             };
             let w = vor.dist[u as usize] + 1 + vor.dist[v as usize];
             let entry = best.entry((a, b)).or_insert((w, u, v));
@@ -175,6 +179,7 @@ pub fn mehlhorn_steiner(g: &CsrGraph, alive: &NodeSet, terminals: &[NodeId]) -> 
     }
 
     // Phase 3: Kruskal MST over the terminal distance network.
+    #[allow(clippy::type_complexity)] // ((term a, term b), (dist, bridge u, bridge v))
     let mut cand: Vec<((u32, u32), (u32, NodeId, NodeId))> = best.into_iter().collect();
     cand.sort_unstable_by_key(|&(_, (w, _, _))| w);
     let mut uf = UnionFind::new(terms.len());

@@ -50,11 +50,7 @@ impl ZoneBox {
 
     /// Volume of the box.
     pub fn volume(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(l, h)| h - l)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).product()
     }
 
     /// True if the boxes share a (d−1)-dimensional face, with
@@ -70,9 +66,8 @@ impl ZoneBox {
             let full = (self.lo[i] == 0.0 && self.hi[i] == 1.0)
                 || (other.lo[i] == 0.0 && other.hi[i] == 1.0);
             if (direct || wrap) && !full {
-                let overlap_rest = (0..d).all(|j| {
-                    j == i || overlaps(self.lo[j], self.hi[j], other.lo[j], other.hi[j])
-                });
+                let overlap_rest = (0..d)
+                    .all(|j| j == i || overlaps(self.lo[j], self.hi[j], other.lo[j], other.hi[j]));
                 if overlap_rest {
                     abut_dim = Some(i);
                     break;
@@ -210,7 +205,7 @@ impl Bsp {
                     .iter()
                     .all(|&c| matches!(self.nodes[c], ZNode::Leaf { .. }));
                 if both_leaves {
-                    if best.map_or(true, |(_, d)| depth > d) {
+                    if best.is_none_or(|(_, d)| depth > d) {
                         best = Some((idx, depth));
                     }
                 } else {
@@ -239,7 +234,11 @@ impl Bsp {
         let ZNode::Internal { children, .. } = &self.nodes[parent] else {
             unreachable!()
         };
-        let sibling = if children[0] == leaf { children[1] } else { children[0] };
+        let sibling = if children[0] == leaf {
+            children[1]
+        } else {
+            children[0]
+        };
         if let ZNode::Leaf { owner: sib_owner } = self.nodes[sibling] {
             // direct merge
             self.nodes[parent] = ZNode::Leaf { owner: sib_owner };
@@ -254,8 +253,12 @@ impl Bsp {
             unreachable!()
         };
         let (a, b) = (pc[0], pc[1]);
-        let ZNode::Leaf { owner: keep } = self.nodes[a] else { unreachable!() };
-        let ZNode::Leaf { owner: freed } = self.nodes[b] else { unreachable!() };
+        let ZNode::Leaf { owner: keep } = self.nodes[a] else {
+            unreachable!()
+        };
+        let ZNode::Leaf { owner: freed } = self.nodes[b] else {
+            unreachable!()
+        };
         // the pair might actually contain `leaf` — then a direct merge
         // was already handled above (sibling leaf), so pair ≠ parent.
         debug_assert_ne!(pair, parent);
@@ -356,8 +359,8 @@ mod tests {
         assert!(a.touches(&b)); // direct abutment in dim 0
         assert!(a.touches(&b) && b.touches(&a));
         assert!(!a.touches(&c)); // corner contact only
-        // wraparound: a's lo[0]=0, b's hi[0]=1 ⇒ also adjacent around
-        // the torus in dim 0 (same pair, two faces)
+                                 // wraparound: a's lo[0]=0, b's hi[0]=1 ⇒ also adjacent around
+                                 // the torus in dim 0 (same pair, two faces)
         let d = ZoneBox {
             lo: vec![0.0, 0.5],
             hi: vec![0.5, 1.0],

@@ -143,10 +143,13 @@ mod tests {
         let (g, owners) = o.graph();
         assert_eq!(g.num_nodes(), 64);
         assert_eq!(owners.len(), 64);
-        assert!(is_connected(&g, &NodeSet::full(64)), "overlay must be connected");
+        assert!(
+            is_connected(&g, &NodeSet::full(64)),
+            "overlay must be connected"
+        );
         // CAN steady state: mean degree ≈ 2d… at least ≥ d and ≤ O(n)
         let mean_deg = 2.0 * g.num_edges() as f64 / 64.0;
-        assert!(mean_deg >= 3.0 && mean_deg <= 12.0, "mean degree {mean_deg}");
+        assert!((3.0..=12.0).contains(&mean_deg), "mean degree {mean_deg}");
     }
 
     #[test]
@@ -162,7 +165,10 @@ mod tests {
             assert!(min > 0.0 && max <= 1.0);
             mean * o.num_peers() as f64
         };
-        assert!((zones_total - 1.0).abs() < 1e-9, "volumes sum to {zones_total}");
+        assert!(
+            (zones_total - 1.0).abs() < 1e-9,
+            "volumes sum to {zones_total}"
+        );
         // owners unique
         let mut sorted = owners.clone();
         sorted.sort_unstable();

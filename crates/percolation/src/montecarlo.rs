@@ -25,7 +25,10 @@ impl Stat {
     pub fn from_samples(xs: &[f64]) -> Stat {
         let n = xs.len();
         if n == 0 {
-            return Stat { mean: 0.0, std: 0.0 };
+            return Stat {
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let mean = xs.iter().sum::<f64>() / n as f64;
         if n < 2 {
@@ -157,8 +160,18 @@ mod tests {
     fn deterministic_across_thread_counts() {
         let g = generators::hypercube(7);
         let keeps = [0.3, 0.6, 0.9];
-        let a = MonteCarlo { trials: 6, threads: 1, base_seed: 7 }.gamma_site_curve(&g, &keeps);
-        let b = MonteCarlo { trials: 6, threads: 4, base_seed: 7 }.gamma_site_curve(&g, &keeps);
+        let a = MonteCarlo {
+            trials: 6,
+            threads: 1,
+            base_seed: 7,
+        }
+        .gamma_site_curve(&g, &keeps);
+        let b = MonteCarlo {
+            trials: 6,
+            threads: 4,
+            base_seed: 7,
+        }
+        .gamma_site_curve(&g, &keeps);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.mean, y.mean);
             assert_eq!(x.std, y.std);
@@ -170,17 +183,30 @@ mod tests {
         // supercritical 2-D torus: both estimators must see a giant
         // component at keep = 0.9
         let g = generators::torus(&[20, 20]);
-        let mc = MonteCarlo { trials: 12, threads: 2, base_seed: 3 };
+        let mc = MonteCarlo {
+            trials: 12,
+            threads: 2,
+            base_seed: 3,
+        };
         let direct = mc.gamma_site_at(&g, 0.9);
         let nz = mc.gamma_site_curve(&g, &[0.9])[0];
-        assert!((direct.mean - nz.mean).abs() < 0.1, "{} vs {}", direct.mean, nz.mean);
+        assert!(
+            (direct.mean - nz.mean).abs() < 0.1,
+            "{} vs {}",
+            direct.mean,
+            nz.mean
+        );
         assert!(direct.mean > 0.7);
     }
 
     #[test]
     fn bond_curve_reaches_one_on_connected_graph() {
         let g = generators::cycle(50);
-        let mc = MonteCarlo { trials: 4, threads: 1, base_seed: 5 };
+        let mc = MonteCarlo {
+            trials: 4,
+            threads: 1,
+            base_seed: 5,
+        };
         let c = mc.gamma_bond_curve(&g, &[0.0, 1.0]);
         assert!((c[1].mean - 1.0).abs() < 1e-12);
         assert!(c[0].mean < 0.1);

@@ -9,7 +9,10 @@ use rand::Rng;
 /// Site percolation sample: each node *survives* independently with
 /// probability `keep`. Returns the alive mask.
 pub fn sample_alive_nodes<R: Rng + ?Sized>(n: usize, keep: f64, rng: &mut R) -> NodeSet {
-    assert!((0.0..=1.0).contains(&keep), "keep probability {keep} out of range");
+    assert!(
+        (0.0..=1.0).contains(&keep),
+        "keep probability {keep} out of range"
+    );
     let mut alive = NodeSet::empty(n);
     for v in 0..n as NodeId {
         if rng.gen_bool(keep) {
@@ -22,7 +25,10 @@ pub fn sample_alive_nodes<R: Rng + ?Sized>(n: usize, keep: f64, rng: &mut R) -> 
 /// Bond percolation sample: each edge survives independently with
 /// probability `keep`. Returns the surviving subgraph (same node set).
 pub fn sample_alive_edges<R: Rng + ?Sized>(g: &CsrGraph, keep: f64, rng: &mut R) -> CsrGraph {
-    assert!((0.0..=1.0).contains(&keep), "keep probability {keep} out of range");
+    assert!(
+        (0.0..=1.0).contains(&keep),
+        "keep probability {keep} out of range"
+    );
     let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
     for e in g.edges() {
         if rng.gen_bool(keep) {

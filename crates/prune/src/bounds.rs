@@ -58,7 +58,9 @@ mod tests {
     #[test]
     fn monotonicities() {
         assert!(claim24_expansion_upper(4) > claim24_expansion_upper(8));
-        assert!(theorem25_removal_bound(1000, 0.1, 0.25) < theorem25_removal_bound(1000, 0.1, 0.125));
+        assert!(
+            theorem25_removal_bound(1000, 0.1, 0.25) < theorem25_removal_bound(1000, 0.1, 0.125)
+        );
         assert!(theorem31_fault_probability(4, 4) > theorem31_fault_probability(4, 8));
         assert!(claim32_bound(10, 3, 2) > claim32_bound(10, 3, 1));
     }

@@ -64,7 +64,7 @@ pub fn compactify(g: &CsrGraph, alive: &NodeSet, s: &NodeSet) -> NodeSet {
         let members = comps.members(i);
         let cut = Cut::measure(g, alive, members);
         let ratio = cut.edge_cut as f64 / cut.size() as f64;
-        if best.map_or(true, |(b, _)| ratio < b) {
+        if best.is_none_or(|(b, _)| ratio < b) {
             best = Some((ratio, i));
         }
     }

@@ -226,7 +226,7 @@ fn best_connected_part(g: &CsrGraph, alive: &NodeSet, cut: Cut) -> Cut {
         let members = comps.members(i);
         let c = Cut::measure(g, alive, members);
         let r = c.edge_cut as f64 / c.size().max(1) as f64;
-        if best.map_or(true, |(b, _)| r < b) {
+        if best.is_none_or(|(b, _)| r < b) {
             best = Some((r, i));
         }
     }
@@ -247,12 +247,26 @@ mod tests {
         let alive = NodeSet::full(12);
         let mut rng = SmallRng::seed_from_u64(1);
         // C_12 has α = 1/3; threshold 0.4 must find a cut…
-        let a = find_thin_cut(&g, &alive, CutObjective::Node, 0.4, CutStrategy::Exact, &mut rng);
+        let a = find_thin_cut(
+            &g,
+            &alive,
+            CutObjective::Node,
+            0.4,
+            CutStrategy::Exact,
+            &mut rng,
+        );
         assert!(a.complete);
         let c = a.cut.expect("cut exists");
         assert!(c.node_ratio() <= 0.4);
         // …threshold 0.2 must certify none exists.
-        let b = find_thin_cut(&g, &alive, CutObjective::Node, 0.2, CutStrategy::Exact, &mut rng);
+        let b = find_thin_cut(
+            &g,
+            &alive,
+            CutObjective::Node,
+            0.2,
+            CutStrategy::Exact,
+            &mut rng,
+        );
         assert!(b.complete);
         assert!(b.cut.is_none());
     }
@@ -267,7 +281,14 @@ mod tests {
         let g = b.build();
         let alive = NodeSet::from_iter(10, [0, 1, 2, 3, 4, 5, 6]);
         let mut rng = SmallRng::seed_from_u64(2);
-        let a = find_thin_cut(&g, &alive, CutObjective::Node, 0.01, CutStrategy::Auto, &mut rng);
+        let a = find_thin_cut(
+            &g,
+            &alive,
+            CutObjective::Node,
+            0.01,
+            CutStrategy::Auto,
+            &mut rng,
+        );
         let cut = a.cut.unwrap();
         assert_eq!(cut.node_boundary, 0);
         assert_eq!(cut.size(), 2);

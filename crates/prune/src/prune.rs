@@ -157,7 +157,10 @@ mod tests {
                 b.add_edge(i, j);
             }
         }
-        b.add_edge(7, 8).add_edge(8, 9).add_edge(9, 10).add_edge(10, 11);
+        b.add_edge(7, 8)
+            .add_edge(8, 9)
+            .add_edge(9, 10)
+            .add_edge(10, 11);
         let g = b.build();
         let alive = NodeSet::full(12);
         let mut rng = SmallRng::seed_from_u64(2);
@@ -199,7 +202,11 @@ mod tests {
             );
             if out.kept.len() >= 2 {
                 let (a, _) = exact_node_expansion(&g, &out.kept).unwrap();
-                assert!(a >= t.min_expansion - 1e-9, "α(H)={a} < {}", t.min_expansion);
+                assert!(
+                    a >= t.min_expansion - 1e-9,
+                    "α(H)={a} < {}",
+                    t.min_expansion
+                );
             }
         } else {
             panic!("preconditions should hold for this tiny case");

@@ -103,7 +103,14 @@ pub fn theorem34_max_epsilon(delta: usize) -> f64 {
 }
 
 /// Checks all three Theorem 3.4 preconditions at once.
-pub fn theorem34_applicable(n: usize, delta: usize, sigma: f64, alpha_e: f64, p: f64, epsilon: f64) -> bool {
+pub fn theorem34_applicable(
+    n: usize,
+    delta: usize,
+    sigma: f64,
+    alpha_e: f64,
+    p: f64,
+    epsilon: f64,
+) -> bool {
     alpha_e >= theorem34_min_alpha_e(delta, n)
         && p <= theorem34_max_p(delta, sigma)
         && epsilon <= theorem34_max_epsilon(delta)

@@ -44,6 +44,7 @@ pub fn for_each_connected_subset<F: FnMut(&NodeSet) -> bool>(
     // Recursion with explicit helper: extends `set` (which contains
     // root as its minimum element) using candidate list `ext`;
     // `banned` marks nodes permanently excluded on this path.
+    #[allow(clippy::too_many_arguments)] // explicit enumeration state
     fn recurse<F: FnMut(&NodeSet) -> bool>(
         g: &CsrGraph,
         root: NodeId,
@@ -87,7 +88,9 @@ pub fn for_each_connected_subset<F: FnMut(&NodeSet) -> bool>(
                     next_ext.push(w);
                 }
             }
-            recurse(g, root, set, &next_ext, banned, count, cap, visit, aborted, capped);
+            recurse(
+                g, root, set, &next_ext, banned, count, cap, visit, aborted, capped,
+            );
             set.remove(u);
             if *aborted || *capped {
                 break;
@@ -108,9 +111,22 @@ pub fn for_each_connected_subset<F: FnMut(&NodeSet) -> bool>(
         set.clear();
         set.insert(root);
         let mut banned = NodeSet::empty(n);
-        let ext: Vec<NodeId> = g.neighbors(root).iter().copied().filter(|&w| w > root).collect();
+        let ext: Vec<NodeId> = g
+            .neighbors(root)
+            .iter()
+            .copied()
+            .filter(|&w| w > root)
+            .collect();
         recurse(
-            g, root, &mut set, &ext, &mut banned, &mut count, cap, &mut visit, &mut aborted,
+            g,
+            root,
+            &mut set,
+            &ext,
+            &mut banned,
+            &mut count,
+            cap,
+            &mut visit,
+            &mut aborted,
             &mut capped,
         );
         set.remove(root);
@@ -163,11 +179,7 @@ pub fn random_compact_set<R: Rng + ?Sized>(
         let seed = rng.gen_range(0..n as NodeId);
         let mut set = NodeSet::empty(n);
         set.insert(seed);
-        let mut frontier: Vec<NodeId> = g
-            .neighbors(seed)
-            .iter()
-            .copied()
-            .collect();
+        let mut frontier: Vec<NodeId> = g.neighbors(seed).to_vec();
         while set.len() < target && !frontier.is_empty() {
             let idx = rng.gen_range(0..frontier.len());
             let v = frontier.swap_remove(idx);

@@ -45,6 +45,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // r is the semantic subgraph size
     fn bound_holds_on_small_expanderish_graph() {
         let g = generators::margulis(3); // 9 nodes
         let delta = g.max_degree();
@@ -60,6 +61,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // r is the semantic subgraph size
     fn bound_holds_on_cycle() {
         let g = generators::cycle(10);
         let c = count_connected_subsets_by_size(&g, 4, 1_000_000).unwrap();

@@ -267,7 +267,11 @@ mod tests {
     fn virtual_neighbors_are_near() {
         let (shape, g) = mesh2d(5, 5);
         let mut b = NodeSet::empty(25);
-        for v in [shape.index(&[1, 1]), shape.index(&[2, 2]), shape.index(&[4, 4])] {
+        for v in [
+            shape.index(&[1, 1]),
+            shape.index(&[2, 2]),
+            shape.index(&[4, 4]),
+        ] {
             b.insert(v);
         }
         let _ = &g;

@@ -178,7 +178,11 @@ mod tests {
         assert!(est.exhaustive);
         // σ(C_8): boundary pairs at distance up to 4 → tree ≤ 5 nodes,
         // boundary 2 → ratio up to 2.5
-        assert!(est.max_ratio >= 2.0 && est.max_ratio <= 2.5, "{}", est.max_ratio);
+        assert!(
+            est.max_ratio >= 2.0 && est.max_ratio <= 2.5,
+            "{}",
+            est.max_ratio
+        );
         assert!(est.sets_examined > 0);
     }
 

@@ -1,0 +1,73 @@
+//! Run a small scenario campaign programmatically, kill it halfway,
+//! and resume it — demonstrating the journal/resume machinery and the
+//! aggregate artifacts.
+//!
+//! ```sh
+//! cargo run --release --example campaign
+//! ```
+
+use fault_expansion::campaign::{report, run, CampaignSpec, RunOptions};
+
+fn main() -> Result<(), String> {
+    let spec_text = r#"
+name = "example"
+seed = 2024
+replicates = 4
+output = "results/campaigns/example"
+
+graphs = ["torus:12,12", "hypercube:6", "random-regular:128,4"]
+faults = ["none", "random:0.05", "random:0.15", "adversarial:6"]
+algorithms = ["prune", "expansion-cert"]
+
+[params]
+k = 2.0
+"#;
+    let spec = CampaignSpec::parse(spec_text)?;
+
+    // First invocation: pretend the machine dies after 10 cells.
+    let interrupted = run(
+        &spec,
+        &RunOptions {
+            limit: Some(10),
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "\ninterrupted run: {}/{} cells journaled\n",
+        interrupted.skipped + interrupted.executed,
+        interrupted.total_cells
+    );
+
+    // Second invocation: the journal makes resume incremental.
+    let resumed = run(&spec, &RunOptions::default())?;
+    println!(
+        "\nresumed run: skipped {} journaled cells, executed {}",
+        resumed.skipped, resumed.executed
+    );
+    assert!(resumed.complete);
+
+    // `report` re-aggregates from the journal without executing.
+    let summary = report(
+        &spec,
+        &RunOptions {
+            quiet: true,
+            ..Default::default()
+        },
+    )?;
+    println!("\n{} aggregate rows:", summary.aggregates.len());
+    for agg in summary.aggregates.iter().take(8) {
+        println!(
+            "  {:<40} {:<20} mean {:.4} ± {:.4} (n={})",
+            agg.group,
+            agg.metric,
+            agg.stats.mean(),
+            agg.stats.ci95_half_width(),
+            agg.stats.count
+        );
+    }
+    println!("  …");
+    for artifact in &summary.artifacts {
+        println!("artifact: {}", artifact.display());
+    }
+    Ok(())
+}

@@ -31,8 +31,12 @@ fn main() {
     println!();
     let meshes = [
         Family::Torus { dims: vec![48, 48] },
-        Family::Torus { dims: vec![13, 13, 13] },
-        Family::Torus { dims: vec![7, 7, 7, 7] },
+        Family::Torus {
+            dims: vec![13, 13, 13],
+        },
+        Family::Torus {
+            dims: vec![7, 7, 7, 7],
+        },
     ];
     for fam in &meshes {
         let net = fam.build(1);

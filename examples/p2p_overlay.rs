@@ -19,8 +19,12 @@ fn main() {
     // at dimensions 2..4 — the model §4 of the paper analyzes.
     let overlays = [
         Family::Torus { dims: vec![64, 64] },
-        Family::Torus { dims: vec![16, 16, 16] },
-        Family::Torus { dims: vec![8, 8, 8, 8] },
+        Family::Torus {
+            dims: vec![16, 16, 16],
+        },
+        Family::Torus {
+            dims: vec![8, 8, 8, 8],
+        },
     ];
     let churn_levels = [0.01, 0.05, 0.10, 0.20];
 
@@ -34,14 +38,7 @@ fn main() {
         let delta = net.max_degree();
         let epsilon = 1.0 / (2.0 * delta as f64);
         for &p in &churn_levels {
-            let r = analyze_random(
-                &net,
-                p,
-                epsilon,
-                MESH_SPAN,
-                12,
-                &AnalyzerConfig::default(),
-            );
+            let r = analyze_random(&net, p, epsilon, MESH_SPAN, 12, &AnalyzerConfig::default());
             println!(
                 "{:<22} {:>6} {:>7.0}% {:>10.3} {:>11.0}% {:>14.4} {:>12.2e}",
                 net.name,

@@ -21,7 +21,10 @@ fn main() {
                 .iter()
                 .map(|a| a.parse().expect("mesh sides must be integers"))
                 .collect();
-            assert!(!dims.is_empty(), "usage: span_explorer mesh <side> <side> ...");
+            assert!(
+                !dims.is_empty(),
+                "usage: span_explorer mesh <side> <side> ..."
+            );
             explore_mesh(&dims);
         }
         Some("debruijn") => {
@@ -57,7 +60,11 @@ fn explore_mesh(dims: &[usize]) {
             "exact span (exhaustive over {} compact sets): {:.4}{}",
             est.sets_examined,
             est.max_ratio,
-            if est.exhaustive { "" } else { " (lower bound: enumeration capped)" },
+            if est.exhaustive {
+                ""
+            } else {
+                " (lower bound: enumeration capped)"
+            },
         );
         if let Some(worst) = est.worst_set {
             println!("worst compact set: {:?}", worst.to_vec());
@@ -73,9 +80,7 @@ fn explore_mesh(dims: &[usize]) {
 
     // the constructive witness on a sampled compact set
     let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
-    if let Some(u) =
-        fault_expansion::span::random_compact_set(&g, n / 3, 200, &mut rng)
-    {
+    if let Some(u) = fault_expansion::span::random_compact_set(&g, n / 3, 200, &mut rng) {
         let alive = NodeSet::full(n);
         let b = fault_expansion::graph::boundary::node_boundary(&g, &alive, &u);
         let connected = boundary_virtually_connected(&shape, &g, &u);

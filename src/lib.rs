@@ -26,7 +26,14 @@
 //! * **`percolation`** — Newman–Ziff Monte-Carlo and critical
 //!   probability estimation (the §1.1 survey table);
 //! * **`core`** — one-call resilience analyses with theorem-annotated
-//!   reports.
+//!   reports;
+//! * **`campaign`** — a declarative, parallel, resumable
+//!   experiment-campaign engine over grids of scenarios;
+//! * **`json`** — the dependency-free JSON layer behind every
+//!   serialized artifact (the build environment is offline, so there
+//!   is no serde; `vendor/` likewise ships API-compatible stand-ins
+//!   for `rand`, `parking_lot`, `crossbeam`, `proptest`, and
+//!   `criterion`).
 //!
 //! ## Quickstart
 //!
@@ -44,13 +51,66 @@
 //! );
 //! assert!(report.kept > 0);
 //! ```
+//!
+//! ### Scenario campaigns
+//!
+//! Paper-scale questions are grids — graph family × fault model ×
+//! algorithm × replicates. Declare the grid once and let the campaign
+//! engine parallelize, checkpoint, and aggregate it:
+//!
+//! ```
+//! use fault_expansion::campaign::{run, CampaignSpec, RunOptions};
+//!
+//! let spec = CampaignSpec::parse(r#"
+//! name = "doc-quickstart"
+//! replicates = 2
+//! output = "target/doc-quickstart-campaign"
+//! graphs = ["torus:6,6", "hypercube:4"]
+//! faults = ["none", "random:0.1"]
+//! algorithms = ["expansion-cert"]
+//! "#).unwrap();
+//! let summary = run(&spec, &RunOptions { quiet: true, ..Default::default() }).unwrap();
+//! assert!(summary.complete);
+//! // re-running is free: every cell is journaled
+//! let again = run(&spec, &RunOptions { quiet: true, ..Default::default() }).unwrap();
+//! assert_eq!(again.executed, 0);
+//! ```
+//!
+//! The same engine drives `fxnet campaign run|resume|report`; bundled
+//! specs live in `specs/` (ports of the former stand-alone experiment
+//! binaries). A killed run resumes from its JSONL journal without
+//! recomputation, and interrupted-then-resumed campaigns aggregate
+//! bit-identically to uninterrupted ones.
+//!
+//! ### Campaign spec reference
+//!
+//! Specs are a small TOML subset (see [`campaign::toml`]):
+//!
+//! * **axes** — `graphs` (`torus:16,16`, `mesh:8,8,8`,
+//!   `hypercube:10`, `butterfly:8`, `debruijn:10`,
+//!   `shuffle-exchange:10`, `margulis:32`, `random-regular:1024,4`,
+//!   `cycle:100`, `complete:64`), `faults` (`none`, `random:p`,
+//!   `random-exact:f`, `adversarial:k`, `degree:k`), `algorithms`
+//!   (`prune`, `prune2`, `percolation`, `span`, `expansion-cert`),
+//!   and `replicates`;
+//! * **execution** — `seed` (master seed; each cell derives a
+//!   deterministic seed from its identity), `output` (artifact
+//!   directory);
+//! * **`[params]`** — `k` (Thm 2.1), `epsilon` (Prune2 ε; defaults to
+//!   the Thm 3.4 ceiling `1/(2δ)`), `sigma`, `trials`, `samples`,
+//!   `gamma`, `grid`, `mode` (`site`/`bond`).
+//!
+//! Invalid grid points (e.g. `prune2` × `adversarial:k`) are rejected
+//! when the spec is parsed, before any cell runs.
 
 #![warn(missing_docs)]
 
+pub use fx_campaign as campaign;
 pub use fx_core as core;
 pub use fx_expansion as expansion;
 pub use fx_faults as faults;
 pub use fx_graph as graph;
+pub use fx_json as json;
 pub use fx_overlay as overlay;
 pub use fx_percolation as percolation;
 pub use fx_prune as prune;
@@ -58,6 +118,7 @@ pub use fx_span as span;
 
 /// Everything a typical user needs, one `use` away.
 pub mod prelude {
+    pub use fx_campaign::{CampaignSpec, RunOptions};
     pub use fx_core::{
         analyze_adversarial, analyze_random, subdivided_expander, theory_table, AnalyzerConfig,
         Family, Network, MESH_SPAN,

@@ -65,7 +65,10 @@ fn theorem23_chain_centers_shatter_subdivided_expander() {
     let m = sub.original_edges.len();
     let n_h = net.n();
     // fault budget = one per chain = m = δ·n/2 faults
-    let adv = ChainCenterAdversary { sub: &sub, budget: m };
+    let adv = ChainCenterAdversary {
+        sub: &sub,
+        budget: m,
+    };
     let mut rng = SmallRng::seed_from_u64(9);
     let failed = adv.sample(&net.graph, &mut rng);
     assert_eq!(failed.len(), m);
@@ -118,13 +121,7 @@ fn theorem25_dissection_scaling_on_meshes() {
         let alive = NodeSet::full(side * side);
         let eps = 0.25;
         let target = ((side * side) as f64 * eps) as usize;
-        let d = dissect(
-            &g,
-            &alive,
-            target,
-            CutStrategy::SpectralRefined,
-            &mut rng,
-        );
+        let d = dissect(&g, &alive, target, CutStrategy::SpectralRefined, &mut rng);
         assert!(d.largest_piece() < target);
         let frac = d.num_removed() as f64 / (side * side) as f64;
         removed_fracs.push(frac);

@@ -2,8 +2,8 @@
 //! motivate — routing, load balancing, and CAN overlays — on top of
 //! the fault/prune machinery.
 
-use fault_expansion::prelude::*;
 use fault_expansion::core::diffusion::{diffuse, point_load};
+use fault_expansion::prelude::*;
 use fx_graph::routing::{permutation_demands, route_demands};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -54,9 +54,18 @@ fn diffusion_balances_on_pruned_core_only() {
     );
 
     let out = prune(&g, &alive, 0.8, 0.5, CutStrategy::SpectralRefined, &mut rng);
-    let core_load = point_load(&g, &out.kept, out.kept.first().unwrap(), out.kept.len() as f64);
+    let core_load = point_load(
+        &g,
+        &out.kept,
+        out.kept.first().unwrap(),
+        out.kept.len() as f64,
+    );
     let ok = diffuse(&g, &out.kept, &core_load, 0.1, 20_000);
-    assert!(ok.final_imbalance <= 0.1, "core must balance: {}", ok.final_imbalance);
+    assert!(
+        ok.final_imbalance <= 0.1,
+        "core must balance: {}",
+        ok.final_imbalance
+    );
     // clique-like core: contraction per round well below 1
     assert!(ok.contraction < 0.95, "contraction {}", ok.contraction);
 }
@@ -84,7 +93,14 @@ fn overlay_pipeline_end_to_end() {
     // prune after a churn burst of failures
     let failed = RandomNodeFaults { p: 0.1 }.sample(&g, &mut rng);
     let alive = apply_faults(&g, &failed);
-    let out = prune(&g, &alive, bounds.upper, 0.5, CutStrategy::SpectralRefined, &mut rng);
+    let out = prune(
+        &g,
+        &alive,
+        bounds.upper,
+        0.5,
+        CutStrategy::SpectralRefined,
+        &mut rng,
+    );
     assert!(
         out.kept.len() * 2 >= n,
         "overlay core should retain most peers: {}",

@@ -114,10 +114,7 @@ fn random_pipeline_thread_count_invariance() {
         threads: 1,
         ..Default::default()
     };
-    let par = AnalyzerConfig {
-        threads: 4,
-        ..base
-    };
+    let par = AnalyzerConfig { threads: 4, ..base };
     let a = analyze_random(&net, 0.08, 0.1, 2.0, 8, &base);
     let b = analyze_random(&net, 0.08, 0.1, 2.0, 8, &par);
     assert_eq!(a.mean_gamma, b.mean_gamma);

@@ -66,8 +66,14 @@ fn conjecture_families_span_stays_small() {
     let mut rng = SmallRng::seed_from_u64(33);
     for d in [4usize, 6] {
         for (name, g) in [
-            ("butterfly", fault_expansion::graph::generators::butterfly(d)),
-            ("de-bruijn", fault_expansion::graph::generators::de_bruijn(d + 3)),
+            (
+                "butterfly",
+                fault_expansion::graph::generators::butterfly(d),
+            ),
+            (
+                "de-bruijn",
+                fault_expansion::graph::generators::de_bruijn(d + 3),
+            ),
             (
                 "shuffle-exchange",
                 fault_expansion::graph::generators::shuffle_exchange(d + 3),

@@ -1,0 +1,83 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace
+//! uses: `crossbeam::thread::scope`, mapped onto `std::thread::scope`.
+
+/// Scoped threads.
+pub mod thread {
+    /// Error type returned by [`scope`]: the payload of a panicked
+    /// worker thread.
+    pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle; `spawn` closures receive a reference to it so
+    /// workers can spawn further workers (crossbeam's signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope,
+        /// like crossbeam's `Scope::spawn`.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let this = *self;
+            self.inner.spawn(move || f(&this))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// Unlike crossbeam, a panicked worker propagates the panic out of
+    /// `scope` (std semantics) instead of surfacing it as `Err`; the
+    /// `Ok` arm is therefore the only one callers ever observe, which
+    /// is compatible with the `.expect(..)` call sites in this
+    /// workspace.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panic");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no panic");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}
