@@ -1,9 +1,10 @@
-//! `experiments` — regenerates every quantitative artifact of
-//! "The Effect of Faults on Network Expansion" (SPAA'04).
+//! `experiments` — regenerates the quantitative artifacts of
+//! "The Effect of Faults on Network Expansion" (SPAA'04) that are not
+//! yet campaign specs.
 //!
 //! ```sh
 //! cargo run --release -p fx-bench --bin experiments -- all
-//! cargo run --release -p fx-bench --bin experiments -- e1 e6
+//! cargo run --release -p fx-bench --bin experiments -- e4 e6
 //! cargo run --release -p fx-bench --bin experiments -- all --check
 //! cargo run --release -p fx-bench --bin experiments -- all --quick
 //! ```
@@ -12,13 +13,20 @@
 //! `results/`. `--check` asserts the paper-predicted *directions*
 //! (who wins, how things scale); `--quick` shrinks sizes/trials for
 //! smoke runs.
+//!
+//! E1–E3, E10–E15 are **declarative campaigns now** — the former
+//! ad-hoc binaries were ported to bundled specs (scheduled, resumable,
+//! aggregated):
+//!
+//! ```sh
+//! fxnet campaign run --spec specs/adversarial.toml     # E1–E3
+//! fxnet campaign run --spec specs/structure.toml       # E10, E11
+//! fxnet campaign run --spec specs/emulation.toml       # E12, E13, E15
+//! fxnet campaign run --spec specs/overlay_churn.toml   # E14
+//! ```
 
-mod adversarial;
-mod emulation;
-mod extensions;
 mod random;
 mod span_exp;
-mod structure;
 
 /// Global run options.
 #[derive(Debug, Clone, Copy)]
@@ -43,14 +51,11 @@ fn main() {
     let want = |id: &str| all || wanted.iter().any(|w| w == id);
 
     let started = std::time::Instant::now();
-    if want("e1") {
-        adversarial::e1_theorem21(&opts);
-    }
-    if want("e2") {
-        adversarial::e2_subdivided_lower_bound(&opts);
-    }
-    if want("e3") {
-        adversarial::e3_dissection(&opts);
+    let ported = |ids: &str, spec: &str| {
+        eprintln!("[{ids}] ported to a campaign: fxnet campaign run --spec {spec}");
+    };
+    if want("e1") || want("e2") || want("e3") {
+        ported("E1–E3", "specs/adversarial.toml");
     }
     if want("e4") {
         random::e4_random_disintegration(&opts);
@@ -70,23 +75,14 @@ fn main() {
     if want("e9") {
         span_exp::e9_span_conjectures(&opts);
     }
-    if want("e10") {
-        structure::e10_pruned_diameter(&opts);
+    if want("e10") || want("e11") {
+        ported("E10–E11", "specs/structure.toml");
     }
-    if want("e11") {
-        structure::e11_compactification(&opts);
-    }
-    if want("e12") {
-        extensions::e12_routing_congestion(&opts);
-    }
-    if want("e13") {
-        extensions::e13_load_balancing(&opts);
+    if want("e12") || want("e13") || want("e15") {
+        ported("E12, E13, E15", "specs/emulation.toml");
     }
     if want("e14") {
-        extensions::e14_overlay_churn(&opts);
-    }
-    if want("e15") {
-        emulation::e15_embedding_slowdown(&opts);
+        ported("E14", "specs/overlay_churn.toml");
     }
     if want("e16") {
         span_exp::e16_torus_span(&opts);

@@ -27,6 +27,12 @@ pub struct RunOptions {
     pub quiet: bool,
     /// Override the spec's artifact directory.
     pub output: Option<PathBuf>,
+    /// Run only shard `i` of `m` (`Some((i, m))`): the cell list is
+    /// partitioned by identity hash, so `m` machines each running one
+    /// shard (into separate journals) cover the campaign exactly
+    /// once; `campaign merge` recombines the journals. Totals and
+    /// completeness are reported relative to the shard's slice.
+    pub shard: Option<(usize, usize)>,
 }
 
 /// What a `run`/`resume`/`report` invocation did.
@@ -51,6 +57,23 @@ fn output_dir(spec: &CampaignSpec, opts: &RunOptions) -> PathBuf {
     opts.output.clone().unwrap_or_else(|| spec.output.clone())
 }
 
+/// Applies the `--shard i/m` filter: keeps the cells whose
+/// identity-hash shard is `i`.
+fn shard_cells(cells: Vec<Cell>, opts: &RunOptions) -> Result<Vec<Cell>, String> {
+    let Some((index, count)) = opts.shard else {
+        return Ok(cells);
+    };
+    if count == 0 || index >= count {
+        return Err(format!(
+            "invalid shard {index}/{count}: need 0 ≤ index < count"
+        ));
+    }
+    Ok(cells
+        .into_iter()
+        .filter(|c| crate::grid::shard_of(&c.key(), count) == index)
+        .collect())
+}
+
 /// The journal a spec checkpoints into.
 pub fn journal_for(spec: &CampaignSpec, opts: &RunOptions) -> Journal {
     Journal::new(output_dir(spec, opts).join("journal.jsonl"))
@@ -59,7 +82,7 @@ pub fn journal_for(spec: &CampaignSpec, opts: &RunOptions) -> Journal {
 /// Runs (or resumes) a campaign: executes every non-journaled cell,
 /// then aggregates and writes artifacts.
 pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String> {
-    let cells = expand(spec);
+    let cells = shard_cells(expand(spec)?, opts)?;
     let journal = journal_for(spec, opts);
     let existing = journal.load()?;
     let done: HashSet<&str> = existing.iter().map(|r| r.key.as_str()).collect();
@@ -138,7 +161,7 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
 /// Aggregates the journal and writes artifacts without executing
 /// anything.
 pub fn report(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String> {
-    let cells = expand(spec);
+    let cells = shard_cells(expand(spec)?, opts)?;
     let journal = journal_for(spec, opts);
     let existing = journal.load()?;
     let done: HashSet<&str> = existing.iter().map(|r| r.key.as_str()).collect();
@@ -295,6 +318,79 @@ algorithms = ["expansion-cert"]
         assert_eq!(again.executed, 0);
         assert_eq!(again.skipped, 8);
         assert_eq!(again.aggregates, summary.aggregates);
+    }
+
+    #[test]
+    fn sharded_runs_partition_and_merge_to_the_full_campaign() {
+        let dir_full = temp_dir("shard-full");
+        let spec_full = spec_in(&dir_full);
+        let full = run(
+            &spec_full,
+            &RunOptions {
+                threads: 2,
+                quiet: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        let shards = 2usize;
+        let mut shard_dirs = Vec::new();
+        let mut shard_total = 0usize;
+        for i in 0..shards {
+            let dir = temp_dir(&format!("shard-{i}"));
+            let spec = spec_in(&dir);
+            let summary = run(
+                &spec,
+                &RunOptions {
+                    threads: 2,
+                    quiet: true,
+                    shard: Some((i, shards)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(summary.complete, "each shard completes its slice");
+            shard_total += summary.total_cells;
+            shard_dirs.push(dir);
+        }
+        assert_eq!(shard_total, full.total_cells, "shards partition the grid");
+
+        // merge the shard journals and report: identical aggregates
+        let merged_dir = temp_dir("shard-merged");
+        let inputs: Vec<PathBuf> = shard_dirs.iter().map(|d| d.join("journal.jsonl")).collect();
+        let merged =
+            crate::journal::merge_journals(&inputs, &merged_dir.join("journal.jsonl")).unwrap();
+        assert_eq!(merged.unique, full.total_cells);
+        let spec_merged = spec_in(&merged_dir);
+        let reported = report(
+            &spec_merged,
+            &RunOptions {
+                quiet: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(reported.complete);
+        assert_eq!(
+            reported.aggregates, full.aggregates,
+            "sharded + merged must aggregate bit-identically"
+        );
+
+        // out-of-range shard is rejected
+        assert!(run(
+            &spec_full,
+            &RunOptions {
+                shard: Some((2, 2)),
+                quiet: true,
+                ..Default::default()
+            }
+        )
+        .is_err());
+
+        for d in shard_dirs.iter().chain([&dir_full, &merged_dir]) {
+            let _ = std::fs::remove_dir_all(d);
+        }
     }
 
     #[test]

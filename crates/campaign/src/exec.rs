@@ -5,28 +5,44 @@
 //! *across* cells), so a cell's metrics are a pure function of
 //! `(spec params, cell identity, campaign seed)` — the property the
 //! resume machinery and the determinism integration test rely on.
+//!
+//! The graph axis is a [`Scenario`]: plain families build as before,
+//! while derived sources (subdivided expanders, churned CAN overlays)
+//! carry their construction handles into execution — the chain-center
+//! adversary reads the [`SubdividedGraph`](fx_graph::generators::SubdividedGraph)
+//! bookkeeping, and overlay cells report churn-survival statistics.
 
 use crate::grid::Cell;
 use crate::spec::{Algo, CampaignSpec, FaultSpec};
-use fx_core::{analyze_adversarial, analyze_random, AnalyzerConfig, Family, Network};
-use fx_expansion::certificate::{edge_expansion_bounds, node_expansion_bounds, Effort};
-use fx_faults::{
-    apply_faults, DegreeAdversary, ExactRandomFaults, FaultModel, RandomNodeFaults,
-    SparseCutAdversary,
+use fx_core::{
+    analyze_adversarial, analyze_random, diffuse, embed_nearest, point_load, AnalyzerConfig,
+    BuiltScenario, Scenario,
 };
-use fx_graph::components::gamma;
+use fx_expansion::certificate::{edge_expansion_bounds, node_expansion_bounds, Effort};
+use fx_expansion::Cut;
+use fx_faults::{
+    apply_faults, ChainCenterAdversary, DegreeAdversary, ExactRandomFaults, FaultModel,
+    RandomNodeFaults, SparseCutAdversary,
+};
+use fx_graph::boundary::edge_cut_size;
+use fx_graph::components::{components, gamma, largest_component};
+use fx_graph::distance::diameter_two_sweep;
+use fx_graph::routing::{permutation_demands, route_demands};
+use fx_graph::traversal::bfs_ball;
+use fx_graph::NodeSet;
 use fx_percolation::{estimate_critical, Mode, MonteCarlo};
-use fx_prune::theorem34_max_epsilon;
+use fx_prune::bounds::{theorem23_component_bound, theorem25_removal_bound};
+use fx_prune::{compactify, dissect, is_compact, prune, theorem34_max_epsilon, CutStrategy};
 use fx_span::span::{exact_span, sampled_span};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// The journaled outcome of one executed cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
     /// Cell key (`graph|fault|algo|rN`).
     pub key: String,
-    /// Graph spec string.
+    /// Scenario spec string.
     pub graph: String,
     /// Fault model (display form).
     pub fault: String,
@@ -69,38 +85,55 @@ impl CellResult {
     }
 }
 
-/// Builds the fault model for a cell (graph-independent).
-fn fault_model(fault: &FaultSpec) -> Box<dyn FaultModel> {
+/// Builds the fault model for a cell. Borrows the built scenario: the
+/// chain-center adversary needs the subdivision bookkeeping.
+fn fault_model<'a>(fault: &FaultSpec, built: &'a BuiltScenario) -> Box<dyn FaultModel + 'a> {
     match fault {
         FaultSpec::None => Box::new(ExactRandomFaults { f: 0 }),
         FaultSpec::Random { p } => Box::new(RandomNodeFaults { p: *p }),
         FaultSpec::RandomExact { f } => Box::new(ExactRandomFaults { f: *f }),
         FaultSpec::SparseCut { budget } => Box::new(SparseCutAdversary { budget: *budget }),
         FaultSpec::Degree { budget } => Box::new(DegreeAdversary { budget: *budget }),
+        FaultSpec::ChainCenters { budget } => {
+            let sub = built
+                .sub
+                .as_ref()
+                .expect("chain-centers × non-subdivided rejected at parse time");
+            Box::new(ChainCenterAdversary {
+                sub,
+                budget: budget.unwrap_or(sub.original_edges.len()),
+            })
+        }
     }
+}
+
+/// Prune threshold ε from the Theorem 2.1 `k` parameter.
+fn prune_epsilon(spec: &CampaignSpec) -> f64 {
+    1.0 - 1.0 / spec.params.k
 }
 
 /// Executes one cell. Panics only on internal invariant violations;
 /// spec-level errors were rejected at parse time.
 pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
     let started = std::time::Instant::now();
-    let family = Family::from_spec(&cell.graph).expect("graph spec validated at parse time");
-    // Distinct derived streams: one for (randomized) graph builds, one
-    // for the algorithm, so adding randomness to one never perturbs
-    // the other.
-    let net = family.build(cell.seed ^ 0x6A09_E667_F3BC_C908);
+    let scenario = Scenario::from_spec(&cell.graph).expect("scenario validated at parse time");
+    // Distinct derived streams: one for (randomized) scenario builds,
+    // one for the algorithm, so adding randomness to one never
+    // perturbs the other.
+    let built = scenario.build(cell.seed ^ 0x6A09_E667_F3BC_C908);
+    let net = &built.net;
     let mut rng = SmallRng::seed_from_u64(cell.seed);
     let params = &spec.params;
 
-    let metrics: Vec<(String, f64)> = match cell.algo {
+    let mut metrics: Vec<(String, f64)> = match cell.algo {
         Algo::Prune => {
-            let model = fault_model(&cell.fault);
+            let model = fault_model(&cell.fault, &built);
             let cfg = AnalyzerConfig {
                 seed: cell.seed,
                 threads: 1,
                 ..Default::default()
             };
-            let r = analyze_adversarial(&net, model.as_ref(), params.k, &cfg);
+            let r = analyze_adversarial(net, model.as_ref(), params.k, &cfg);
             let n = r.n.max(1) as f64;
             let mut m = vec![
                 ("n".to_string(), r.n as f64),
@@ -129,7 +162,7 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
                 threads: 1,
                 ..Default::default()
             };
-            let r = analyze_random(&net, p, epsilon, params.sigma, params.trials, &cfg);
+            let r = analyze_random(net, p, epsilon, params.sigma, params.trials, &cfg);
             vec![
                 ("n".to_string(), r.n as f64),
                 ("p".to_string(), p),
@@ -197,8 +230,16 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
                 ]
             }
         }
-        Algo::ExpansionCert => expansion_cert_metrics(&net, cell, &mut rng),
+        Algo::ExpansionCert => expansion_cert_metrics(&built, cell, &mut rng),
+        Algo::Shatter => shatter_metrics(&built, cell, &mut rng),
+        Algo::Dissect => dissect_metrics(&built, spec, &mut rng),
+        Algo::Diameter => diameter_metrics(&built, spec, cell, &mut rng),
+        Algo::CompactAudit => compact_audit_metrics(&built, spec, &mut rng),
+        Algo::Routing => routing_metrics(&built, spec, cell, &mut rng),
+        Algo::LoadBalance => load_balance_metrics(&built, spec, cell, &mut rng),
+        Algo::Embed => embed_metrics(&built, spec, cell, &mut rng),
     };
+    metrics.extend(scenario_metrics(&built));
 
     CellResult {
         key: cell.key(),
@@ -212,8 +253,37 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
     }
 }
 
-fn expansion_cert_metrics(net: &Network, cell: &Cell, rng: &mut SmallRng) -> Vec<(String, f64)> {
-    let model = fault_model(&cell.fault);
+/// Construction-level metrics every cell of a derived scenario
+/// reports, independent of the algorithm: subdivided bookkeeping, and
+/// overlay churn/load statistics (§4's CAN steady state).
+fn scenario_metrics(built: &BuiltScenario) -> Vec<(String, f64)> {
+    let mut m = Vec::new();
+    if let Some(sub) = &built.sub {
+        m.push(("base_n".to_string(), sub.original_n as f64));
+        m.push(("chains".to_string(), sub.original_edges.len() as f64));
+        m.push(("chain_k".to_string(), sub.k as f64));
+    }
+    if let Some(ov) = &built.overlay {
+        let n = built.net.n().max(1) as f64;
+        m.push(("peers".to_string(), ov.peers as f64));
+        m.push(("joins".to_string(), ov.joins as f64));
+        m.push(("leaves".to_string(), ov.leaves as f64));
+        m.push((
+            "mean_degree".to_string(),
+            2.0 * built.net.graph.num_edges() as f64 / n,
+        ));
+        m.push(("vol_ratio".to_string(), ov.vol_max / ov.vol_min.max(1e-300)));
+    }
+    m
+}
+
+fn expansion_cert_metrics(
+    built: &BuiltScenario,
+    cell: &Cell,
+    rng: &mut SmallRng,
+) -> Vec<(String, f64)> {
+    let net = &built.net;
+    let model = fault_model(&cell.fault, built);
     let failed = model.sample(&net.graph, rng);
     let alive = apply_faults(&net.graph, &failed);
     if alive.is_empty() {
@@ -234,6 +304,361 @@ fn expansion_cert_metrics(net: &Network, cell: &Cell, rng: &mut SmallRng) -> Vec
         ("alpha_e_lower".to_string(), ae.lower),
         ("alpha_e_upper".to_string(), ae.upper.min(1e6)),
     ]
+}
+
+/// E2 (Theorem 2.3 / Claim 2.4): apply the faults and measure the
+/// fragmentation — shatter fraction, component count, and on
+/// subdivided scenarios the `O(δk)` component bound.
+fn shatter_metrics(built: &BuiltScenario, cell: &Cell, rng: &mut SmallRng) -> Vec<(String, f64)> {
+    let net = &built.net;
+    let model = fault_model(&cell.fault, built);
+    let failed = model.sample(&net.graph, rng);
+    let alive = apply_faults(&net.graph, &failed);
+    let comps = components(&net.graph, &alive);
+    let biggest = comps.largest().map_or(0, |(_, s)| s);
+    let alive_n = alive.len();
+    let mut m = vec![
+        ("n".to_string(), net.n() as f64),
+        ("faults".to_string(), failed.len() as f64),
+        ("gamma".to_string(), gamma(&net.graph, &alive)),
+        ("components".to_string(), comps.count() as f64),
+        ("biggest_component".to_string(), biggest as f64),
+        (
+            // the paper's disintegration signal: the fraction of the
+            // surviving graph *outside* its largest component
+            "shatter_fraction".to_string(),
+            if alive_n == 0 {
+                1.0
+            } else {
+                1.0 - biggest as f64 / alive_n as f64
+            },
+        ),
+    ];
+    if let Some(sub) = &built.sub {
+        // base-expander degree δ: max endpoint multiplicity over the
+        // original edges
+        let mut deg = vec![0usize; sub.original_n];
+        for e in &sub.original_edges {
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        let delta = deg.iter().copied().max().unwrap_or(0);
+        let bound = theorem23_component_bound(delta, sub.k);
+        m.push(("thm23_bound".to_string(), bound as f64));
+        m.push((
+            "thm23_within_bound".to_string(),
+            f64::from(biggest <= bound),
+        ));
+        m.push((
+            "claim24_alpha_upper".to_string(),
+            fx_prune::bounds::claim24_expansion_upper(sub.k),
+        ));
+    }
+    m
+}
+
+/// E3 (Theorem 2.5): recursive dissection into `< εn` pieces; the
+/// removed separator mass vs. the `O(log(1/ε)/ε · α(n)·n)` bound.
+fn dissect_metrics(
+    built: &BuiltScenario,
+    spec: &CampaignSpec,
+    rng: &mut SmallRng,
+) -> Vec<(String, f64)> {
+    let net = &built.net;
+    let n = net.n();
+    let eps = spec.params.epsilon.unwrap_or(0.25);
+    let alive = net.full_mask();
+    let ab = node_expansion_bounds(&net.graph, &alive, Effort::Auto, rng);
+    let target = ((n as f64) * eps).ceil().max(1.0) as usize;
+    let d = dissect(
+        &net.graph,
+        &alive,
+        target,
+        CutStrategy::SpectralRefined,
+        rng,
+    );
+    let bound = theorem25_removal_bound(n, ab.upper, eps);
+    vec![
+        ("n".to_string(), n as f64),
+        ("eps".to_string(), eps),
+        ("alpha_upper".to_string(), ab.upper),
+        ("removed".to_string(), d.num_removed() as f64),
+        (
+            "removed_fraction".to_string(),
+            d.num_removed() as f64 / n.max(1) as f64,
+        ),
+        ("thm25_bound".to_string(), bound),
+        (
+            "removed_over_bound".to_string(),
+            d.num_removed() as f64 / bound.max(1e-12),
+        ),
+        (
+            "pieces".to_string(),
+            (d.pieces.len() + d.stuck.len()) as f64,
+        ),
+        ("largest_piece".to_string(), d.largest_piece() as f64),
+        (
+            "pieces_small_enough".to_string(),
+            f64::from(d.largest_piece() < target),
+        ),
+    ]
+}
+
+/// E10 (§4 remark): prune the faulty graph, then measure the implied
+/// diameter constant `diam(H)·α(H)/ln n`.
+fn diameter_metrics(
+    built: &BuiltScenario,
+    spec: &CampaignSpec,
+    cell: &Cell,
+    rng: &mut SmallRng,
+) -> Vec<(String, f64)> {
+    let net = &built.net;
+    let model = fault_model(&cell.fault, built);
+    let failed = model.sample(&net.graph, rng);
+    let alive = apply_faults(&net.graph, &failed);
+    let full = net.full_mask();
+    let ab = node_expansion_bounds(&net.graph, &full, Effort::Auto, rng);
+    let out = prune(
+        &net.graph,
+        &alive,
+        ab.upper,
+        prune_epsilon(spec),
+        CutStrategy::SpectralRefined,
+        rng,
+    );
+    let mut m = vec![
+        ("n".to_string(), net.n() as f64),
+        ("faults".to_string(), failed.len() as f64),
+        ("kept".to_string(), out.kept.len() as f64),
+        (
+            "kept_fraction".to_string(),
+            out.kept.len() as f64 / net.n().max(1) as f64,
+        ),
+    ];
+    if out.kept.len() >= 4 {
+        let after = node_expansion_bounds(&net.graph, &out.kept, Effort::Auto, rng);
+        let diam = diameter_two_sweep(&net.graph, &out.kept).unwrap_or(0);
+        let ln_n = (net.n() as f64).ln();
+        m.push(("alpha_upper_after".to_string(), after.upper));
+        m.push(("diameter".to_string(), diam as f64));
+        m.push((
+            "diameter_constant".to_string(),
+            diam as f64 * after.upper / ln_n.max(1e-12),
+        ));
+    }
+    m
+}
+
+/// E11 (Lemma 3.3): randomized audit that `K_G(S)` is compact with no
+/// worse edge-expansion ratio than `S`.
+fn compact_audit_metrics(
+    built: &BuiltScenario,
+    spec: &CampaignSpec,
+    rng: &mut SmallRng,
+) -> Vec<(String, f64)> {
+    let net = &built.net;
+    let n = net.n();
+    let alive = net.full_mask();
+    let mut compact_ok = 0usize;
+    let mut ratio_ok = 0usize;
+    let mut tried = 0usize;
+    let mut worst = 0.0f64;
+    for _ in 0..spec.params.samples {
+        let seed = rng.gen_range(0..n as u32);
+        let size = rng.gen_range(1..(n / 2).max(2));
+        let s = bfs_ball(&net.graph, &alive, seed, size);
+        if s.is_empty() || 2 * s.len() >= n {
+            continue;
+        }
+        tried += 1;
+        let k = compactify(&net.graph, &alive, &s);
+        let ratio =
+            |x: &NodeSet| edge_cut_size(&net.graph, &alive, x) as f64 / x.len().max(1) as f64;
+        let (rs, rk) = (ratio(&s), ratio(&k));
+        if is_compact(&net.graph, &alive, &k) {
+            compact_ok += 1;
+        }
+        if rk <= rs + 1e-9 {
+            ratio_ok += 1;
+        }
+        if rs > 0.0 {
+            worst = worst.max(rk / rs);
+        }
+        // keep the Cut-level verification honest, like E11 did
+        let cut = Cut::measure(&net.graph, &alive, k);
+        assert!(cut.verify(&net.graph, &alive));
+    }
+    let frac = |x: usize| x as f64 / tried.max(1) as f64;
+    vec![
+        ("n".to_string(), n as f64),
+        ("samples".to_string(), tried as f64),
+        ("compact_ok_fraction".to_string(), frac(compact_ok)),
+        ("ratio_ok_fraction".to_string(), frac(ratio_ok)),
+        ("worst_ratio_blowup".to_string(), worst),
+    ]
+}
+
+/// E12 (§1.3): permutation-routing congestion, healthy → faulty →
+/// pruned.
+fn routing_metrics(
+    built: &BuiltScenario,
+    spec: &CampaignSpec,
+    cell: &Cell,
+    rng: &mut SmallRng,
+) -> Vec<(String, f64)> {
+    let net = &built.net;
+    let full = net.full_mask();
+
+    let demands = permutation_demands(&full, rng);
+    let healthy = route_demands(&net.graph, &full, &demands, rng);
+
+    let model = fault_model(&cell.fault, built);
+    let failed = model.sample(&net.graph, rng);
+    let alive = apply_faults(&net.graph, &failed);
+    let demands_f = permutation_demands(&alive, rng);
+    let faulty = route_demands(&net.graph, &alive, &demands_f, rng);
+
+    let ab = node_expansion_bounds(&net.graph, &full, Effort::Auto, rng);
+    let out = prune(
+        &net.graph,
+        &alive,
+        ab.upper,
+        prune_epsilon(spec),
+        CutStrategy::SpectralRefined,
+        rng,
+    );
+    let mut m = vec![
+        ("n".to_string(), net.n() as f64),
+        ("faults".to_string(), failed.len() as f64),
+        (
+            "healthy_congestion".to_string(),
+            healthy.max_edge_congestion as f64,
+        ),
+        ("healthy_mean_dilation".to_string(), healthy.mean_dilation),
+        (
+            "faulty_congestion".to_string(),
+            faulty.max_edge_congestion as f64,
+        ),
+        ("faulty_failed".to_string(), faulty.failed as f64),
+        ("faulty_mean_dilation".to_string(), faulty.mean_dilation),
+        ("pruned_nodes".to_string(), out.kept.len() as f64),
+    ];
+    if !out.kept.is_empty() {
+        let demands_p = permutation_demands(&out.kept, rng);
+        let pruned = route_demands(&net.graph, &out.kept, &demands_p, rng);
+        m.push((
+            "pruned_congestion".to_string(),
+            pruned.max_edge_congestion as f64,
+        ));
+        m.push(("pruned_failed".to_string(), pruned.failed as f64));
+        m.push(("pruned_mean_dilation".to_string(), pruned.mean_dilation));
+    }
+    m
+}
+
+/// E13 (§1.3): diffusion load-balancing rounds, healthy → faulty →
+/// pruned.
+fn load_balance_metrics(
+    built: &BuiltScenario,
+    spec: &CampaignSpec,
+    cell: &Cell,
+    rng: &mut SmallRng,
+) -> Vec<(String, f64)> {
+    const TOL: f64 = 0.5;
+    const MAX_ROUNDS: usize = 200_000;
+    let net = &built.net;
+    let full = net.full_mask();
+    let run = |alive: &NodeSet| {
+        let src = alive.first().expect("nonempty alive set");
+        let load = point_load(&net.graph, alive, src, alive.len() as f64);
+        diffuse(&net.graph, alive, &load, TOL, MAX_ROUNDS)
+    };
+
+    let healthy = run(&full);
+    let model = fault_model(&cell.fault, built);
+    let failed = model.sample(&net.graph, rng);
+    let alive = apply_faults(&net.graph, &failed);
+    let mut m = vec![
+        ("n".to_string(), net.n() as f64),
+        ("faults".to_string(), failed.len() as f64),
+        ("healthy_rounds".to_string(), healthy.rounds as f64),
+        (
+            "healthy_balanced".to_string(),
+            f64::from(healthy.final_imbalance <= TOL),
+        ),
+    ];
+    if !alive.is_empty() {
+        let faulty = run(&alive);
+        m.push(("faulty_rounds".to_string(), faulty.rounds as f64));
+        m.push((
+            "faulty_balanced".to_string(),
+            f64::from(faulty.final_imbalance <= TOL),
+        ));
+        let ab = node_expansion_bounds(&net.graph, &full, Effort::Auto, rng);
+        let out = prune(
+            &net.graph,
+            &alive,
+            ab.upper,
+            prune_epsilon(spec),
+            CutStrategy::SpectralRefined,
+            rng,
+        );
+        m.push(("pruned_nodes".to_string(), out.kept.len() as f64));
+        if !out.kept.is_empty() {
+            let pruned = run(&out.kept);
+            m.push(("pruned_rounds".to_string(), pruned.rounds as f64));
+            m.push((
+                "pruned_balanced".to_string(),
+                f64::from(pruned.final_imbalance <= TOL),
+            ));
+            m.push(("pruned_contraction".to_string(), pruned.contraction));
+        }
+    }
+    m
+}
+
+/// E15 (§1.2): the fault-free → faulty self-embedding and its LMR
+/// slowdown proxy `ℓ + c + d`, for the raw largest component and the
+/// pruned core.
+fn embed_metrics(
+    built: &BuiltScenario,
+    spec: &CampaignSpec,
+    cell: &Cell,
+    rng: &mut SmallRng,
+) -> Vec<(String, f64)> {
+    let net = &built.net;
+    let full = net.full_mask();
+    let model = fault_model(&cell.fault, built);
+    let failed = model.sample(&net.graph, rng);
+    let alive = apply_faults(&net.graph, &failed);
+    let mut m = vec![
+        ("n".to_string(), net.n() as f64),
+        ("faults".to_string(), failed.len() as f64),
+    ];
+    let ab = node_expansion_bounds(&net.graph, &full, Effort::Auto, rng);
+    let raw_core = largest_component(&net.graph, &alive);
+    let pruned = prune(
+        &net.graph,
+        &alive,
+        ab.upper,
+        prune_epsilon(spec),
+        CutStrategy::SpectralRefined,
+        rng,
+    );
+    for (stage, hosts) in [("raw", &raw_core), ("pruned", &pruned.kept)] {
+        if hosts.is_empty() {
+            continue;
+        }
+        let (q, _) = embed_nearest(&net.graph, &net.graph, hosts, rng);
+        m.push((format!("{stage}_hosts"), hosts.len() as f64));
+        m.push((format!("{stage}_load"), q.load as f64));
+        m.push((format!("{stage}_congestion"), q.congestion as f64));
+        m.push((format!("{stage}_dilation"), q.dilation as f64));
+        m.push((format!("{stage}_mean_dilation"), q.mean_dilation));
+        m.push((format!("{stage}_slowdown"), q.slowdown_proxy as f64));
+        m.push((format!("{stage}_unrouted"), q.unrouted as f64));
+    }
+    m
 }
 
 #[cfg(test)]
@@ -258,7 +683,7 @@ algorithms = ["prune", "expansion-cert"]
     #[test]
     fn cells_execute_and_are_deterministic() {
         let spec = small_spec();
-        let cells = expand(&spec);
+        let cells = expand(&spec).unwrap();
         for cell in cells.iter().take(6) {
             let a = run_cell(&spec, cell);
             let b = run_cell(&spec, cell);
@@ -279,7 +704,7 @@ algorithms = ["prune2", "percolation"]
 "#,
         )
         .unwrap();
-        for cell in expand(&spec) {
+        for cell in expand(&spec).unwrap() {
             let r = run_cell(&spec, &cell);
             match cell.algo {
                 Algo::Prune2 => {
@@ -296,15 +721,115 @@ algorithms = ["prune2", "percolation"]
         let span_spec =
             CampaignSpec::parse("name = \"s\"\ngraphs = [\"mesh:3,4\"]\nalgorithms = [\"span\"]")
                 .unwrap();
-        let r = run_cell(&span_spec, &expand(&span_spec)[0]);
+        let r = run_cell(&span_spec, &expand(&span_spec).unwrap()[0]);
         assert_eq!(r.metric("exhaustive"), Some(1.0));
         assert!(r.metric("span").unwrap() <= 2.0 + 1e-9, "Theorem 3.6");
     }
 
     #[test]
+    fn subdivided_shatter_cell_reports_thm23_bound() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "shatter"
+graphs = ["subdivided:12,4,2"]
+faults = ["chain-centers"]
+algorithms = ["shatter"]
+"#,
+        )
+        .unwrap();
+        let cell = &expand(&spec).unwrap()[0];
+        let r = run_cell(&spec, cell);
+        // the Theorem 2.3 adversary kills every chain center
+        assert_eq!(r.metric("faults"), Some(24.0), "m = n·d/2 = 24 chains");
+        assert_eq!(r.metric("chains"), Some(24.0));
+        assert_eq!(r.metric("base_n"), Some(12.0));
+        assert!(r.metric("components").unwrap() > 1.0, "must fragment");
+        assert!(r.metric("shatter_fraction").unwrap() > 0.0);
+        assert_eq!(
+            r.metric("thm23_within_bound"),
+            Some(1.0),
+            "components must obey the O(δk) bound: {:?}",
+            r.metrics
+        );
+        // determinism across re-runs
+        assert_eq!(r.metrics, run_cell(&spec, cell).metrics);
+    }
+
+    #[test]
+    fn overlay_cells_report_churn_survival_and_volume_stats() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "overlay"
+graphs = ["overlay:2,40,churn=50"]
+faults = ["random:0.1"]
+algorithms = ["expansion-cert", "percolation"]
+"#,
+        )
+        .unwrap();
+        for cell in expand(&spec).unwrap() {
+            let r = run_cell(&spec, &cell);
+            let g_frac = r.metric("gamma").unwrap();
+            assert!((0.0..=1.0).contains(&g_frac), "{}", cell.key());
+            assert!(r.metric("peers").unwrap() > 0.0);
+            assert!(r.metric("vol_ratio").unwrap() >= 1.0);
+            assert!(r.metric("mean_degree").unwrap() > 0.0);
+            assert_eq!(r.metrics, run_cell(&spec, &cell).metrics, "{}", cell.key());
+        }
+    }
+
+    #[test]
+    fn structure_and_application_cells_execute() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "apps"
+seed = 3
+[grid-faultfree]
+graphs = ["torus:6,6"]
+algorithms = ["dissect", "compact-audit"]
+[grid-faulty]
+graphs = ["torus:6,6"]
+faults = ["random-exact:3"]
+algorithms = ["diameter", "routing", "load-balance", "embed"]
+[params]
+samples = 20
+"#,
+        )
+        .unwrap();
+        for cell in expand(&spec).unwrap() {
+            let r = run_cell(&spec, &cell);
+            assert_eq!(r.metric("n"), Some(36.0), "{}", cell.key());
+            match cell.algo {
+                Algo::Dissect => {
+                    assert_eq!(r.metric("pieces_small_enough"), Some(1.0));
+                    assert!(r.metric("removed").unwrap() > 0.0);
+                }
+                Algo::CompactAudit => {
+                    assert_eq!(r.metric("compact_ok_fraction"), Some(1.0), "Lemma 3.3");
+                    assert_eq!(r.metric("ratio_ok_fraction"), Some(1.0), "Lemma 3.3");
+                }
+                Algo::Diameter => {
+                    assert!(r.metric("diameter").unwrap() > 0.0);
+                }
+                Algo::Routing => {
+                    assert_eq!(r.metric("pruned_failed"), Some(0.0), "pruned core routes");
+                }
+                Algo::LoadBalance => {
+                    assert_eq!(r.metric("pruned_balanced"), Some(1.0));
+                }
+                Algo::Embed => {
+                    assert_eq!(r.metric("pruned_unrouted"), Some(0.0));
+                    assert!(r.metric("pruned_slowdown").unwrap() > 0.0);
+                }
+                _ => unreachable!(),
+            }
+            assert_eq!(r.metrics, run_cell(&spec, &cell).metrics, "{}", cell.key());
+        }
+    }
+
+    #[test]
     fn cell_result_json_roundtrip() {
         let spec = small_spec();
-        let cell = &expand(&spec)[0];
+        let cell = &expand(&spec).unwrap()[0];
         let r = run_cell(&spec, cell);
         let text = fx_json::to_string(&r);
         let back: CellResult = fx_json::from_str(&text).unwrap();

@@ -3,13 +3,20 @@
 //! seed and the cell's *identity* (not its position), so editing one
 //! axis of a spec never reshuffles the seeds of untouched cells and a
 //! resumed run reproduces the interrupted one bit-for-bit.
+//!
+//! A spec may declare several grids (`[grid-…]` tables); they are
+//! expanded side by side. Two grids (or a doubled axis entry) that
+//! produce the same cell would silently share a journal key, so
+//! [`expand`] detects duplicates and reports them as spec errors.
 
 use crate::spec::{Algo, CampaignSpec, FaultSpec};
+use std::collections::HashMap;
 
 /// One point of the campaign grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
-    /// Graph spec string (`torus:16,16`).
+    /// Scenario spec string (`torus:16,16`, `subdivided:200,4,8`,
+    /// `overlay:2,256,churn=400`).
     pub graph: String,
     /// Fault model.
     pub fault: FaultSpec,
@@ -59,30 +66,61 @@ pub fn cell_seed(campaign_seed: u64, key: &str) -> u64 {
     splitmix64(campaign_seed ^ fnv1a(key))
 }
 
+/// The shard (`0..shards`) a cell key belongs to. Derived from the
+/// key identity alone, so every machine of a partitioned campaign
+/// computes the same assignment without coordination.
+pub fn shard_of(key: &str, shards: usize) -> usize {
+    assert!(shards >= 1, "shard count must be ≥ 1");
+    // decorrelate from cell_seed (different finalizer input) so shard
+    // membership never biases the seeds within one shard
+    (splitmix64(fnv1a(key) ^ 0x5851_F42D_4C95_7F2D) % shards as u64) as usize
+}
+
 /// Expands the spec into its full cell list, in deterministic
-/// `graphs × faults × algorithms × replicates` order.
-pub fn expand(spec: &CampaignSpec) -> Vec<Cell> {
-    let mut cells = Vec::with_capacity(
-        spec.graphs.len() * spec.faults.len() * spec.algorithms.len() * spec.replicates,
-    );
-    for graph in &spec.graphs {
-        for fault in &spec.faults {
-            for algo in &spec.algorithms {
-                for replicate in 0..spec.replicates {
-                    let mut cell = Cell {
-                        graph: graph.clone(),
-                        fault: fault.clone(),
-                        algo: *algo,
-                        replicate,
-                        seed: 0,
-                    };
-                    cell.seed = cell_seed(spec.seed, &cell.key());
-                    cells.push(cell);
+/// `grids × graphs × faults × algorithms × replicates` order.
+///
+/// Fails when two grid points collide on the same cell key (a doubled
+/// axis entry or overlapping `[grid-…]` tables) — duplicate keys
+/// would alias in the journal and silently drop work.
+pub fn expand(spec: &CampaignSpec) -> Result<Vec<Cell>, String> {
+    let mut cells = Vec::new();
+    let mut seen: HashMap<String, String> = HashMap::new(); // canonical key → grid label
+    for grid in &spec.grids {
+        for graph in &grid.graphs {
+            // duplicates are detected on the *canonical* scenario
+            // spelling, so aliases (`rr:…` vs `random-regular:…`,
+            // `overlay:2,48` vs `overlay:2,48,churn=0`) cannot smuggle
+            // the same scenario in twice under two keys
+            let canonical = fx_core::Scenario::from_spec(graph)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|_| graph.clone());
+            for fault in &grid.faults {
+                for algo in &grid.algorithms {
+                    for replicate in 0..spec.replicates {
+                        let mut cell = Cell {
+                            graph: graph.clone(),
+                            fault: fault.clone(),
+                            algo: *algo,
+                            replicate,
+                            seed: 0,
+                        };
+                        let key = cell.key();
+                        let canonical_key = format!("{canonical}|{fault}|{algo}|r{replicate}");
+                        if let Some(prior) = seen.insert(canonical_key, grid.label.clone()) {
+                            return Err(format!(
+                                "duplicate grid cell `{key}` (declared by [{prior}] and \
+                                 [{}]); remove the doubled axis entry",
+                                grid.label
+                            ));
+                        }
+                        cell.seed = cell_seed(spec.seed, &key);
+                        cells.push(cell);
+                    }
                 }
             }
         }
     }
-    cells
+    Ok(cells)
 }
 
 #[cfg(test)]
@@ -106,7 +144,7 @@ algorithms = ["prune", "expansion-cert"]
 
     #[test]
     fn full_grid_size_and_unique_keys() {
-        let cells = expand(&spec());
+        let cells = expand(&spec()).unwrap();
         assert_eq!(cells.len(), 2 * 2 * 2 * 2);
         let mut keys: Vec<String> = cells.iter().map(Cell::key).collect();
         keys.sort();
@@ -116,11 +154,11 @@ algorithms = ["prune", "expansion-cert"]
 
     #[test]
     fn seeds_depend_on_identity_not_position() {
-        let a = expand(&spec());
+        let a = expand(&spec()).unwrap();
         // the same cell keeps its seed when the grid around it changes
         let mut wider = spec();
-        wider.graphs.insert(0, "hypercube:4".to_string());
-        let b = expand(&wider);
+        wider.grids[0].graphs.insert(0, "hypercube:4".to_string());
+        let b = expand(&wider).unwrap();
         for cell in &a {
             let twin = b.iter().find(|c| c.key() == cell.key()).unwrap();
             assert_eq!(twin.seed, cell.seed, "{}", cell.key());
@@ -128,18 +166,104 @@ algorithms = ["prune", "expansion-cert"]
         // but a different campaign seed moves every cell seed
         let mut reseeded = spec();
         reseeded.seed = 10;
-        let c = expand(&reseeded);
+        let c = expand(&reseeded).unwrap();
         assert!(a.iter().zip(&c).all(|(x, y)| x.seed != y.seed));
     }
 
     #[test]
     fn replicates_get_distinct_seeds() {
-        let cells = expand(&spec());
+        let cells = expand(&spec()).unwrap();
         let first_group: Vec<&Cell> = cells
             .iter()
             .filter(|c| c.group() == cells[0].group())
             .collect();
         assert_eq!(first_group.len(), 2);
         assert_ne!(first_group[0].seed, first_group[1].seed);
+    }
+
+    #[test]
+    fn multiple_grids_expand_side_by_side() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "multi"
+replicates = 2
+
+[grid-a]
+graphs = ["subdivided:16,4,2"]
+faults = ["chain-centers"]
+algorithms = ["shatter"]
+
+[grid-b]
+graphs = ["overlay:2,32,churn=40"]
+faults = ["random:0.1"]
+algorithms = ["expansion-cert"]
+"#,
+        )
+        .unwrap();
+        let cells = expand(&spec).unwrap();
+        assert_eq!(cells.len(), 4);
+        assert!(cells[0]
+            .key()
+            .starts_with("subdivided:16,4,2|chain-centers|shatter"));
+        assert!(cells[2]
+            .key()
+            .starts_with("overlay:2,32,churn=40|random:0.1|expansion-cert"));
+    }
+
+    #[test]
+    fn duplicate_axis_entries_are_detected() {
+        // a doubled graph entry within one grid
+        let mut doubled = spec();
+        doubled.grids[0].graphs.push("torus:8,8".to_string());
+        let err = expand(&doubled).unwrap_err();
+        assert!(err.contains("duplicate grid cell"), "{err}");
+        assert!(err.contains("torus:8,8"), "{err}");
+
+        // aliased spellings of the same scenario are caught too
+        let mut aliased = spec();
+        aliased.grids[0].graphs = vec!["random-regular:40,4".to_string(), "rr:40,4".to_string()];
+        let err = expand(&aliased).unwrap_err();
+        assert!(err.contains("duplicate grid cell"), "{err}");
+
+        // two grids overlapping on the same (graph, fault, algo) point
+        let overlapping = CampaignSpec::parse(
+            r#"
+name = "overlap"
+[grid-a]
+graphs = ["torus:6,6"]
+algorithms = ["span"]
+[grid-b]
+graphs = ["torus:6,6"]
+algorithms = ["span"]
+"#,
+        )
+        .unwrap();
+        let err = expand(&overlapping).unwrap_err();
+        assert!(
+            err.contains("[grid-a]") && err.contains("[grid-b]"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_partitions() {
+        let cells = expand(&spec()).unwrap();
+        for m in [1usize, 2, 3] {
+            let mut counts = vec![0usize; m];
+            for cell in &cells {
+                let s = shard_of(&cell.key(), m);
+                assert!(s < m);
+                assert_eq!(s, shard_of(&cell.key(), m), "stable");
+                counts[s] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), cells.len());
+            if m > 1 {
+                assert!(
+                    counts.iter().filter(|&&c| c > 0).count() > 1,
+                    "{m} shards should split {} cells: {counts:?}",
+                    cells.len()
+                );
+            }
+        }
     }
 }

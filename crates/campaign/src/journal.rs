@@ -119,6 +119,54 @@ impl Journal {
     }
 }
 
+/// What [`merge_journals`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Result lines read across all input journals.
+    pub read: usize,
+    /// Unique cells written to the merged journal.
+    pub unique: usize,
+}
+
+/// Merges shard journals into one: reads every input (tolerating a
+/// torn final line per file, like [`Journal::load`]), dedups by cell
+/// key (first occurrence wins — cells are pure functions of their
+/// identity, so duplicates are identical re-runs), and writes the
+/// union to `output`. Inputs are read fully before the output is
+/// written, so `output` may be one of the inputs.
+pub fn merge_journals(inputs: &[PathBuf], output: &Path) -> Result<MergeSummary, String> {
+    let mut read = 0usize;
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut merged: Vec<CellResult> = Vec::new();
+    for input in inputs {
+        let results = Journal::new(input.clone()).load()?;
+        read += results.len();
+        for r in results {
+            if seen.insert(r.key.clone()) {
+                merged.push(r);
+            }
+        }
+    }
+    let unique = merged.len();
+    if let Some(parent) = output.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    let mut text = String::new();
+    for r in &merged {
+        text.push_str(&fx_json::to_string(r));
+        text.push('\n');
+    }
+    // write-then-rename: an interrupted merge must never leave the
+    // output (possibly one of the inputs) truncated — journal lines
+    // are paid-for work
+    let tmp = output.with_extension("jsonl.merge-tmp");
+    std::fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, output)
+        .map_err(|e| format!("cannot move merged journal into {}: {e}", output.display()))?;
+    Ok(MergeSummary { read, unique })
+}
+
 /// Concurrent append handle; each append writes and flushes one line.
 pub struct JournalWriter {
     file: Mutex<std::fs::File>,
@@ -204,6 +252,41 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded[0].key, "a");
         assert_eq!(loaded[1].key, "c");
+    }
+
+    #[test]
+    fn merge_unions_shard_journals_first_wins() {
+        let a = temp_journal("merge-a");
+        let w = a.appender().unwrap();
+        w.append(&result("x", 1.0)).unwrap();
+        w.append(&result("y", 2.0)).unwrap();
+        drop(w);
+        let b = temp_journal("merge-b");
+        let w = b.appender().unwrap();
+        w.append(&result("y", 99.0)).unwrap(); // duplicate of a's y
+        w.append(&result("z", 3.0)).unwrap();
+        drop(w);
+
+        let out = temp_journal("merge-out");
+        let summary = merge_journals(
+            &[a.path().to_path_buf(), b.path().to_path_buf()],
+            out.path(),
+        )
+        .unwrap();
+        assert_eq!(summary, MergeSummary { read: 4, unique: 3 });
+        let merged = out.load().unwrap();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[1].key, "y");
+        assert_eq!(merged[1].metric("x"), Some(2.0), "first occurrence wins");
+
+        // merging in place (output == input) is safe
+        let summary = merge_journals(
+            &[out.path().to_path_buf(), a.path().to_path_buf()],
+            out.path(),
+        )
+        .unwrap();
+        assert_eq!(summary.unique, 3);
+        assert_eq!(out.load().unwrap().len(), 3);
     }
 
     #[test]

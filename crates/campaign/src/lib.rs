@@ -6,11 +6,17 @@
 //! scenarios: graph family × size × fault model × fault rate ×
 //! algorithm. This crate turns that grid into a first-class object:
 //!
-//! 1. **Declare** the grid in a small TOML-subset spec
-//!    ([`CampaignSpec`]) — graph specs (`torus:16,16`,
-//!    `hypercube:10`, …) × fault models (`random:p`, `adversarial:k`,
-//!    …) × algorithms (`prune`, `prune2`, `percolation`, `span`,
-//!    `expansion-cert`) × replicates.
+//! 1. **Declare** the grid(s) in a small TOML-subset spec
+//!    ([`CampaignSpec`]) — scenario specs (plain families like
+//!    `torus:16,16` / `hypercube:10`, plus the *derived* sources
+//!    `subdivided:n,d,k` and `overlay:dim,n[,churn=ops]` the paper's
+//!    lower-bound and §4 results live on) × fault models (`random:p`,
+//!    `adversarial:k`, `chain-centers`, …) × algorithms (`prune`,
+//!    `prune2`, `percolation`, `span`, `expansion-cert`, `shatter`,
+//!    `dissect`, `diameter`, `compact-audit`, `routing`,
+//!    `load-balance`, `embed`) × replicates. Experiments whose
+//!    sub-grids are not one cross product declare several `[grid-…]`
+//!    tables.
 //! 2. **Expand** it into [`Cell`]s with deterministic per-cell seeds
 //!    derived from the cell *identity* (editing a spec never
 //!    reshuffles seeds of untouched cells).
@@ -51,9 +57,10 @@
 //! | key | meaning | default |
 //! |---|---|---|
 //! | `name` | campaign id (artifact prefix) | required |
-//! | `graphs` | list of graph specs | required |
-//! | `algorithms` | list of algorithms | required |
+//! | `graphs` | list of scenario specs | required¹ |
+//! | `algorithms` | list of algorithms | required¹ |
 //! | `faults` | list of fault models | `["none"]` |
+//! | `[grid-…]` | extra `graphs`/`faults`/`algorithms` grids | — |
 //! | `replicates` | replicates per grid point | 1 |
 //! | `seed` | master seed | 42 |
 //! | `output` | artifact directory | `results/campaigns/<name>` |
@@ -65,6 +72,18 @@
 //! | `[params] gamma` | `p*` γ threshold | 0.1 |
 //! | `[params] grid` | `p*` search resolution | 50 |
 //! | `[params] mode` | percolation `site`/`bond` | `site` |
+//!
+//! ¹ root-level axes may be omitted when at least one `[grid-…]`
+//! table declares a grid.
+//!
+//! ## Distributed execution
+//!
+//! Cell keys are machine-independent, so a campaign shards by
+//! identity: `fxnet campaign run --spec S --shard i/m --out DIR_i` on
+//! `m` machines covers the grid exactly once, and
+//! `fxnet campaign merge --out journal.jsonl DIR_0/journal.jsonl …`
+//! ([`merge_journals`]) recombines the shard journals for a final
+//! `report`.
 
 #![warn(missing_docs)]
 
@@ -79,6 +98,6 @@ pub mod toml;
 pub use agg::{aggregate, GroupAggregate, Welford};
 pub use engine::{journal_for, report, run, RunOptions, RunSummary};
 pub use exec::{run_cell, CellResult};
-pub use grid::{cell_seed, expand, Cell};
-pub use journal::{Journal, JournalWriter};
-pub use spec::{Algo, CampaignSpec, FaultSpec, Params};
+pub use grid::{cell_seed, expand, shard_of, Cell};
+pub use journal::{merge_journals, Journal, JournalWriter, MergeSummary};
+pub use spec::{Algo, CampaignSpec, FaultSpec, GridSpec, Params};

@@ -1,13 +1,22 @@
 //! Campaign specification: the declarative description of a scenario
 //! grid, parsed from the TOML subset in [`crate::toml`].
 //!
-//! A campaign is a grid
-//! `graphs × faults × algorithms × replicates`; every row below the
-//! grid axes is validated eagerly so a bad spec fails before any cell
-//! runs.
+//! A campaign is one or more grids
+//! `scenarios × faults × algorithms × replicates`; every axis value
+//! and every grid point is validated eagerly so a bad spec fails
+//! before any cell runs. The scenario axis accepts any
+//! [`Scenario`] spec string — plain families plus the derived
+//! sources (`subdivided:n,d,k`, `overlay:dim,n[,churn=ops]`) the
+//! paper's lower-bound and §4 experiments need.
+//!
+//! A single root-level `graphs`/`faults`/`algorithms` triple is the
+//! common case; experiments whose sub-grids are *not* a full cross
+//! product (e.g. chain-center faults only make sense on subdivided
+//! scenarios) declare several `[grid-…]` tables that are expanded
+//! side by side into one campaign.
 
 use crate::toml::{TomlDoc, TomlValue};
-use fx_core::Family;
+use fx_core::{Scenario, ScenarioKind};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -36,6 +45,13 @@ pub enum FaultSpec {
     Degree {
         /// Adversary budget.
         budget: usize,
+    },
+    /// Theorem 2.3 chain-center adversary (`chain-centers[:f]`);
+    /// only valid on subdivided scenarios. Without a budget, every
+    /// chain center is killed (the theorem's construction).
+    ChainCenters {
+        /// Optional fault budget (`None` = all centers).
+        budget: Option<usize>,
     },
 }
 
@@ -74,9 +90,16 @@ impl FaultSpec {
             "degree" => Ok(FaultSpec::Degree {
                 budget: usize_param()?,
             }),
+            "chain-centers" => Ok(FaultSpec::ChainCenters {
+                budget: if param.is_empty() {
+                    None
+                } else {
+                    Some(usize_param()?)
+                },
+            }),
             other => Err(format!(
                 "unknown fault model {other:?} (try none | random:0.05 | random-exact:8 | \
-                 adversarial:8 | degree:8)"
+                 adversarial:8 | degree:8 | chain-centers)"
             )),
         }
     }
@@ -90,6 +113,8 @@ impl fmt::Display for FaultSpec {
             FaultSpec::RandomExact { f: n } => write!(f, "random-exact:{n}"),
             FaultSpec::SparseCut { budget } => write!(f, "adversarial:{budget}"),
             FaultSpec::Degree { budget } => write!(f, "degree:{budget}"),
+            FaultSpec::ChainCenters { budget: None } => write!(f, "chain-centers"),
+            FaultSpec::ChainCenters { budget: Some(b) } => write!(f, "chain-centers:{b}"),
         }
     }
 }
@@ -107,6 +132,26 @@ pub enum Algo {
     Span,
     /// Two-sided expansion certificates of the (faulted) graph.
     ExpansionCert,
+    /// Post-fault fragmentation: component structure, shatter
+    /// fraction, and — on subdivided scenarios — the Theorem 2.3
+    /// `O(δk)` component bound (E2).
+    Shatter,
+    /// Theorem 2.5 recursive dissection into `< εn` pieces (E3).
+    Dissect,
+    /// §4 diameter remark: prune, then measure `diam(H)·α(H)/ln n`
+    /// (E10).
+    Diameter,
+    /// Lemma 3.3 randomized compactification audit (E11).
+    CompactAudit,
+    /// Permutation-routing congestion, healthy → faulty → pruned
+    /// (E12).
+    Routing,
+    /// Diffusion load-balancing rounds, healthy → faulty → pruned
+    /// (E13).
+    LoadBalance,
+    /// §1.2 self-embedding slowdown proxy `ℓ + c + d` of the faulty
+    /// (and pruned) network (E15).
+    Embed,
 }
 
 impl Algo {
@@ -118,17 +163,36 @@ impl Algo {
             "percolation" => Ok(Algo::Percolation),
             "span" => Ok(Algo::Span),
             "expansion-cert" => Ok(Algo::ExpansionCert),
+            "shatter" => Ok(Algo::Shatter),
+            "dissect" => Ok(Algo::Dissect),
+            "diameter" => Ok(Algo::Diameter),
+            "compact-audit" => Ok(Algo::CompactAudit),
+            "routing" => Ok(Algo::Routing),
+            "load-balance" => Ok(Algo::LoadBalance),
+            "embed" => Ok(Algo::Embed),
             other => Err(format!(
                 "unknown algorithm {other:?} (try prune | prune2 | percolation | span | \
-                 expansion-cert)"
+                 expansion-cert | shatter | dissect | diameter | compact-audit | routing | \
+                 load-balance | embed)"
             )),
         }
     }
 
-    /// Whether this algorithm can run under the given fault model; a
-    /// `Err` explains the incompatibility (reported at spec
-    /// validation, before anything runs).
-    pub fn accepts(&self, fault: &FaultSpec) -> Result<(), String> {
+    /// Whether this algorithm can run under the given fault model on
+    /// the given scenario; an `Err` explains the incompatibility
+    /// (reported at spec validation, before anything runs).
+    pub fn accepts(&self, fault: &FaultSpec, scenario: &Scenario) -> Result<(), String> {
+        // scenario × fault rule, independent of the algorithm: the
+        // chain-center adversary only understands the Theorem 2.3
+        // construction
+        if matches!(fault, FaultSpec::ChainCenters { .. })
+            && scenario.kind() != ScenarioKind::Subdivided
+        {
+            return Err(format!(
+                "chain-centers is the Theorem 2.3 adversary for subdivided expanders; \
+                 scenario `{scenario}` has no chains — use subdivided:n,d,k"
+            ));
+        }
         match (self, fault) {
             (Algo::Prune2, FaultSpec::Random { .. }) => Ok(()),
             (Algo::Prune2, other) => Err(format!(
@@ -143,7 +207,35 @@ impl Algo {
             (Algo::Span, other) => Err(format!(
                 "span is a property of the fault-free graph; drop fault model `{other}`"
             )),
-            (Algo::Prune | Algo::ExpansionCert, _) => Ok(()),
+            (Algo::Dissect, FaultSpec::None) => Ok(()),
+            (Algo::Dissect, other) => Err(format!(
+                "dissect (Theorem 2.5) removes its own separator nodes; drop fault model `{other}`"
+            )),
+            (Algo::CompactAudit, FaultSpec::None) => Ok(()),
+            (Algo::CompactAudit, other) => Err(format!(
+                "compact-audit (Lemma 3.3) samples the fault-free graph; drop fault model \
+                 `{other}`"
+            )),
+            (Algo::Shatter, FaultSpec::None) => Err(
+                "shatter measures post-fault fragmentation; add a fault model \
+                 (e.g. chain-centers on a subdivided scenario)"
+                    .into(),
+            ),
+            (Algo::Embed, FaultSpec::None) => Err(
+                "embed measures the faulty self-embedding; the fault-free embedding is the \
+                 identity — add a fault model"
+                    .into(),
+            ),
+            (
+                Algo::Prune
+                | Algo::ExpansionCert
+                | Algo::Shatter
+                | Algo::Diameter
+                | Algo::Routing
+                | Algo::LoadBalance
+                | Algo::Embed,
+                _,
+            ) => Ok(()),
         }
     }
 }
@@ -156,6 +248,13 @@ impl fmt::Display for Algo {
             Algo::Percolation => "percolation",
             Algo::Span => "span",
             Algo::ExpansionCert => "expansion-cert",
+            Algo::Shatter => "shatter",
+            Algo::Dissect => "dissect",
+            Algo::Diameter => "diameter",
+            Algo::CompactAudit => "compact-audit",
+            Algo::Routing => "routing",
+            Algo::LoadBalance => "load-balance",
+            Algo::Embed => "embed",
         };
         f.write_str(s)
     }
@@ -167,14 +266,16 @@ pub struct Params {
     /// Theorem 2.1 `k` (prune threshold `ε = 1 − 1/k`).
     pub k: f64,
     /// `Prune2` ε; `None` uses the Theorem 3.4 ceiling `1/(2δ)` per
-    /// network.
+    /// network. Also the Theorem 2.5 dissection piece-size fraction
+    /// (`dissect` cells; `None` = 0.25 there).
     pub epsilon: Option<f64>,
     /// Assumed span `σ` for Theorem 3.4 preconditions.
     pub sigma: f64,
     /// Monte-Carlo trials *inside* one cell (replicates are the outer
     /// loop; keep this at 1 unless a cell-level mean is wanted).
     pub trials: usize,
-    /// Sampled-span sample count.
+    /// Sampled-span sample count (also the `compact-audit` sample
+    /// count).
     pub samples: usize,
     /// `γ` threshold for critical-probability estimation.
     pub gamma: f64,
@@ -199,7 +300,23 @@ impl Default for Params {
     }
 }
 
-/// A declarative campaign: the grid plus execution defaults.
+/// One grid of the campaign: a full cross product
+/// `graphs × faults × algorithms` whose every point is valid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Grid label (the `[grid-…]` table name; `grid` for the
+    /// root-level axes). Only used in error messages — cell keys stay
+    /// grid-independent.
+    pub label: String,
+    /// Scenario axis (compact [`Scenario::from_spec`] strings).
+    pub graphs: Vec<String>,
+    /// Fault-model axis.
+    pub faults: Vec<FaultSpec>,
+    /// Algorithm axis.
+    pub algorithms: Vec<Algo>,
+}
+
+/// A declarative campaign: the grids plus execution defaults.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
     /// Campaign name (artifact prefix).
@@ -210,12 +327,8 @@ pub struct CampaignSpec {
     pub replicates: usize,
     /// Artifact directory (journal, CSV/JSON outputs).
     pub output: PathBuf,
-    /// Graph axis (compact `Family::from_spec` strings).
-    pub graphs: Vec<String>,
-    /// Fault-model axis.
-    pub faults: Vec<FaultSpec>,
-    /// Algorithm axis.
-    pub algorithms: Vec<Algo>,
+    /// The grids (≥ 1), expanded side by side into one cell list.
+    pub grids: Vec<GridSpec>,
     /// Shared tunables.
     pub params: Params,
 }
@@ -273,54 +386,34 @@ impl CampaignSpec {
             Some(v) => PathBuf::from(v.as_str().ok_or("`output` must be a string path")?),
         };
 
-        let string_list = |key: &str| -> Result<Vec<String>, String> {
-            let Some(v) = doc.get(key) else {
-                return Ok(Vec::new());
-            };
-            let items = v.as_array().ok_or(format!("`{key}` must be an array"))?;
-            items
-                .iter()
-                .map(|item| {
-                    item.as_str()
-                        .map(str::to_string)
-                        .ok_or(format!("`{key}` entries must be strings"))
-                })
-                .collect()
-        };
-
-        let graphs = string_list("graphs")?;
-        if graphs.is_empty() {
-            return Err("`graphs` must list at least one graph spec".into());
+        // grids: the root-level axes (if any) first, then every
+        // [grid-…] table in lexicographic table-name order, each
+        // validated as a full cross product
+        let mut grids = Vec::new();
+        if doc.get("graphs").is_some()
+            || doc.get("faults").is_some()
+            || doc.get("algorithms").is_some()
+        {
+            grids.push(parse_grid("grid", |key| doc.get(key))?);
         }
-        for g in &graphs {
-            Family::from_spec(g).map_err(|e| format!("graphs entry {g:?}: {e}"))?;
-        }
-
-        let fault_strings = string_list("faults")?;
-        let faults = if fault_strings.is_empty() {
-            vec![FaultSpec::None]
-        } else {
-            fault_strings
-                .iter()
-                .map(|s| FaultSpec::parse(s))
-                .collect::<Result<_, _>>()?
-        };
-
-        let algo_strings = string_list("algorithms")?;
-        if algo_strings.is_empty() {
-            return Err("`algorithms` must list at least one algorithm".into());
-        }
-        let algorithms: Vec<Algo> = algo_strings
-            .iter()
-            .map(|s| Algo::parse(s))
-            .collect::<Result<_, _>>()?;
-
-        // the whole grid must be well-formed before anything runs
-        for algo in &algorithms {
-            for fault in &faults {
-                algo.accepts(fault)
-                    .map_err(|e| format!("invalid grid point ({algo} × {fault}): {e}"))?;
+        for (table, entries) in &doc.tables {
+            if !is_grid_table(table) {
+                continue;
             }
+            const KNOWN_GRID: &[&str] = &["graphs", "faults", "algorithms"];
+            for key in entries.keys() {
+                if !KNOWN_GRID.contains(&key.as_str()) {
+                    return Err(format!("unknown key `{key}` in [{table}]"));
+                }
+            }
+            grids.push(parse_grid(table, |key| doc.get_in(table, key))?);
+        }
+        if grids.is_empty() {
+            return Err(
+                "spec declares no grid: add root-level `graphs`/`algorithms` axes or at least \
+                 one [grid-…] table"
+                    .into(),
+            );
         }
 
         let mut params = Params::default();
@@ -401,7 +494,7 @@ impl CampaignSpec {
             }
         }
         for table in doc.tables.keys() {
-            if table != "params" {
+            if table != "params" && !is_grid_table(table) {
                 return Err(format!("unknown table `[{table}]`"));
             }
         }
@@ -411,17 +504,95 @@ impl CampaignSpec {
             seed,
             replicates,
             output,
-            graphs,
-            faults,
-            algorithms,
+            grids,
             params,
         })
     }
 }
 
+/// True for `[grid]` and `[grid-…]` table names.
+fn is_grid_table(name: &str) -> bool {
+    name == "grid" || name.starts_with("grid-")
+}
+
+/// Parses and validates one grid's axes through `get` (root lookup or
+/// a `[grid-…]` table lookup).
+fn parse_grid<'a>(
+    label: &str,
+    get: impl Fn(&str) -> Option<&'a TomlValue>,
+) -> Result<GridSpec, String> {
+    let string_list = |key: &str| -> Result<Vec<String>, String> {
+        let Some(v) = get(key) else {
+            return Ok(Vec::new());
+        };
+        let items = v
+            .as_array()
+            .ok_or(format!("[{label}] `{key}` must be an array"))?;
+        items
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .map(str::to_string)
+                    .ok_or(format!("[{label}] `{key}` entries must be strings"))
+            })
+            .collect()
+    };
+
+    let graphs = string_list("graphs")?;
+    if graphs.is_empty() {
+        return Err(format!(
+            "[{label}] `graphs` must list at least one scenario spec"
+        ));
+    }
+    let scenarios: Vec<Scenario> = graphs
+        .iter()
+        .map(|g| Scenario::from_spec(g).map_err(|e| format!("[{label}] graphs entry {g:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+
+    let fault_strings = string_list("faults")?;
+    let faults = if fault_strings.is_empty() {
+        vec![FaultSpec::None]
+    } else {
+        fault_strings
+            .iter()
+            .map(|s| FaultSpec::parse(s))
+            .collect::<Result<_, _>>()?
+    };
+
+    let algo_strings = string_list("algorithms")?;
+    if algo_strings.is_empty() {
+        return Err(format!(
+            "[{label}] `algorithms` must list at least one algorithm"
+        ));
+    }
+    let algorithms: Vec<Algo> = algo_strings
+        .iter()
+        .map(|s| Algo::parse(s))
+        .collect::<Result<_, _>>()?;
+
+    // the whole grid must be well-formed before anything runs
+    for scenario in &scenarios {
+        for algo in &algorithms {
+            for fault in &faults {
+                algo.accepts(fault, scenario).map_err(|e| {
+                    format!("[{label}] invalid grid point ({scenario} × {fault} × {algo}): {e}")
+                })?;
+            }
+        }
+    }
+
+    Ok(GridSpec {
+        label: label.to_string(),
+        graphs,
+        faults,
+        algorithms,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fx_core::Family;
 
     const SPEC: &str = r#"
 name = "demo"
@@ -442,9 +613,13 @@ trials = 2
         assert_eq!(spec.name, "demo");
         assert_eq!(spec.seed, 7);
         assert_eq!(spec.replicates, 3);
-        assert_eq!(spec.graphs.len(), 2);
-        assert_eq!(spec.faults.len(), 3);
-        assert_eq!(spec.algorithms, vec![Algo::Prune, Algo::ExpansionCert]);
+        assert_eq!(spec.grids.len(), 1);
+        assert_eq!(spec.grids[0].graphs.len(), 2);
+        assert_eq!(spec.grids[0].faults.len(), 3);
+        assert_eq!(
+            spec.grids[0].algorithms,
+            vec![Algo::Prune, Algo::ExpansionCert]
+        );
         assert_eq!(spec.params.trials, 2);
         assert_eq!(spec.output, PathBuf::from("results/campaigns/demo"));
     }
@@ -456,8 +631,70 @@ trials = 2
                 .unwrap();
         assert_eq!(spec.seed, 42);
         assert_eq!(spec.replicates, 1);
-        assert_eq!(spec.faults, vec![FaultSpec::None]);
+        assert_eq!(spec.grids[0].faults, vec![FaultSpec::None]);
         assert_eq!(spec.params, Params::default());
+    }
+
+    #[test]
+    fn parses_derived_scenarios_in_graph_axis() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "derived"
+graphs = ["subdivided:20,4,2", "overlay:2,48,churn=60"]
+faults = ["random:0.1"]
+algorithms = ["expansion-cert"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.grids[0].graphs.len(), 2);
+    }
+
+    #[test]
+    fn parses_multiple_grid_tables() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "multi"
+replicates = 2
+
+[grid-subdivided]
+graphs = ["subdivided:20,4,2"]
+faults = ["chain-centers"]
+algorithms = ["shatter"]
+
+[grid-overlay]
+graphs = ["overlay:2,32,churn=40"]
+faults = ["random:0.1"]
+algorithms = ["expansion-cert"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.grids.len(), 2);
+        // grid tables expand in lexicographic table-name order
+        assert_eq!(spec.grids[0].label, "grid-overlay");
+        assert_eq!(spec.grids[0].algorithms, vec![Algo::ExpansionCert]);
+        assert_eq!(
+            spec.grids[1].faults,
+            vec![FaultSpec::ChainCenters { budget: None }]
+        );
+    }
+
+    #[test]
+    fn grid_tables_and_root_axes_compose() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "both"
+graphs = ["torus:6,6"]
+algorithms = ["span"]
+
+[grid-extra]
+graphs = ["mesh:3,4"]
+algorithms = ["span"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.grids.len(), 2);
+        assert_eq!(spec.grids[0].label, "grid");
+        assert_eq!(spec.grids[1].label, "grid-extra");
     }
 
     #[test]
@@ -470,6 +707,85 @@ trials = 2
         let bad = "name = \"d\"\ngraphs = [\"cycle:10\"]\nfaults = [\"random:0.1\"]\n\
                    algorithms = [\"span\"]";
         assert!(CampaignSpec::parse(bad).is_err());
+
+        // chain-centers on a non-subdivided scenario
+        let bad = "name = \"d\"\ngraphs = [\"torus:6,6\"]\nfaults = [\"chain-centers\"]\n\
+                   algorithms = [\"prune\"]";
+        let err = CampaignSpec::parse(bad).unwrap_err();
+        assert!(err.contains("subdivided"), "{err}");
+
+        // fault-free shatter / embed are meaningless
+        for algo in ["shatter", "embed"] {
+            let bad = format!("name = \"d\"\ngraphs = [\"torus:6,6\"]\nalgorithms = [\"{algo}\"]");
+            assert!(CampaignSpec::parse(&bad).is_err(), "{algo} × none");
+        }
+    }
+
+    /// Every algorithm's accept/reject matrix over fault-model kinds
+    /// and scenario kinds, exhaustively.
+    #[test]
+    fn accepts_matrix_is_exhaustive() {
+        let faults = [
+            FaultSpec::None,
+            FaultSpec::Random { p: 0.1 },
+            FaultSpec::RandomExact { f: 3 },
+            FaultSpec::SparseCut { budget: 3 },
+            FaultSpec::Degree { budget: 3 },
+            FaultSpec::ChainCenters { budget: None },
+        ];
+        let plain = Scenario::Plain(Family::Torus { dims: vec![6, 6] });
+        let subdivided = Scenario::Subdivided { n: 20, d: 4, k: 2 };
+        let overlay = Scenario::Overlay {
+            dim: 2,
+            peers: 32,
+            churn: 0,
+        };
+        let algos = [
+            Algo::Prune,
+            Algo::Prune2,
+            Algo::Percolation,
+            Algo::Span,
+            Algo::ExpansionCert,
+            Algo::Shatter,
+            Algo::Dissect,
+            Algo::Diameter,
+            Algo::CompactAudit,
+            Algo::Routing,
+            Algo::LoadBalance,
+            Algo::Embed,
+        ];
+        // fault-kind acceptance per algo on a *subdivided* scenario
+        // (where every fault kind is scenario-admissible): indices
+        // into `faults` above
+        let ok_on_subdivided = |algo: Algo, fi: usize| -> bool {
+            match algo {
+                Algo::Prune | Algo::ExpansionCert => true,
+                Algo::Diameter | Algo::Routing | Algo::LoadBalance => true,
+                Algo::Prune2 => fi == 1,
+                Algo::Percolation => fi <= 1,
+                Algo::Span | Algo::Dissect | Algo::CompactAudit => fi == 0,
+                Algo::Shatter | Algo::Embed => fi != 0,
+            }
+        };
+        for algo in algos {
+            for (fi, fault) in faults.iter().enumerate() {
+                // on plain and overlay scenarios, chain-centers is
+                // always rejected; everything else matches the table
+                for scenario in [&plain, &overlay] {
+                    let expect = ok_on_subdivided(algo, fi) && fi != 5;
+                    assert_eq!(
+                        algo.accepts(fault, scenario).is_ok(),
+                        expect,
+                        "{algo} × {fault} × {scenario}"
+                    );
+                }
+                assert_eq!(
+                    algo.accepts(fault, &subdivided).is_ok(),
+                    ok_on_subdivided(algo, fi),
+                    "{algo} × {fault} × subdivided"
+                );
+            }
+        }
     }
 
     #[test]
@@ -486,6 +802,24 @@ trials = 2
             "name = \"d\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n[params]\nzz = 1"
         )
         .is_err());
+        // malformed derived-scenario strings are rejected at parse
+        for bad in ["subdivided:20,4", "subdivided:20,4,0", "overlay:0,64"] {
+            let text =
+                format!("name = \"d\"\ngraphs = [\"{bad}\"]\nalgorithms = [\"expansion-cert\"]");
+            assert!(CampaignSpec::parse(&text).is_err(), "{bad}");
+        }
+        // unknown key inside a grid table
+        assert!(CampaignSpec::parse(
+            "name = \"d\"\n[grid-a]\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\nzz = 1"
+        )
+        .is_err());
+        // a spec with no grid at all
+        assert!(CampaignSpec::parse("name = \"d\"").is_err());
+        // unknown table
+        assert!(CampaignSpec::parse(
+            "name = \"d\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n[zebra]\na = 1"
+        )
+        .is_err());
     }
 
     #[test]
@@ -496,6 +830,8 @@ trials = 2
             "random-exact:8",
             "adversarial:4",
             "degree:2",
+            "chain-centers",
+            "chain-centers:12",
         ] {
             let f = FaultSpec::parse(s).unwrap();
             assert_eq!(f.to_string(), s);
@@ -507,6 +843,7 @@ trials = 2
         assert!(FaultSpec::parse("random:1.5").is_err());
         assert!(FaultSpec::parse("random:x").is_err());
         assert!(FaultSpec::parse("none:3").is_err());
+        assert!(FaultSpec::parse("chain-centers:x").is_err());
         assert!(FaultSpec::parse("gamma-ray").is_err());
     }
 }

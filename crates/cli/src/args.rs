@@ -4,7 +4,7 @@
 //! Graph specs are `family:param,param,...` strings, e.g.
 //! `torus:16,16`, `hypercube:10`, `random-regular:1024,4`.
 
-use fx_core::Family;
+use fx_core::Scenario;
 
 /// Parsed command line: positional command (plus optional trailing
 /// positionals, e.g. `campaign run`) and key/value options.
@@ -69,11 +69,26 @@ impl Args {
     }
 }
 
-/// Parses a graph spec `family:params` into a [`Family`] (delegates
-/// to [`Family::from_spec`], the shared parser also used by campaign
-/// specs).
-pub fn parse_graph_spec(spec: &str) -> Result<Family, String> {
-    Family::from_spec(spec)
+/// Parses a graph spec into a [`Scenario`] (delegates to
+/// [`Scenario::from_spec`], the shared parser also used by campaign
+/// specs): any plain family plus the derived sources
+/// `subdivided:n,d,k` and `overlay:dim,n[,churn=ops]`.
+pub fn parse_graph_spec(spec: &str) -> Result<Scenario, String> {
+    Scenario::from_spec(spec)
+}
+
+/// Parses a `--shard i/m` value.
+pub fn parse_shard(value: &str) -> Result<(usize, usize), String> {
+    let err = || format!("invalid --shard {value:?}: expected i/m, e.g. 0/4");
+    let (i, m) = value.split_once('/').ok_or_else(err)?;
+    let index: usize = i.trim().parse().map_err(|_| err())?;
+    let count: usize = m.trim().parse().map_err(|_| err())?;
+    if count == 0 || index >= count {
+        return Err(format!(
+            "invalid --shard {value:?}: need 0 ≤ i < m (got {index}/{count})"
+        ));
+    }
+    Ok((index, count))
 }
 
 #[cfg(test)]
@@ -111,21 +126,40 @@ mod tests {
 
     #[test]
     fn graph_specs() {
+        use fx_core::Family;
         assert_eq!(
             parse_graph_spec("torus:4,4").unwrap(),
-            Family::Torus { dims: vec![4, 4] }
-        );
-        assert_eq!(
-            parse_graph_spec("hypercube:5").unwrap(),
-            Family::Hypercube { d: 5 }
+            Scenario::Plain(Family::Torus { dims: vec![4, 4] })
         );
         assert_eq!(
             parse_graph_spec("rr:100,4").unwrap(),
-            Family::RandomRegular { n: 100, d: 4 }
+            Scenario::Plain(Family::RandomRegular { n: 100, d: 4 })
+        );
+        assert_eq!(
+            parse_graph_spec("subdivided:20,4,8").unwrap(),
+            Scenario::Subdivided { n: 20, d: 4, k: 8 }
+        );
+        assert_eq!(
+            parse_graph_spec("overlay:2,64,churn=100").unwrap(),
+            Scenario::Overlay {
+                dim: 2,
+                peers: 64,
+                churn: 100
+            }
         );
         assert!(parse_graph_spec("torus").is_err());
         assert!(parse_graph_spec("hypercube:1,2").is_err());
         assert!(parse_graph_spec("klein-bottle:3").is_err());
-        assert!(parse_graph_spec("mesh:3,x").is_err());
+        assert!(parse_graph_spec("subdivided:20,4").is_err());
+    }
+
+    #[test]
+    fn shard_values() {
+        assert_eq!(parse_shard("0/4").unwrap(), (0, 4));
+        assert_eq!(parse_shard("3/4").unwrap(), (3, 4));
+        assert!(parse_shard("4/4").is_err());
+        assert!(parse_shard("0/0").is_err());
+        assert!(parse_shard("1").is_err());
+        assert!(parse_shard("a/b").is_err());
     }
 }

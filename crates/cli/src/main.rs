@@ -9,11 +9,13 @@
 //! fxnet campaign  run --spec specs/random_faults.toml --threads 8
 //! fxnet campaign  resume --spec specs/random_faults.toml
 //! fxnet campaign  report --spec specs/random_faults.toml
+//! fxnet campaign  run --spec specs/span.toml --shard 0/4 --out shard0
+//! fxnet campaign  merge --out journal.jsonl shard0/journal.jsonl shard1/journal.jsonl
 //! ```
 
 mod args;
 
-use args::{parse_graph_spec, Args};
+use args::{parse_graph_spec, parse_shard, Args};
 use fx_campaign::{CampaignSpec, RunOptions};
 use fx_core::{analyze_adversarial, theory_table, AnalyzerConfig, Network};
 use fx_expansion::certificate::{
@@ -45,16 +47,22 @@ commands:
                                                 critical probability estimate
   span       --graph SPEC [--samples N]         span (exact ≤ 20 nodes, else sampled)
   theory     --graph SPEC [--sigma S]           the paper's bounds for this network
-  campaign   run|resume --spec FILE [--threads N] [--limit N] [--out DIR] [--quiet]
+  campaign   run|resume --spec FILE [--threads N] [--limit N] [--out DIR]
+                        [--shard I/M] [--quiet]
              report     --spec FILE [--out DIR]
+             merge      --out FILE JOURNAL...
                                                 declarative scenario campaigns
-                                                (journaled, resumable, parallel)
+                                                (journaled, resumable, parallel;
+                                                 --shard partitions cells across
+                                                 machines, merge recombines the
+                                                 shard journals)
 
 global:     --threads N   worker threads (or FXNET_THREADS; default: cores, ≤ 16)
 
 graph SPEC: torus:16,16 | mesh:8,8,8 | hypercube:10 | butterfly:8 |
             debruijn:10 | shuffle-exchange:10 | margulis:32 |
-            random-regular:1024,4 | cycle:100 | complete:64";
+            random-regular:1024,4 | cycle:100 | complete:64
+   derived: subdivided:200,4,8 (Thm 2.3 H_k) | overlay:2,256,churn=400 (§4 CAN)";
 
 fn main() -> ExitCode {
     let parsed = match Args::parse(std::env::args().skip(1)) {
@@ -75,9 +83,9 @@ fn main() -> ExitCode {
 
 fn build_network(args: &Args) -> Result<(Network, u64), String> {
     let spec = args.get("graph").ok_or("missing --graph")?;
-    let family = parse_graph_spec(spec)?;
+    let scenario = parse_graph_spec(spec)?;
     let seed: u64 = args.get_parsed("seed", 42)?;
-    Ok((family.build(seed), seed))
+    Ok((scenario.build(seed).net, seed))
 }
 
 /// `--threads N`, defaulting to `FXNET_THREADS` / available cores.
@@ -89,12 +97,37 @@ fn threads_option(args: &Args) -> Result<usize, String> {
     Ok(threads)
 }
 
+fn merge_campaign_journals(args: &Args) -> Result<(), String> {
+    let inputs: Vec<std::path::PathBuf> = args
+        .positionals
+        .iter()
+        .skip(1)
+        .map(std::path::PathBuf::from)
+        .collect();
+    if inputs.is_empty() {
+        return Err("campaign merge requires at least one journal path".into());
+    }
+    let out = std::path::PathBuf::from(args.get("out").ok_or("missing --out FILE")?);
+    let summary = fx_campaign::merge_journals(&inputs, &out)?;
+    outln!(
+        "merged {} journal(s): {} result lines, {} unique cells → {}",
+        inputs.len(),
+        summary.read,
+        summary.unique,
+        out.display()
+    );
+    Ok(())
+}
+
 fn run_campaign(args: &Args) -> Result<(), String> {
     let action = args
         .positionals
         .first()
         .map(String::as_str)
-        .ok_or("campaign requires an action: run | resume | report")?;
+        .ok_or("campaign requires an action: run | resume | report | merge")?;
+    if action == "merge" {
+        return merge_campaign_journals(args);
+    }
     if let Some(extra) = args.positionals.get(1) {
         return Err(format!("unexpected positional argument: {extra}"));
     }
@@ -108,6 +141,7 @@ fn run_campaign(args: &Args) -> Result<(), String> {
         },
         quiet: args.has_flag("quiet"),
         output: args.get("out").map(std::path::PathBuf::from),
+        shard: args.get("shard").map(parse_shard).transpose()?,
     };
     let summary = match action {
         // `resume` IS `run` — a run that finds journaled cells skips

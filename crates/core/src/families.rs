@@ -186,6 +186,30 @@ impl Family {
         }
     }
 
+    /// The canonical compact spec string (round-trips through
+    /// [`Family::from_spec`]).
+    pub fn spec_string(&self) -> String {
+        let join = |dims: &[usize]| {
+            dims.iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        match self {
+            Family::Hypercube { d } => format!("hypercube:{d}"),
+            Family::Mesh { dims } => format!("mesh:{}", join(dims)),
+            Family::Torus { dims } => format!("torus:{}", join(dims)),
+            Family::Butterfly { d } => format!("butterfly:{d}"),
+            Family::WrappedButterfly { d } => format!("wrapped-butterfly:{d}"),
+            Family::DeBruijn { d } => format!("debruijn:{d}"),
+            Family::ShuffleExchange { d } => format!("shuffle-exchange:{d}"),
+            Family::Margulis { m } => format!("margulis:{m}"),
+            Family::RandomRegular { n, d } => format!("random-regular:{n},{d}"),
+            Family::Cycle { n } => format!("cycle:{n}"),
+            Family::Complete { n } => format!("complete:{n}"),
+        }
+    }
+
     /// Short display name.
     pub fn name(&self) -> String {
         match self {

@@ -26,6 +26,7 @@ pub mod embedding;
 pub mod families;
 pub mod network;
 pub mod report;
+pub mod scenario;
 pub mod theory;
 
 pub use analyzer::{analyze_adversarial, analyze_random, AnalyzerConfig};
@@ -34,4 +35,5 @@ pub use embedding::{embed_nearest, EmbeddingQuality};
 pub use families::{subdivided_expander, Family};
 pub use network::{Network, NetworkSummary};
 pub use report::{AdversarialReport, BoundsSummary, ExperimentRow, RandomFaultReport};
+pub use scenario::{BuiltScenario, OverlayInfo, Scenario, ScenarioKind};
 pub use theory::{theory_table, TheoryTable, MESH_SPAN};

@@ -1,0 +1,373 @@
+//! The scenario layer: every graph a campaign cell can run against.
+//!
+//! The paper's headline results live on *derived* networks — the
+//! Theorem 2.3/3.1 lower bounds are stated on subdivided expanders,
+//! and §4 extends the machinery to CAN-style overlays under churn —
+//! so a campaign's graph axis cannot be just a [`Family`] name. A
+//! [`Scenario`] is the superset: a plain family, a subdivided
+//! expander (carrying its [`SubdividedGraph`] handle so Theorem
+//! 2.3/3.1 checks can see branch structure), or a CAN overlay
+//! snapshot grown and churned deterministically from the cell seed.
+//!
+//! Spec grammar (the campaign/CLI graph axis):
+//!
+//! * any [`Family::from_spec`] string — `torus:16,16`,
+//!   `hypercube:10`, `random-regular:1024,4`, …;
+//! * `subdivided:<n>,<d>,<k>` — a random `d`-regular expander on `n`
+//!   nodes with every edge subdivided by a `k`-node chain
+//!   (Theorem 2.3's `H_k`);
+//! * `overlay:<dim>,<peers>[,churn=<ops>]` — a CAN overlay of
+//!   `peers` zones in a `dim`-dimensional key space, then `ops`
+//!   join/leave churn operations (50/50 mix).
+
+use crate::families::{subdivided_expander, Family};
+use crate::network::Network;
+use fx_graph::generators::SubdividedGraph;
+use fx_overlay::Overlay;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A buildable campaign graph source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scenario {
+    /// A plain graph family.
+    Plain(Family),
+    /// Theorem 2.3's `H_k`: a random `d`-regular expander on `n`
+    /// nodes with every edge subdivided by `k` interior chain nodes.
+    Subdivided {
+        /// Base expander node count.
+        n: usize,
+        /// Base expander degree.
+        d: usize,
+        /// Chain length (interior nodes per original edge).
+        k: usize,
+    },
+    /// A CAN overlay snapshot (§4): grown by joins, then churned.
+    Overlay {
+        /// Key-space dimension.
+        dim: usize,
+        /// Peers joined before churn starts.
+        peers: usize,
+        /// Join/leave churn operations applied after growth.
+        churn: usize,
+    },
+}
+
+/// What kind of scenario — the axis [`crate::scenario`]-aware
+/// validity rules (e.g. chain-center faults) dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Plain family.
+    Plain,
+    /// Subdivided expander.
+    Subdivided,
+    /// CAN overlay snapshot.
+    Overlay,
+}
+
+/// A built scenario: the network plus whatever derived structure the
+/// construction produced (chain bookkeeping, overlay statistics).
+#[derive(Debug, Clone)]
+pub struct BuiltScenario {
+    /// The graph, wrapped as a [`Network`].
+    pub net: Network,
+    /// Chain bookkeeping for subdivided scenarios (the handle the
+    /// Theorem 2.3 chain-center adversary needs).
+    pub sub: Option<SubdividedGraph>,
+    /// Overlay statistics for CAN scenarios.
+    pub overlay: Option<OverlayInfo>,
+}
+
+/// Deterministic summary of a built overlay snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlayInfo {
+    /// Key-space dimension.
+    pub dim: usize,
+    /// Peers alive in the snapshot (after churn).
+    pub peers: usize,
+    /// Lifetime joins (growth + churn).
+    pub joins: usize,
+    /// Lifetime leaves.
+    pub leaves: usize,
+    /// Smallest zone volume.
+    pub vol_min: f64,
+    /// Largest zone volume.
+    pub vol_max: f64,
+    /// Mean zone volume.
+    pub vol_mean: f64,
+}
+
+impl Scenario {
+    /// Parses a scenario spec string: a derived-source form
+    /// (`subdivided:…`, `overlay:…`) or any plain [`Family`] spec.
+    pub fn from_spec(spec: &str) -> Result<Scenario, String> {
+        let (name, params) = spec.split_once(':').unwrap_or((spec, ""));
+        match name {
+            "subdivided" => {
+                let nums = parse_usizes(spec, params)?;
+                if nums.len() != 3 {
+                    return Err(format!(
+                        "subdivided expects 3 parameters (n,d,k), got {} \
+                         (try subdivided:200,4,8)",
+                        nums.len()
+                    ));
+                }
+                let (n, d, k) = (nums[0], nums[1], nums[2]);
+                if d < 2 || d >= n {
+                    return Err(format!(
+                        "subdivided:{n},{d},{k}: need 2 ≤ d < n for a d-regular base expander"
+                    ));
+                }
+                if (n * d) % 2 != 0 {
+                    return Err(format!(
+                        "subdivided:{n},{d},{k}: n·d must be even for a d-regular graph"
+                    ));
+                }
+                if k == 0 {
+                    return Err(format!(
+                        "subdivided:{n},{d},{k}: chain length k must be ≥ 1 \
+                         (k = 0 is the plain expander; use random-regular:{n},{d})"
+                    ));
+                }
+                Ok(Scenario::Subdivided { n, d, k })
+            }
+            "overlay" => {
+                let mut churn: Option<usize> = None;
+                let mut nums = Vec::new();
+                for (i, piece) in params.split(',').enumerate() {
+                    let piece = piece.trim();
+                    if let Some(ops) = piece.strip_prefix("churn=") {
+                        if churn.is_some() {
+                            return Err(format!("scenario {spec:?}: churn=… given twice"));
+                        }
+                        churn = Some(ops.parse().map_err(|_| {
+                            format!("scenario {spec:?}: bad churn op count {ops:?}")
+                        })?);
+                        if i < 2 {
+                            return Err(format!(
+                                "scenario {spec:?}: churn=… must come after <dim>,<peers>"
+                            ));
+                        }
+                    } else {
+                        nums.push(piece.parse::<usize>().map_err(|_| {
+                            format!("scenario {spec:?}: bad integer parameter {piece:?}")
+                        })?);
+                    }
+                }
+                if nums.len() != 2 {
+                    return Err(format!(
+                        "overlay expects <dim>,<peers>[,churn=<ops>] \
+                         (try overlay:2,256,churn=400), got {spec:?}"
+                    ));
+                }
+                let (dim, peers) = (nums[0], nums[1]);
+                if dim == 0 || dim > 8 {
+                    return Err(format!("overlay:{dim},{peers}: dimension must be in 1..=8"));
+                }
+                if peers < 2 {
+                    return Err(format!("overlay:{dim},{peers}: need at least 2 peers"));
+                }
+                Ok(Scenario::Overlay {
+                    dim,
+                    peers,
+                    churn: churn.unwrap_or(0),
+                })
+            }
+            _ => Family::from_spec(spec).map(Scenario::Plain).map_err(|e| {
+                format!("{e} | derived sources: subdivided:n,d,k | overlay:dim,n[,churn=ops]")
+            }),
+        }
+    }
+
+    /// Which kind of source this is.
+    pub fn kind(&self) -> ScenarioKind {
+        match self {
+            Scenario::Plain(_) => ScenarioKind::Plain,
+            Scenario::Subdivided { .. } => ScenarioKind::Subdivided,
+            Scenario::Overlay { .. } => ScenarioKind::Overlay,
+        }
+    }
+
+    /// Builds the scenario deterministically from `seed` (randomized
+    /// families, the subdivided base expander, and overlay churn all
+    /// draw from a stream derived from it).
+    pub fn build(&self, seed: u64) -> BuiltScenario {
+        match self {
+            Scenario::Plain(family) => BuiltScenario {
+                net: family.build(seed),
+                sub: None,
+                overlay: None,
+            },
+            Scenario::Subdivided { n, d, k } => {
+                let (net, sub) = subdivided_expander(*n, *d, *k, seed);
+                BuiltScenario {
+                    net,
+                    sub: Some(sub),
+                    overlay: None,
+                }
+            }
+            Scenario::Overlay { dim, peers, churn } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut ov = Overlay::with_peers(*dim, *peers, &mut rng);
+                ov.churn(*churn, 0.5, &mut rng);
+                let (graph, _owners) = ov.graph();
+                let (vol_min, vol_max, vol_mean) = ov.volume_stats();
+                let (joins, leaves) = ov.churn_counts();
+                let info = OverlayInfo {
+                    dim: *dim,
+                    peers: ov.num_peers(),
+                    joins,
+                    leaves,
+                    vol_min,
+                    vol_max,
+                    vol_mean,
+                };
+                BuiltScenario {
+                    net: Network::new(format!("can(d={dim},n={peers},churn={churn})"), graph),
+                    sub: None,
+                    overlay: Some(info),
+                }
+            }
+        }
+    }
+}
+
+fn parse_usizes(spec: &str, params: &str) -> Result<Vec<usize>, String> {
+    if params.is_empty() {
+        return Ok(Vec::new());
+    }
+    params
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| format!("scenario {spec:?}: bad integer parameter {p:?}"))
+        })
+        .collect()
+}
+
+impl fmt::Display for Scenario {
+    /// The canonical spec string (round-trips through
+    /// [`Scenario::from_spec`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scenario::Plain(family) => write!(f, "{}", family.spec_string()),
+            Scenario::Subdivided { n, d, k } => write!(f, "subdivided:{n},{d},{k}"),
+            Scenario::Overlay { dim, peers, churn } => {
+                if *churn == 0 {
+                    write!(f, "overlay:{dim},{peers}")
+                } else {
+                    write!(f, "overlay:{dim},{peers},churn={churn}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::components::is_connected;
+
+    #[test]
+    fn plain_specs_delegate_to_family() {
+        let s = Scenario::from_spec("torus:4,4").unwrap();
+        assert_eq!(s, Scenario::Plain(Family::Torus { dims: vec![4, 4] }));
+        assert_eq!(s.kind(), ScenarioKind::Plain);
+        let built = s.build(0);
+        assert_eq!(built.net.n(), 16);
+        assert!(built.sub.is_none() && built.overlay.is_none());
+    }
+
+    #[test]
+    fn subdivided_builds_with_handle() {
+        let s = Scenario::from_spec("subdivided:20,4,6").unwrap();
+        assert_eq!(s.kind(), ScenarioKind::Subdivided);
+        let built = s.build(3);
+        // n + k·m nodes, m = n·d/2 chains
+        assert_eq!(built.net.n(), 20 + 6 * 40);
+        let sub = built.sub.expect("subdivided carries its handle");
+        assert_eq!(sub.centers().len(), 40);
+        assert_eq!(sub.k, 6);
+    }
+
+    #[test]
+    fn overlay_builds_churned_connected_snapshot() {
+        let s = Scenario::from_spec("overlay:2,48,churn=60").unwrap();
+        assert_eq!(s.kind(), ScenarioKind::Overlay);
+        let built = s.build(9);
+        let info = built.overlay.expect("overlay carries its info");
+        assert_eq!(info.dim, 2);
+        assert_eq!(built.net.n(), info.peers);
+        assert_eq!(info.joins + 1 - info.leaves, info.peers, "peer accounting");
+        assert!(info.joins >= 48, "growth joins plus churn joins");
+        assert!(info.vol_min > 0.0 && info.vol_max <= 1.0);
+        assert!(
+            (info.vol_mean * info.peers as f64 - 1.0).abs() < 1e-9,
+            "zones tile the key space"
+        );
+        assert!(is_connected(&built.net.graph, &built.net.full_mask()));
+    }
+
+    #[test]
+    fn builds_are_seed_deterministic() {
+        for spec in [
+            "subdivided:16,4,2",
+            "overlay:3,40,churn=50",
+            "random-regular:30,4",
+        ] {
+            let s = Scenario::from_spec(spec).unwrap();
+            let a = s.build(7);
+            let b = s.build(7);
+            let ea: Vec<_> = a.net.graph.edges().collect();
+            let eb: Vec<_> = b.net.graph.edges().collect();
+            assert_eq!(ea, eb, "{spec}");
+            let c = s.build(8);
+            let ec: Vec<_> = c.net.graph.edges().collect();
+            assert_ne!(ea, ec, "{spec}: different seed must move the build");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for spec in [
+            "torus:4,4",
+            "hypercube:5",
+            "random-regular:30,4",
+            "subdivided:20,4,6",
+            "overlay:2,48",
+            "overlay:2,48,churn=60",
+        ] {
+            let s = Scenario::from_spec(spec).unwrap();
+            assert_eq!(s.to_string(), spec);
+            assert_eq!(Scenario::from_spec(&s.to_string()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_scenarios() {
+        for bad in [
+            "subdivided",
+            "subdivided:20,4",
+            "subdivided:20,4,0",
+            "subdivided:21,3,2", // n·d odd
+            "subdivided:4,4,2",  // d ≥ n
+            "subdivided:20,x,2",
+            "overlay",
+            "overlay:2",
+            "overlay:0,64",
+            "overlay:9,64",
+            "overlay:2,1",
+            "overlay:2,64,churn=x",
+            "overlay:2,64,churn=5,churn=9",
+            "overlay:churn=5,2,64",
+            "klein-bottle:3",
+        ] {
+            assert!(
+                Scenario::from_spec(bad).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+}

@@ -86,22 +86,36 @@
 //!
 //! Specs are a small TOML subset (see [`campaign::toml`]):
 //!
-//! * **axes** — `graphs` (`torus:16,16`, `mesh:8,8,8`,
+//! * **axes** — `graphs` (plain families `torus:16,16`, `mesh:8,8,8`,
 //!   `hypercube:10`, `butterfly:8`, `debruijn:10`,
 //!   `shuffle-exchange:10`, `margulis:32`, `random-regular:1024,4`,
-//!   `cycle:100`, `complete:64`), `faults` (`none`, `random:p`,
-//!   `random-exact:f`, `adversarial:k`, `degree:k`), `algorithms`
-//!   (`prune`, `prune2`, `percolation`, `span`, `expansion-cert`),
-//!   and `replicates`;
+//!   `cycle:100`, `complete:64`, plus the derived scenario sources
+//!   `subdivided:n,d,k` — Theorem 2.3's chain-subdivided expander,
+//!   carrying its chain bookkeeping — and
+//!   `overlay:dim,n[,churn=ops]` — a §4 CAN overlay churned
+//!   deterministically from the cell seed), `faults` (`none`,
+//!   `random:p`, `random-exact:f`, `adversarial:k`, `degree:k`,
+//!   `chain-centers[:f]`), `algorithms` (`prune`, `prune2`,
+//!   `percolation`, `span`, `expansion-cert`, `shatter`, `dissect`,
+//!   `diameter`, `compact-audit`, `routing`, `load-balance`,
+//!   `embed`), and `replicates`; experiments whose sub-grids are not
+//!   one cross product declare several `[grid-…]` tables;
 //! * **execution** — `seed` (master seed; each cell derives a
 //!   deterministic seed from its identity), `output` (artifact
 //!   directory);
 //! * **`[params]`** — `k` (Thm 2.1), `epsilon` (Prune2 ε; defaults to
-//!   the Thm 3.4 ceiling `1/(2δ)`), `sigma`, `trials`, `samples`,
-//!   `gamma`, `grid`, `mode` (`site`/`bond`).
+//!   the Thm 3.4 ceiling `1/(2δ)`; also the Thm 2.5 dissection piece
+//!   fraction), `sigma`, `trials`, `samples`, `gamma`, `grid`,
+//!   `mode` (`site`/`bond`).
 //!
-//! Invalid grid points (e.g. `prune2` × `adversarial:k`) are rejected
-//! when the spec is parsed, before any cell runs.
+//! Invalid grid points (e.g. `prune2` × `adversarial:k`, or
+//! `chain-centers` on a non-subdivided scenario) are rejected when
+//! the spec is parsed, before any cell runs.
+//!
+//! Campaigns also shard across machines: cell keys are
+//! machine-independent, so `fxnet campaign run --shard i/m` on `m`
+//! machines covers the grid exactly once and
+//! `fxnet campaign merge` recombines the journals.
 
 #![warn(missing_docs)]
 
@@ -121,7 +135,7 @@ pub mod prelude {
     pub use fx_campaign::{CampaignSpec, RunOptions};
     pub use fx_core::{
         analyze_adversarial, analyze_random, subdivided_expander, theory_table, AnalyzerConfig,
-        Family, Network, MESH_SPAN,
+        BuiltScenario, Family, Network, Scenario, MESH_SPAN,
     };
     pub use fx_expansion::{
         edge_expansion_bounds, node_expansion_bounds, spectral_sweep, Cut, Effort, EigenMethod,

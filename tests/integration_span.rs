@@ -8,12 +8,11 @@ use fx_graph::generators::MeshShape;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// Theorem 3.6 exhaustively on small 2-D meshes: every compact set's
-/// constructive ratio < 2 AND the true Steiner ratio ≤ the
-/// constructive one.
-#[test]
-fn mesh_span_constructive_vs_exact_exhaustive() {
-    let dims = [3usize, 4];
+/// Theorem 3.6 on small 2-D meshes: every compact set's constructive
+/// ratio < 2 AND the true (Dreyfus–Wagner) Steiner ratio ≤ the
+/// constructive one. Shared driver for the dev-profile-sized and
+/// exhaustive variants below.
+fn check_mesh_span_constructive_vs_exact(dims: [usize; 2], min_checked: usize) {
     let shape = MeshShape::new(&dims);
     let g = fault_expansion::graph::generators::mesh(&dims);
     let mut checked = 0usize;
@@ -31,7 +30,28 @@ fn mesh_span_constructive_vs_exact_exhaustive() {
         checked += 1;
         true
     });
-    assert!(checked > 100, "only {checked} compact sets checked");
+    assert!(checked > min_checked, "only {checked} compact sets checked");
+}
+
+/// Dev-profile-sized Theorem 3.6 check: the 2×5 mesh's compact sets
+/// are few enough that the exact Dreyfus–Wagner sweep stays in the
+/// seconds range without optimization.
+#[test]
+fn mesh_span_constructive_vs_exact_small() {
+    check_mesh_span_constructive_vs_exact([2, 5], 50);
+}
+
+/// The full 3×4 exhaustive sweep: exact Steiner costs dominate and
+/// take minutes unoptimized, so this runs in release builds only
+/// (`cargo test --release`); the dev-profile suite relies on the
+/// smaller variant above.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "exact Dreyfus–Wagner sweep takes minutes in the dev profile; run with --release"
+)]
+#[test]
+fn mesh_span_constructive_vs_exact_exhaustive() {
+    check_mesh_span_constructive_vs_exact([3, 4], 100);
 }
 
 /// Lemma 3.7 on random compact sets in 2-D, 3-D and 4-D meshes.
@@ -60,11 +80,13 @@ fn lemma37_boundary_connectivity_up_to_4d() {
 
 /// §4 conjecture probe: sampled span lower bounds of butterfly,
 /// de Bruijn and shuffle-exchange stay small (consistent with O(1))
-/// and — crucially — do not grow with n in this range.
-#[test]
-fn conjecture_families_span_stays_small() {
+/// and — crucially — do not grow with n in this range. Shared driver:
+/// the exact Steiner costs inside `sampled_span` dominate, so the
+/// dev-profile suite runs the small sizes and the full sweep is
+/// release-only.
+fn check_conjecture_families_span_stays_small(dims: &[usize], samples: usize) {
     let mut rng = SmallRng::seed_from_u64(33);
-    for d in [4usize, 6] {
+    for &d in dims {
         for (name, g) in [
             (
                 "butterfly",
@@ -79,7 +101,7 @@ fn conjecture_families_span_stays_small() {
                 fault_expansion::graph::generators::shuffle_exchange(d + 3),
             ),
         ] {
-            let est = sampled_span(&g, 60, g.num_nodes() / 4, &mut rng);
+            let est = sampled_span(&g, samples, g.num_nodes() / 4, &mut rng);
             assert!(
                 est.max_ratio < 8.0,
                 "{name}(d={d}) sampled span ratio {} suspiciously large",
@@ -87,6 +109,20 @@ fn conjecture_families_span_stays_small() {
             );
         }
     }
+}
+
+#[test]
+fn conjecture_families_span_stays_small() {
+    check_conjecture_families_span_stays_small(&[4], 30);
+}
+
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-size sampled-span sweep takes minutes in the dev profile; run with --release"
+)]
+#[test]
+fn conjecture_families_span_stays_small_full() {
+    check_conjecture_families_span_stays_small(&[4, 6], 60);
 }
 
 /// Exact span of tiny meshes is monotone-ish in elongation and always
@@ -116,12 +152,13 @@ fn span_bound_ranks_match_measured_thresholds() {
         base_seed: 3,
     };
     // torus (σ = 2) vs subdivided expander with long chains (σ grows
-    // with k: boundary 2 nodes, P(U) spans a whole chain)
-    let torus = Family::Torus { dims: vec![20, 20] }.build(0);
-    let (sub, _) = subdivided_expander(60, 4, 12, 9);
+    // with k: boundary 2 nodes, P(U) spans a whole chain); sizes kept
+    // dev-profile-friendly — the ranking is robust at this scale
+    let torus = Family::Torus { dims: vec![14, 14] }.build(0);
+    let (sub, _) = subdivided_expander(40, 4, 10, 9);
     let mut rng = SmallRng::seed_from_u64(41);
-    let sigma_torus = sampled_span(&torus.graph, 40, 80, &mut rng).max_ratio;
-    let sigma_sub = sampled_span(&sub.graph, 40, 80, &mut rng).max_ratio;
+    let sigma_torus = sampled_span(&torus.graph, 30, 60, &mut rng).max_ratio;
+    let sigma_sub = sampled_span(&sub.graph, 30, 60, &mut rng).max_ratio;
     assert!(
         sigma_sub > sigma_torus,
         "subdivided span lower bound {sigma_sub} should exceed torus' {sigma_torus}"
