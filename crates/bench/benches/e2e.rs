@@ -1,0 +1,64 @@
+//! Bench: end-to-end Monte-Carlo pipelines at the *default* thread
+//! count — the workloads whose throughput is the science budget
+//! (thousands of fault trials per campaign cell).
+//!
+//! These are the headline rows of the `BENCH_e2e.json` perf ledger:
+//! `mc_percolation_e2e` is the percolation trial loop (direct
+//! resampling and Newman–Ziff curve inversion), `mc_random_fault_e2e`
+//! is the Theorem 3.4 random-fault sweep (`analyze_random`: sample →
+//! γ → Prune2 → certify, per trial).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fx_core::{analyze_random, AnalyzerConfig, Family};
+use fx_percolation::{estimate_critical, Mode, MonteCarlo};
+
+/// Percolation Monte-Carlo: γ at a point (direct resampling) and the
+/// critical-probability search (Newman–Ziff curves), default threads.
+fn bench_mc_percolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_percolation_e2e");
+    group.sample_size(10);
+    let g = fx_graph::generators::torus(&[48, 48]);
+    let mc = MonteCarlo {
+        trials: 16,
+        threads: 0, // the resolved default (FXNET_THREADS / cores)
+        base_seed: 0xE2E,
+    };
+    group.bench_function("gamma_at_torus_2304", |b| {
+        b.iter(|| mc.gamma_site_at(&g, 0.65))
+    });
+    group.bench_function("critical_torus_2304", |b| {
+        b.iter(|| estimate_critical(&g, Mode::Site, &mc, 0.1, 20))
+    });
+    group.finish();
+}
+
+/// The random-fault sweep pipeline (E5): per trial, sample i.i.d.
+/// faults, measure γ, run Prune2, certify the survivor.
+fn bench_mc_random_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_random_fault_e2e");
+    group.sample_size(10);
+    let net = Family::Torus { dims: vec![24, 24] }.build(0);
+    let cfg = AnalyzerConfig {
+        seed: 7,
+        threads: 0, // the resolved default
+        ..Default::default()
+    };
+    group.bench_function("prune2_sweep_torus_576", |b| {
+        b.iter(|| analyze_random(&net, 0.03, 0.125, 2.0, 8, &cfg))
+    });
+    group.finish();
+}
+
+/// Shortened criterion cycle, matching the other suites.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_mc_percolation, bench_mc_random_faults
+}
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! (ablation A2) and parallel Monte-Carlo scaling (ablation A3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fx_percolation::{site_sweep, MonteCarlo};
+use fx_percolation::{site_sweep_with, MonteCarlo, SweepScratch};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -52,7 +52,9 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-/// Raw sweep throughput across graph families.
+/// Raw sweep throughput across graph families, through the
+/// scratch-reusing kernel the Monte-Carlo harness actually runs (one
+/// arena per worker, reused across trials).
 fn bench_sweep_families(c: &mut Criterion) {
     let mut group = c.benchmark_group("site_sweep");
     let cases = vec![
@@ -61,10 +63,11 @@ fn bench_sweep_families(c: &mut Criterion) {
         ("debruijn_4096", fx_graph::generators::de_bruijn(12)),
     ];
     for (name, g) in cases {
+        let mut scratch = SweepScratch::new();
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(3);
-                site_sweep(&g, &mut rng)
+                site_sweep_with(&g, &mut rng, &mut scratch).last().copied()
             })
         });
     }

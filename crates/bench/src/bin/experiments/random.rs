@@ -10,7 +10,7 @@ use fx_prune::{theorem34_max_epsilon, theorem34_max_p};
 fn mc(opts: &Opts) -> MonteCarlo {
     MonteCarlo {
         trials: if opts.quick { 8 } else { 24 },
-        threads: fx_graph::par::default_threads(),
+        threads: 0, // the resolved default (FXNET_THREADS / cores)
         base_seed: 0xE4E5,
     }
 }

@@ -12,53 +12,10 @@
 use crate::exec::CellResult;
 use std::collections::BTreeMap;
 
-/// Welford online mean/variance accumulator.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct Welford {
-    /// Samples seen.
-    pub count: u64,
-    mean: f64,
-    m2: f64,
-}
-
-impl Welford {
-    /// Adds a sample.
-    pub fn push(&mut self, x: f64) {
-        self.count += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (x - self.mean);
-    }
-
-    /// Sample mean (0 for an empty accumulator).
-    pub fn mean(&self) -> f64 {
-        self.mean
-    }
-
-    /// Unbiased sample variance (0 for < 2 samples).
-    pub fn variance(&self) -> f64 {
-        if self.count < 2 {
-            0.0
-        } else {
-            self.m2 / (self.count - 1) as f64
-        }
-    }
-
-    /// Sample standard deviation.
-    pub fn std(&self) -> f64 {
-        self.variance().sqrt()
-    }
-
-    /// Half-width of the normal-approximation 95% CI
-    /// (`1.96·s/√n`; 0 for < 2 samples).
-    pub fn ci95_half_width(&self) -> f64 {
-        if self.count < 2 {
-            0.0
-        } else {
-            1.96 * self.std() / (self.count as f64).sqrt()
-        }
-    }
-}
+// The Welford accumulator lives in `fx_graph::stats` — one streaming
+// statistics implementation shared with the percolation Monte-Carlo
+// layer — and is re-exported here for spec stability.
+pub use fx_graph::stats::Welford;
 
 /// Aggregated statistics of one metric within one group.
 #[derive(Debug, Clone, PartialEq)]

@@ -109,11 +109,9 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
     let executed = pending.len();
     if executed > 0 {
         let writer = journal.appender()?;
-        let threads = if opts.threads == 0 {
-            fx_graph::par::default_threads()
-        } else {
-            opts.threads
-        };
+        // one resolved thread count for the whole run (0 = the
+        // FXNET_THREADS / core-count default)
+        let threads = fx_graph::par::resolve_threads(opts.threads);
         // One cell per steal: cells are coarse units (whole analyses),
         // so batching would only hurt balance and coarsen the
         // checkpoint granularity.
@@ -126,7 +124,15 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
                 |_first: usize, batch: Vec<(usize, CellResult)>| {
                     for (_, result) in batch {
                         if !opts.quiet {
-                            eprintln!("  done {:<48} [{:.0} ms]", result.key, result.wall_ms);
+                            let timeout = if result.metric("timed_out").is_some() {
+                                " TIMEOUT"
+                            } else {
+                                ""
+                            };
+                            eprintln!(
+                                "  done {:<48} [{:.0} ms]{timeout}",
+                                result.key, result.wall_ms
+                            );
                         }
                         if let Err(e) = writer.append(&result) {
                             errors.lock().push(e);
@@ -391,6 +397,49 @@ algorithms = ["expansion-cert"]
         for d in shard_dirs.iter().chain([&dir_full, &merged_dir]) {
             let _ = std::fs::remove_dir_all(d);
         }
+    }
+
+    /// A campaign with a pathological cell (exact span on mesh:4,5,
+    /// which would enumerate for minutes) and a quick cell: with
+    /// `timeout_ms` the pathological cell is journaled as timed out
+    /// and the campaign still completes.
+    #[test]
+    fn timeout_cell_is_journaled_and_campaign_completes() {
+        let dir = temp_dir("timeout");
+        let mut spec = CampaignSpec::parse(
+            r#"
+name = "timeout-engine"
+[grid-quick]
+graphs = ["cycle:10"]
+algorithms = ["span"]
+[grid-pathological]
+graphs = ["mesh:4,5"]
+algorithms = ["span"]
+[params]
+timeout_ms = 50
+"#,
+        )
+        .unwrap();
+        spec.output = dir.clone();
+        let summary = run(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                quiet: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(summary.complete, "timed-out cells must not block the run");
+        assert_eq!(summary.executed, 2);
+        let journal = journal_for(&spec, &RunOptions::default());
+        let results = journal.load().unwrap();
+        let mesh = results.iter().find(|r| r.graph == "mesh:4,5").unwrap();
+        assert_eq!(mesh.metric("timed_out"), Some(1.0));
+        let cycle = results.iter().find(|r| r.graph == "cycle:10").unwrap();
+        assert_eq!(cycle.metric("timed_out"), None, "fast cell unaffected");
+        assert_eq!(cycle.metric("exhaustive"), Some(1.0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

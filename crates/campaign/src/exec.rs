@@ -25,17 +25,19 @@ use fx_faults::{
     RandomNodeFaults, SparseCutAdversary,
 };
 use fx_graph::boundary::edge_cut_size;
-use fx_graph::components::{components, gamma, largest_component};
+use fx_graph::components::{component_stats_with, gamma, largest_component};
 use fx_graph::distance::diameter_two_sweep;
+use fx_graph::par::CancelToken;
 use fx_graph::routing::{permutation_demands, route_demands};
 use fx_graph::traversal::bfs_ball;
-use fx_graph::NodeSet;
+use fx_graph::{NodeSet, Scratch};
 use fx_percolation::{estimate_critical, Mode, MonteCarlo};
 use fx_prune::bounds::{theorem23_component_bound, theorem25_removal_bound};
 use fx_prune::{compactify, dissect, is_compact, prune, theorem34_max_epsilon, CutStrategy};
-use fx_span::span::{exact_span, sampled_span};
+use fx_span::span::{exact_span_cancelable, sampled_span_cancelable};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 /// The journaled outcome of one executed cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,9 +114,29 @@ fn prune_epsilon(spec: &CampaignSpec) -> f64 {
     1.0 - 1.0 / spec.params.k
 }
 
-/// Executes one cell. Panics only on internal invariant violations;
+/// Executes one cell under the spec's `timeout_ms` budget (unbounded
+/// when unset). Panics only on internal invariant violations;
 /// spec-level errors were rejected at parse time.
 pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
+    let token = match spec.params.timeout_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    run_cell_cancelable(spec, cell, &token)
+}
+
+/// Executes one cell under an externally supplied [`CancelToken`].
+///
+/// Cancellation is cooperative: long kernels (span enumeration and
+/// sampling) poll the token, and multi-stage algorithms check it
+/// between stages. A cell whose work was actually truncated by the
+/// fired token is returned with whatever metrics its completed
+/// stages produced plus a `timed_out = 1` marker, so the journal
+/// records the cell (and the campaign completes) instead of a worker
+/// blocking forever. A cell that completes without any cancellation
+/// point reacting — including non-polling algorithms that simply ran
+/// past the deadline — is returned unmarked.
+pub fn run_cell_cancelable(spec: &CampaignSpec, cell: &Cell, token: &CancelToken) -> CellResult {
     let started = std::time::Instant::now();
     let scenario = Scenario::from_spec(&cell.graph).expect("scenario validated at parse time");
     // Distinct derived streams: one for (randomized) scenario builds,
@@ -213,7 +235,7 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
         },
         Algo::Span => {
             if net.n() <= 20 {
-                let est = exact_span(&net.graph, 50_000_000);
+                let est = exact_span_cancelable(&net.graph, 50_000_000, token);
                 vec![
                     ("n".to_string(), net.n() as f64),
                     ("span".to_string(), est.max_ratio),
@@ -221,7 +243,13 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
                     ("exhaustive".to_string(), f64::from(est.exhaustive)),
                 ]
             } else {
-                let est = sampled_span(&net.graph, params.samples, net.n() / 4, &mut rng);
+                let est = sampled_span_cancelable(
+                    &net.graph,
+                    params.samples,
+                    net.n() / 4,
+                    &mut rng,
+                    token,
+                );
                 vec![
                     ("n".to_string(), net.n() as f64),
                     ("span".to_string(), est.max_ratio),
@@ -233,13 +261,21 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
         Algo::ExpansionCert => expansion_cert_metrics(&built, cell, &mut rng),
         Algo::Shatter => shatter_metrics(&built, cell, &mut rng),
         Algo::Dissect => dissect_metrics(&built, spec, &mut rng),
-        Algo::Diameter => diameter_metrics(&built, spec, cell, &mut rng),
-        Algo::CompactAudit => compact_audit_metrics(&built, spec, &mut rng),
-        Algo::Routing => routing_metrics(&built, spec, cell, &mut rng),
-        Algo::LoadBalance => load_balance_metrics(&built, spec, cell, &mut rng),
-        Algo::Embed => embed_metrics(&built, spec, cell, &mut rng),
+        Algo::Diameter => diameter_metrics(&built, spec, cell, &mut rng, token),
+        Algo::CompactAudit => compact_audit_metrics(&built, spec, &mut rng, token),
+        Algo::Routing => routing_metrics(&built, spec, cell, &mut rng, token),
+        Algo::LoadBalance => load_balance_metrics(&built, spec, cell, &mut rng, token),
+        Algo::Embed => embed_metrics(&built, spec, cell, &mut rng, token),
     };
     metrics.extend(scenario_metrics(&built));
+    if token.was_observed() {
+        // a cancellation point reacted to the fired budget, so work
+        // was actually truncated: journal the cell as timed out (any
+        // metrics its completed stages produced are kept). A cell
+        // that merely finished after the deadline without any poll
+        // noticing ran to completion and is NOT marked.
+        metrics.push(("timed_out".to_string(), 1.0));
+    }
 
     CellResult {
         key: cell.key(),
@@ -314,14 +350,16 @@ fn shatter_metrics(built: &BuiltScenario, cell: &Cell, rng: &mut SmallRng) -> Ve
     let model = fault_model(&cell.fault, built);
     let failed = model.sample(&net.graph, rng);
     let alive = apply_faults(&net.graph, &failed);
-    let comps = components(&net.graph, &alive);
-    let biggest = comps.largest().map_or(0, |(_, s)| s);
+    // one scratch serves both the component sweep and γ
+    let mut scratch = Scratch::new();
+    let comps = component_stats_with(&net.graph, &alive, &mut scratch);
+    let biggest = comps.largest;
     let alive_n = alive.len();
     let mut m = vec![
         ("n".to_string(), net.n() as f64),
         ("faults".to_string(), failed.len() as f64),
-        ("gamma".to_string(), gamma(&net.graph, &alive)),
-        ("components".to_string(), comps.count() as f64),
+        ("gamma".to_string(), biggest as f64 / net.n().max(1) as f64),
+        ("components".to_string(), comps.count as f64),
         ("biggest_component".to_string(), biggest as f64),
         (
             // the paper's disintegration signal: the fraction of the
@@ -411,6 +449,7 @@ fn diameter_metrics(
     spec: &CampaignSpec,
     cell: &Cell,
     rng: &mut SmallRng,
+    token: &CancelToken,
 ) -> Vec<(String, f64)> {
     let net = &built.net;
     let model = fault_model(&cell.fault, built);
@@ -436,6 +475,11 @@ fn diameter_metrics(
         ),
     ];
     if out.kept.len() >= 4 {
+        // poll only where work would actually be skipped: a kept < 4
+        // cell never runs this stage, so it must not observe the token
+        if token.is_cancelled() {
+            return m;
+        }
         let after = node_expansion_bounds(&net.graph, &out.kept, Effort::Auto, rng);
         let diam = diameter_two_sweep(&net.graph, &out.kept).unwrap_or(0);
         let ln_n = (net.n() as f64).ln();
@@ -455,6 +499,7 @@ fn compact_audit_metrics(
     built: &BuiltScenario,
     spec: &CampaignSpec,
     rng: &mut SmallRng,
+    token: &CancelToken,
 ) -> Vec<(String, f64)> {
     let net = &built.net;
     let n = net.n();
@@ -464,6 +509,9 @@ fn compact_audit_metrics(
     let mut tried = 0usize;
     let mut worst = 0.0f64;
     for _ in 0..spec.params.samples {
+        if token.is_cancelled() {
+            break;
+        }
         let seed = rng.gen_range(0..n as u32);
         let size = rng.gen_range(1..(n / 2).max(2));
         let s = bfs_ball(&net.graph, &alive, seed, size);
@@ -505,6 +553,7 @@ fn routing_metrics(
     spec: &CampaignSpec,
     cell: &Cell,
     rng: &mut SmallRng,
+    token: &CancelToken,
 ) -> Vec<(String, f64)> {
     let net = &built.net;
     let full = net.full_mask();
@@ -543,7 +592,7 @@ fn routing_metrics(
         ("faulty_mean_dilation".to_string(), faulty.mean_dilation),
         ("pruned_nodes".to_string(), out.kept.len() as f64),
     ];
-    if !out.kept.is_empty() {
+    if !out.kept.is_empty() && !token.is_cancelled() {
         let demands_p = permutation_demands(&out.kept, rng);
         let pruned = route_demands(&net.graph, &out.kept, &demands_p, rng);
         m.push((
@@ -563,6 +612,7 @@ fn load_balance_metrics(
     spec: &CampaignSpec,
     cell: &Cell,
     rng: &mut SmallRng,
+    token: &CancelToken,
 ) -> Vec<(String, f64)> {
     const TOL: f64 = 0.5;
     const MAX_ROUNDS: usize = 200_000;
@@ -587,13 +637,16 @@ fn load_balance_metrics(
             f64::from(healthy.final_imbalance <= TOL),
         ),
     ];
-    if !alive.is_empty() {
+    if !alive.is_empty() && !token.is_cancelled() {
         let faulty = run(&alive);
         m.push(("faulty_rounds".to_string(), faulty.rounds as f64));
         m.push((
             "faulty_balanced".to_string(),
             f64::from(faulty.final_imbalance <= TOL),
         ));
+        if token.is_cancelled() {
+            return m;
+        }
         let ab = node_expansion_bounds(&net.graph, &full, Effort::Auto, rng);
         let out = prune(
             &net.graph,
@@ -625,6 +678,7 @@ fn embed_metrics(
     spec: &CampaignSpec,
     cell: &Cell,
     rng: &mut SmallRng,
+    token: &CancelToken,
 ) -> Vec<(String, f64)> {
     let net = &built.net;
     let full = net.full_mask();
@@ -646,7 +700,7 @@ fn embed_metrics(
         rng,
     );
     for (stage, hosts) in [("raw", &raw_core), ("pruned", &pruned.kept)] {
-        if hosts.is_empty() {
+        if hosts.is_empty() || token.is_cancelled() {
             continue;
         }
         let (q, _) = embed_nearest(&net.graph, &net.graph, hosts, rng);
@@ -824,6 +878,69 @@ samples = 20
             }
             assert_eq!(r.metrics, run_cell(&spec, &cell).metrics, "{}", cell.key());
         }
+    }
+
+    /// The ROADMAP's named pathological cell: exact span on a graph
+    /// whose compact-set enumeration would run for minutes. The
+    /// deadline token must cancel it cooperatively (poll granularity:
+    /// one compact set), journal-ready, with the timeout marker.
+    #[test]
+    fn pathological_exact_span_cell_times_out_cooperatively() {
+        let spec = CampaignSpec::parse(
+            "name = \"timeout\"\ngraphs = [\"mesh:4,5\"]\nalgorithms = [\"span\"]\n\
+             [params]\ntimeout_ms = 10",
+        )
+        .unwrap();
+        let cell = &expand(&spec).unwrap()[0];
+        let started = std::time::Instant::now();
+        let r = run_cell(&spec, cell);
+        assert_eq!(r.metric("timed_out"), Some(1.0), "{:?}", r.metrics);
+        assert_eq!(r.metric("exhaustive"), Some(0.0), "truncated enumeration");
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "cancellation latency must be one compact-set evaluation, not \
+             the full enumeration ({:?})",
+            started.elapsed()
+        );
+        // an explicit token works the same way without a spec timeout
+        let free_spec = CampaignSpec::parse(
+            "name = \"timeout2\"\ngraphs = [\"mesh:4,5\"]\nalgorithms = [\"span\"]",
+        )
+        .unwrap();
+        let token = CancelToken::with_deadline(Duration::from_millis(10));
+        let cell = &expand(&free_spec).unwrap()[0];
+        let r = run_cell_cancelable(&free_spec, cell, &token);
+        assert_eq!(r.metric("timed_out"), Some(1.0));
+    }
+
+    #[test]
+    fn completed_cells_past_deadline_are_not_marked_timed_out() {
+        // percolation cells have no cancellation points: even with a
+        // budget that certainly fires mid-cell, a cell that ran to
+        // completion must not be journaled as timed out
+        let spec = CampaignSpec::parse(
+            "name = \"slow\"\ngraphs = [\"cycle:30\"]\nfaults = [\"random:0.1\"]\n\
+             algorithms = [\"percolation\"]\n[params]\ntimeout_ms = 1",
+        )
+        .unwrap();
+        let cell = &expand(&spec).unwrap()[0];
+        let token = CancelToken::new();
+        token.cancel(); // fired before the cell even starts
+        let r = run_cell_cancelable(&spec, cell, &token);
+        assert_eq!(r.metric("timed_out"), None, "{:?}", r.metrics);
+        assert!(r.metric("gamma").is_some(), "full metrics present");
+    }
+
+    #[test]
+    fn fast_cells_are_not_marked_timed_out() {
+        let spec = CampaignSpec::parse(
+            "name = \"fast\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n\
+             [params]\ntimeout_ms = 60000",
+        )
+        .unwrap();
+        let r = run_cell(&spec, &expand(&spec).unwrap()[0]);
+        assert_eq!(r.metric("timed_out"), None);
+        assert_eq!(r.metric("exhaustive"), Some(1.0));
     }
 
     #[test]

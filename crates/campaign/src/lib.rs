@@ -72,6 +72,7 @@
 //! | `[params] gamma` | `p*` γ threshold | 0.1 |
 //! | `[params] grid` | `p*` search resolution | 50 |
 //! | `[params] mode` | percolation `site`/`bond` | `site` |
+//! | `[params] timeout_ms` | per-cell wall-clock budget (cells past it are cancelled cooperatively and journaled `timed_out`) | unbounded |
 //!
 //! ¹ root-level axes may be omitted when at least one `[grid-…]`
 //! table declares a grid.
@@ -97,7 +98,7 @@ pub mod toml;
 
 pub use agg::{aggregate, GroupAggregate, Welford};
 pub use engine::{journal_for, report, run, RunOptions, RunSummary};
-pub use exec::{run_cell, CellResult};
+pub use exec::{run_cell, run_cell_cancelable, CellResult};
 pub use grid::{cell_seed, expand, shard_of, Cell};
 pub use journal::{merge_journals, Journal, JournalWriter, MergeSummary};
 pub use spec::{Algo, CampaignSpec, FaultSpec, GridSpec, Params};

@@ -283,6 +283,12 @@ pub struct Params {
     pub grid: usize,
     /// Percolation mode: `site` or `bond` (critical estimation only).
     pub site_mode: bool,
+    /// Per-cell wall-clock budget in milliseconds. A cell that
+    /// exceeds it is cooperatively cancelled (long kernels poll the
+    /// deadline token), journaled with a `timed_out` metric, and the
+    /// campaign moves on instead of blocking a worker forever.
+    /// `None` = unbounded.
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for Params {
@@ -296,6 +302,7 @@ impl Default for Params {
             gamma: 0.1,
             grid: 50,
             site_mode: true,
+            timeout_ms: None,
         }
     }
 }
@@ -462,6 +469,12 @@ impl CampaignSpec {
         if let Some(g) = pu("grid")? {
             params.grid = g.max(2);
         }
+        if let Some(t) = pu("timeout_ms")? {
+            if t == 0 {
+                return Err("params.timeout_ms must be ≥ 1 (omit it for no timeout)".into());
+            }
+            params.timeout_ms = Some(t as u64);
+        }
         if let Some(mode) = doc.get_in("params", "mode") {
             match mode.as_str() {
                 Some("site") => params.site_mode = true,
@@ -471,7 +484,15 @@ impl CampaignSpec {
         }
         if let Some(table) = doc.tables.get("params") {
             const KNOWN: &[&str] = &[
-                "k", "epsilon", "sigma", "trials", "samples", "gamma", "grid", "mode",
+                "k",
+                "epsilon",
+                "sigma",
+                "trials",
+                "samples",
+                "gamma",
+                "grid",
+                "mode",
+                "timeout_ms",
             ];
             for key in table.keys() {
                 if !KNOWN.contains(&key.as_str()) {
@@ -818,6 +839,26 @@ algorithms = ["span"]
         // unknown table
         assert!(CampaignSpec::parse(
             "name = \"d\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n[zebra]\na = 1"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn timeout_ms_parses_and_validates() {
+        let spec = CampaignSpec::parse(
+            "name = \"t\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n[params]\ntimeout_ms = 250",
+        )
+        .unwrap();
+        assert_eq!(spec.params.timeout_ms, Some(250));
+        assert_eq!(
+            CampaignSpec::parse("name = \"t\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]")
+                .unwrap()
+                .params
+                .timeout_ms,
+            None
+        );
+        assert!(CampaignSpec::parse(
+            "name = \"t\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n[params]\ntimeout_ms = 0",
         )
         .is_err());
     }

@@ -88,13 +88,14 @@ fn build_network(args: &Args) -> Result<(Network, u64), String> {
     Ok((scenario.build(seed).net, seed))
 }
 
-/// `--threads N`, defaulting to `FXNET_THREADS` / available cores.
+/// `--threads N`, defaulting to `FXNET_THREADS` / available cores —
+/// one resolved count routed into every analysis the command runs.
 fn threads_option(args: &Args) -> Result<usize, String> {
-    let threads: usize = args.get_parsed("threads", fx_graph::par::default_threads())?;
-    if threads == 0 {
+    let requested: usize = args.get_parsed("threads", 0)?;
+    if args.get("threads").is_some() && requested == 0 {
         return Err("--threads must be ≥ 1".into());
     }
-    Ok(threads)
+    Ok(fx_graph::par::resolve_threads(requested))
 }
 
 fn merge_campaign_journals(args: &Args) -> Result<(), String> {

@@ -10,9 +10,10 @@
 use crate::network::Network;
 use crate::report::{AdversarialReport, BoundsSummary, RandomFaultReport};
 use fx_expansion::certificate::{edge_expansion_bounds, node_expansion_bounds, Effort};
-use fx_faults::{apply_faults, FaultModel};
-use fx_graph::components::gamma;
-use fx_graph::par::par_map;
+use fx_faults::{apply_faults, FaultModel, RandomNodeFaults};
+use fx_graph::components::{gamma, gamma_with};
+use fx_graph::par::{par_map_init, resolve_threads};
+use fx_graph::{NodeSet, Scratch};
 use fx_prune::{prune, prune2, theorem21, theorem34_applicable, theorem34_max_p, CutStrategy};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -26,7 +27,8 @@ pub struct AnalyzerConfig {
     pub effort: Effort,
     /// Base RNG seed (analyses are deterministic given this).
     pub seed: u64,
-    /// Worker threads for Monte-Carlo trials.
+    /// Worker threads for Monte-Carlo trials (`0` = the resolved
+    /// default: `FXNET_THREADS` / available cores).
     pub threads: usize,
 }
 
@@ -36,7 +38,7 @@ impl Default for AnalyzerConfig {
             strategy: CutStrategy::Auto,
             effort: Effort::Auto,
             seed: 0xFA017,
-            threads: fx_graph::par::default_threads(),
+            threads: 0,
         }
     }
 }
@@ -123,25 +125,32 @@ pub fn analyze_random(
     let strategy = config.strategy;
     let effort = config.effort;
     let seed = config.seed;
-    let results: Vec<Trial> = par_map(trials, config.threads, move |i| {
-        let mut rng = SmallRng::seed_from_u64(seed ^ (0xC0FFEE + i as u64));
-        let failed = fx_faults::RandomNodeFaults { p }.sample(graph, &mut rng);
-        let alive = apply_faults(graph, &failed);
-        let g_frac = gamma(graph, &alive);
-        let out = prune2(graph, &alive, alpha_e, epsilon, strategy, &mut rng);
-        let kept_fraction = out.kept.len() as f64 / n.max(1) as f64;
-        let after = edge_expansion_bounds(graph, &out.kept, effort, &mut rng);
-        Trial {
-            gamma: g_frac,
-            kept_fraction,
-            success: 2 * out.kept.len() >= n,
-            alpha_e_after: if after.upper.is_finite() {
-                after.upper
-            } else {
-                0.0
-            },
-        }
-    });
+    // per-worker trial arena: fault mask, alive mask, traversal
+    // scratch — reused across every trial a worker claims
+    let results: Vec<Trial> = par_map_init(
+        trials,
+        resolve_threads(config.threads),
+        || (NodeSet::empty(n), NodeSet::empty(n), Scratch::new()),
+        move |(failed, alive, scratch), i| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (0xC0FFEE + i as u64));
+            RandomNodeFaults { p }.sample_into(graph, &mut rng, failed);
+            failed.complement_into(alive);
+            let g_frac = gamma_with(graph, alive, scratch);
+            let out = prune2(graph, alive, alpha_e, epsilon, strategy, &mut rng);
+            let kept_fraction = out.kept.len() as f64 / n.max(1) as f64;
+            let after = edge_expansion_bounds(graph, &out.kept, effort, &mut rng);
+            Trial {
+                gamma: g_frac,
+                kept_fraction,
+                success: 2 * out.kept.len() >= n,
+                alpha_e_after: if after.upper.is_finite() {
+                    after.upper
+                } else {
+                    0.0
+                },
+            }
+        },
+    );
 
     let mean =
         |f: &dyn Fn(&Trial) -> f64| results.iter().map(f).sum::<f64>() / trials.max(1) as f64;

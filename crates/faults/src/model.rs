@@ -14,6 +14,14 @@ pub trait FaultModel {
     /// adversaries may ignore `rng`.
     fn sample(&self, g: &CsrGraph, rng: &mut dyn RngCore) -> NodeSet;
 
+    /// [`FaultModel::sample`] into a reusable mask (same stream and
+    /// distribution): Monte-Carlo loops keep one mask per worker
+    /// instead of allocating per trial. The default delegates to
+    /// `sample`; allocation-free models override it.
+    fn sample_into(&self, g: &CsrGraph, rng: &mut dyn RngCore, out: &mut NodeSet) {
+        *out = self.sample(g, rng);
+    }
+
     /// Human-readable name for reports and tables.
     fn name(&self) -> String;
 }

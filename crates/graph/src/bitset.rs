@@ -150,6 +150,89 @@ impl NodeSet {
         self.len = 0;
     }
 
+    /// Makes `self` a copy of `other`, reusing the allocation when the
+    /// universes match (the hot path for per-trial "pending" masks).
+    pub fn copy_from(&mut self, other: &NodeSet) {
+        if self.capacity != other.capacity {
+            *self = other.clone();
+            return;
+        }
+        self.words.copy_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Removes and returns the smallest member, scanning from
+    /// `*word_cursor` (which advances past exhausted words and is
+    /// never rewound).
+    ///
+    /// This is the component-sweep primitive: callers guarantee no
+    /// member exists below the cursor's word (true when members are
+    /// only ever *removed* between calls), which makes a full sweep
+    /// O(words + members) instead of O(words · components).
+    pub fn pop_first_from(&mut self, word_cursor: &mut usize) -> Option<NodeId> {
+        while *word_cursor < self.words.len() {
+            let w = self.words[*word_cursor];
+            if w == 0 {
+                *word_cursor += 1;
+                continue;
+            }
+            let bit = w.trailing_zeros() as usize;
+            self.words[*word_cursor] = w & (w - 1);
+            self.len -= 1;
+            return Some((*word_cursor * WORD_BITS + bit) as NodeId);
+        }
+        None
+    }
+
+    /// Fills the set with independent Bernoulli(`keep`) members, one
+    /// word at a time.
+    ///
+    /// Decides all 64 members of a word together by lazily comparing
+    /// uniform bits against the binary expansion of `keep` (MSB
+    /// first): a member is kept iff its uniform variate is below the
+    /// threshold, and each random word resolves the comparison for
+    /// roughly half the still-undecided members, so a word costs
+    /// ~log₂(64)+2 RNG draws instead of 64. The marginal distribution
+    /// is exactly Bernoulli(round(keep·2⁶⁴)/2⁶⁴), independent across
+    /// members.
+    pub fn fill_random<R: rand::RngCore + ?Sized>(&mut self, keep: f64, rng: &mut R) {
+        assert!(
+            (0.0..=1.0).contains(&keep),
+            "keep probability {keep} out of range"
+        );
+        // threshold t with P(member) = t / 2^64 (computed in u128: 2^64
+        // itself must survive the conversion for keep = 1.0)
+        let t128 = (keep * 18_446_744_073_709_551_616.0) as u128;
+        if t128 >= 1u128 << 64 {
+            self.words.fill(!0u64);
+            Self::clear_tail(&mut self.words, self.capacity);
+            self.len = self.capacity;
+            return;
+        }
+        let t = t128 as u64;
+        for word in self.words.iter_mut() {
+            let mut out = 0u64;
+            let mut undecided = !0u64;
+            for k in (0..u64::BITS).rev() {
+                let u = rng.next_u64();
+                if (t >> k) & 1 == 1 {
+                    out |= undecided & !u;
+                    undecided &= u;
+                } else {
+                    undecided &= !u;
+                }
+                if undecided == 0 {
+                    break;
+                }
+            }
+            // members still undecided matched every threshold bit:
+            // their variate equals t, and "equal" is not "below"
+            *word = out;
+        }
+        Self::clear_tail(&mut self.words, self.capacity);
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
     /// In-place union with `other`.
     ///
     /// # Panics
@@ -188,13 +271,23 @@ impl NodeSet {
 
     /// Complement within the universe, as a new set.
     pub fn complement(&self) -> NodeSet {
-        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
-        Self::clear_tail(&mut words, self.capacity);
-        NodeSet {
-            words,
-            capacity: self.capacity,
-            len: self.capacity - self.len,
+        let mut out = NodeSet::empty(self.capacity);
+        self.complement_into(&mut out);
+        out
+    }
+
+    /// Writes the complement into `out`, reusing its allocation
+    /// (allocation-free when `out` already has this universe size).
+    ///
+    /// # Panics
+    /// Panics if universes differ.
+    pub fn complement_into(&self, out: &mut NodeSet) {
+        self.assert_same_universe(out);
+        for (o, w) in out.words.iter_mut().zip(&self.words) {
+            *o = !w;
         }
+        Self::clear_tail(&mut out.words, self.capacity);
+        out.len = self.capacity - self.len;
     }
 
     /// Size of the intersection without materializing it.
@@ -382,6 +475,82 @@ mod tests {
         assert!(!b.is_subset(&a));
         assert!(a.is_disjoint(&c));
         assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn copy_from_reuses_and_resizes() {
+        let a = NodeSet::from_iter(130, [1, 64, 129]);
+        let mut b = NodeSet::from_iter(130, [7]);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        let mut c = NodeSet::empty(5); // universe mismatch: falls back to clone
+        c.copy_from(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn pop_first_from_drains_in_order() {
+        let mut s = NodeSet::from_iter(200, [3, 64, 65, 199]);
+        let mut cursor = 0;
+        let mut popped = Vec::new();
+        while let Some(v) = s.pop_first_from(&mut cursor) {
+            popped.push(v);
+        }
+        assert_eq!(popped, vec![3, 64, 65, 199]);
+        assert!(s.is_empty());
+        assert_eq!(s.pop_first_from(&mut cursor), None);
+    }
+
+    #[test]
+    fn fill_random_extremes_and_density() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut s = NodeSet::empty(1000);
+        s.fill_random(1.0, &mut rng);
+        assert_eq!(s.len(), 1000, "keep = 1 keeps everything");
+        s.fill_random(0.0, &mut rng);
+        assert!(s.is_empty(), "keep = 0 keeps nothing");
+        // density concentrates around p, and no phantom tail members
+        let mut total = 0usize;
+        for _ in 0..40 {
+            s.fill_random(0.7, &mut rng);
+            assert!(s.iter().all(|v| (v as usize) < 1000));
+            assert_eq!(s.len(), s.iter().count(), "cached len consistent");
+            total += s.len();
+        }
+        let mean = total as f64 / 40.0;
+        assert!((mean - 700.0).abs() < 25.0, "mean {mean}");
+        // deterministic for a fixed seed
+        let mut r1 = SmallRng::seed_from_u64(5);
+        let mut r2 = SmallRng::seed_from_u64(5);
+        let mut a = NodeSet::empty(333);
+        let mut b = NodeSet::empty(333);
+        a.fill_random(0.4, &mut r1);
+        b.fill_random(0.4, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fill_random_per_position_unbiased() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        // every bit position of the word trick must carry the same
+        // probability — catch bit-order mistakes in the threshold walk
+        let mut rng = SmallRng::seed_from_u64(99);
+        let trials = 600;
+        let mut counts = [0u32; 64];
+        let mut s = NodeSet::empty(64);
+        for _ in 0..trials {
+            s.fill_random(0.5, &mut rng);
+            for v in s.iter() {
+                counts[v as usize] += 1;
+            }
+        }
+        for (pos, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.5).abs() < 0.12, "position {pos}: freq {freq}");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::bitset::NodeSet;
 use crate::csr::CsrGraph;
+use crate::scratch::Scratch;
 
 /// `Γ(U)` restricted to `alive`: nodes in `alive \ U` with a neighbor
 /// in `U`. (`U` is implicitly intersected with `alive`: dead members of
@@ -29,7 +30,32 @@ pub fn node_boundary(g: &CsrGraph, alive: &NodeSet, u: &NodeSet) -> NodeSet {
 /// `|Γ(U)|` without materializing the boundary set when the caller
 /// only needs the count. Still O(vol(U)) but avoids a second pass.
 pub fn node_boundary_size(g: &CsrGraph, alive: &NodeSet, u: &NodeSet) -> usize {
-    node_boundary(g, alive, u).len()
+    node_boundary_size_with(g, alive, u, &mut Scratch::new())
+}
+
+/// [`node_boundary_size`] through reusable scratch: the boundary
+/// membership mask lives in the scratch's visited set, so repeated
+/// cut evaluations (greedy cut-finders, expansion certificates)
+/// allocate nothing.
+pub fn node_boundary_size_with(
+    g: &CsrGraph,
+    alive: &NodeSet,
+    u: &NodeSet,
+    scratch: &mut Scratch,
+) -> usize {
+    scratch.reset(g.num_nodes());
+    let mut size = 0usize;
+    for v in u.iter() {
+        if !alive.contains(v) {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if alive.contains(w) && !u.contains(w) && scratch.visited.insert(w) {
+                size += 1;
+            }
+        }
+    }
+    size
 }
 
 /// Number of alive-alive edges with exactly one endpoint in `U`.
@@ -133,5 +159,21 @@ mod tests {
         assert_eq!(edge_cut_size(&g, &alive, &half), 2);
         assert_eq!(node_boundary_size(&g, &alive, &half), 2);
         assert!((edge_expansion_of(&g, &alive, &half).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_size_with_hot_scratch_matches() {
+        let g = generators::torus(&[4, 4]);
+        let alive = NodeSet::full(16);
+        let mut scratch = Scratch::new();
+        for seed in [0u32, 5, 9] {
+            let u = crate::traversal::bfs_ball(&g, &alive, seed, 5);
+            for _ in 0..2 {
+                assert_eq!(
+                    node_boundary_size_with(&g, &alive, &u, &mut scratch),
+                    node_boundary(&g, &alive, &u).len()
+                );
+            }
+        }
     }
 }

@@ -2,11 +2,15 @@
 //!
 //! The fault experiments repeatedly ask three questions: how many
 //! components, how big is the largest (`γ(G)` in the paper's §1.1),
-//! and which nodes form it. All are answered by one BFS labeling pass.
+//! and which nodes form it. All are answered by one BFS labeling
+//! pass. The Monte-Carlo hot path ([`gamma_with`],
+//! [`component_stats_with`]) answers the first two through a reusable
+//! [`Scratch`] without materializing labels or allocating at all.
 
 use crate::bitset::NodeSet;
 use crate::csr::CsrGraph;
 use crate::node::NodeId;
+use crate::scratch::Scratch;
 use std::collections::VecDeque;
 
 /// Component labeling of the alive portion of a graph.
@@ -84,16 +88,67 @@ pub fn largest_component(g: &CsrGraph, alive: &NodeSet) -> NodeSet {
     }
 }
 
+/// Count and largest size of the alive components — the two numbers
+/// the fault experiments actually aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentStats {
+    /// Number of connected components among alive nodes.
+    pub count: usize,
+    /// Size of the largest component (0 when no alive nodes).
+    pub largest: usize,
+}
+
+/// Computes [`ComponentStats`] with zero allocations: one BFS pass
+/// using the scratch's visited buffer as a *pending* mask (a copy of
+/// `alive` that BFS drains). A node leaves the mask exactly when it
+/// is discovered, so the inner loop needs a single bit probe per
+/// neighbor (`pending.remove`) instead of separate alive/visited
+/// tests, and source scanning skips finished words wholesale.
+pub fn component_stats_with(
+    g: &CsrGraph,
+    alive: &NodeSet,
+    scratch: &mut Scratch,
+) -> ComponentStats {
+    scratch.reset(g.num_nodes());
+    let pending = &mut scratch.visited;
+    pending.copy_from(alive);
+    let queue = &mut scratch.queue;
+    let mut count = 0usize;
+    let mut largest = 0usize;
+    let mut cursor = 0usize;
+    while let Some(src) = pending.pop_first_from(&mut cursor) {
+        count += 1;
+        let start = queue.len();
+        queue.push(src);
+        let mut head = start;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            for &w in g.neighbors(v) {
+                if pending.remove(w) {
+                    queue.push(w);
+                }
+            }
+        }
+        largest = largest.max(queue.len() - start);
+    }
+    ComponentStats { count, largest }
+}
+
 /// `γ`: fraction of the *original* node count contained in the largest
 /// alive component (the paper's measure of disintegration, §1.1).
 pub fn gamma(g: &CsrGraph, alive: &NodeSet) -> f64 {
+    gamma_with(g, alive, &mut Scratch::new())
+}
+
+/// [`gamma`] through reusable scratch — the allocation-free kernel
+/// under every percolation trial.
+pub fn gamma_with(g: &CsrGraph, alive: &NodeSet, scratch: &mut Scratch) -> f64 {
     if g.num_nodes() == 0 {
         return 0.0;
     }
-    let comps = components(g, alive);
-    comps
-        .largest()
-        .map_or(0.0, |(_, s)| s as f64 / g.num_nodes() as f64)
+    let stats = component_stats_with(g, alive, scratch);
+    stats.largest as f64 / g.num_nodes() as f64
 }
 
 /// True if the alive portion is connected (the empty set counts as
@@ -152,6 +207,29 @@ mod tests {
         assert!(is_connected(&g, &NodeSet::from_iter(6, [0, 1, 2])));
         assert!(is_connected(&g, &NodeSet::empty(6)));
         assert!(is_connected(&g, &NodeSet::from_iter(6, [5])));
+    }
+
+    #[test]
+    fn stats_match_full_labeling_with_hot_scratch() {
+        let g = disjoint_pair();
+        let mut scratch = Scratch::new();
+        for mask in [
+            NodeSet::full(6),
+            NodeSet::from_iter(6, [0, 2, 3, 4]),
+            NodeSet::empty(6),
+        ] {
+            for _ in 0..2 {
+                let c = components(&g, &mask);
+                let s = component_stats_with(&g, &mask, &mut scratch);
+                assert_eq!(s.count, c.count());
+                assert_eq!(s.largest, c.largest().map_or(0, |(_, n)| n));
+                assert_eq!(
+                    gamma_with(&g, &mask, &mut scratch),
+                    gamma(&g, &mask),
+                    "hot scratch must be invisible"
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::bitset::NodeSet;
 use crate::csr::CsrGraph;
 use crate::node::NodeId;
+use crate::scratch::Scratch;
 use std::collections::VecDeque;
 
 /// Marker for unreachable nodes in distance arrays.
@@ -17,23 +18,40 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// BFS distances from `src` within `alive`. Dead/unreachable nodes get
 /// [`UNREACHABLE`].
 pub fn bfs_distances(g: &CsrGraph, alive: &NodeSet, src: NodeId) -> Vec<u32> {
-    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    bfs_distances_with(g, alive, src, &mut Scratch::new()).to_vec()
+}
+
+/// [`bfs_distances`] through reusable scratch; the returned slice
+/// borrows the scratch's distance buffer. Eccentricity sweeps call
+/// this once per source with a single scratch instead of allocating a
+/// distance array per source.
+pub fn bfs_distances_with<'s>(
+    g: &CsrGraph,
+    alive: &NodeSet,
+    src: NodeId,
+    scratch: &'s mut Scratch,
+) -> &'s [u32] {
+    let n = g.num_nodes();
+    scratch.reset(n);
+    scratch.dist_filled(n, UNREACHABLE);
     if !alive.contains(src) {
-        return dist;
+        return &scratch.dist;
     }
-    let mut queue = VecDeque::new();
-    dist[src as usize] = 0;
-    queue.push_back(src);
-    while let Some(v) = queue.pop_front() {
-        let dv = dist[v as usize];
+    scratch.dist[src as usize] = 0;
+    scratch.queue.push(src);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let v = scratch.queue[head];
+        head += 1;
+        let dv = scratch.dist[v as usize];
         for &w in g.neighbors(v) {
-            if alive.contains(w) && dist[w as usize] == UNREACHABLE {
-                dist[w as usize] = dv + 1;
-                queue.push_back(w);
+            if alive.contains(w) && scratch.dist[w as usize] == UNREACHABLE {
+                scratch.dist[w as usize] = dv + 1;
+                scratch.queue.push(w);
             }
         }
     }
-    dist
+    &scratch.dist
 }
 
 /// Result of a multi-source BFS: per-node distance to, and identity of,
@@ -77,21 +95,32 @@ pub fn multi_source_bfs(g: &CsrGraph, alive: &NodeSet, sources: &[NodeId]) -> Vo
 /// Eccentricity of `src` within its alive component (max finite BFS
 /// distance). Returns `None` if `src` is dead.
 pub fn eccentricity(g: &CsrGraph, alive: &NodeSet, src: NodeId) -> Option<u32> {
+    eccentricity_with(g, alive, src, &mut Scratch::new())
+}
+
+/// [`eccentricity`] through reusable scratch.
+pub fn eccentricity_with(
+    g: &CsrGraph,
+    alive: &NodeSet,
+    src: NodeId,
+    scratch: &mut Scratch,
+) -> Option<u32> {
     if !alive.contains(src) {
         return None;
     }
-    let dist = bfs_distances(g, alive, src);
+    let dist = bfs_distances_with(g, alive, src, scratch);
     dist.iter().filter(|&&d| d != UNREACHABLE).max().copied()
 }
 
 /// Exact diameter of the largest alive component via all-pairs BFS
 /// (O(n·m); intended for n up to a few thousand — experiments use the
-/// two-sweep estimate beyond that).
+/// two-sweep estimate beyond that). One scratch serves every source.
 pub fn diameter_exact(g: &CsrGraph, alive: &NodeSet) -> Option<u32> {
     let comp = crate::components::largest_component(g, alive);
+    let mut scratch = Scratch::new();
     let mut best = None;
     for v in comp.iter() {
-        let e = eccentricity(g, &comp, v)?;
+        let e = eccentricity_with(g, &comp, v, &mut scratch)?;
         best = Some(best.map_or(e, |b: u32| b.max(e)));
     }
     best
@@ -103,14 +132,15 @@ pub fn diameter_exact(g: &CsrGraph, alive: &NodeSet) -> Option<u32> {
 pub fn diameter_two_sweep(g: &CsrGraph, alive: &NodeSet) -> Option<u32> {
     let comp = crate::components::largest_component(g, alive);
     let start = comp.first()?;
-    let d1 = bfs_distances(g, &comp, start);
+    let mut scratch = Scratch::new();
+    let d1 = bfs_distances_with(g, &comp, start, &mut scratch);
     let far = d1
         .iter()
         .enumerate()
         .filter(|(_, &d)| d != UNREACHABLE)
         .max_by_key(|(_, &d)| d)
         .map(|(v, _)| v as NodeId)?;
-    eccentricity(g, &comp, far)
+    eccentricity_with(g, &comp, far, &mut scratch)
 }
 
 #[cfg(test)]

@@ -16,8 +16,11 @@
 //! * [`tree`] — BFS spanning trees, Mehlhorn 2-approximate and
 //!   Dreyfus–Wagner exact Steiner trees (the span's `P(U)`);
 //! * [`boundary`] — `Γ(U)` and edge cuts, the atoms of expansion;
-//! * [`par`] — deterministic parallel map over crossbeam scoped
-//!   threads for the Monte-Carlo harnesses.
+//! * [`par`] — a persistent, deterministic work-stealing executor
+//!   (with cooperative cancellation) for the Monte-Carlo harnesses
+//!   and the campaign engine;
+//! * [`scratch`] — reusable traversal buffers so hot loops allocate
+//!   O(threads), not O(trials·n).
 //!
 //! ## Example
 //! ```
@@ -42,6 +45,7 @@ pub mod io;
 pub mod node;
 pub mod par;
 pub mod routing;
+pub mod scratch;
 pub mod stats;
 pub mod traversal;
 pub mod tree;
@@ -52,4 +56,6 @@ pub use bitset::NodeSet;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use node::{Edge, NodeId};
+pub use scratch::Scratch;
+pub use stats::Welford;
 pub use view::SubView;

@@ -1,7 +1,75 @@
-//! Descriptive graph statistics used by reports and experiment tables.
+//! Descriptive graph statistics used by reports and experiment
+//! tables, plus the shared [`Welford`] streaming accumulator every
+//! statistical consumer (percolation Monte-Carlo, campaign
+//! aggregation, the bench harness) builds on.
 
 use crate::bitset::NodeSet;
 use crate::csr::CsrGraph;
+
+/// Welford online mean/variance accumulator.
+///
+/// The single streaming-statistics implementation of the workspace:
+/// `fx-percolation`'s per-measurement `Stat`, `fx-campaign`'s
+/// `(group, metric)` aggregates, and ad-hoc experiment summaries all
+/// push into this type instead of maintaining parallel formulas.
+/// Numerically stable (no catastrophic cancellation) and
+/// order-deterministic: pushing the same samples in the same order
+/// always produces bit-identical state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    /// Samples seen.
+    pub count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Accumulates every sample of `xs` (in order).
+    pub fn from_samples<I: IntoIterator<Item = f64>>(xs: I) -> Welford {
+        let mut w = Welford::default();
+        for x in xs {
+            w.push(x);
+        }
+        w
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the normal-approximation 95% CI
+    /// (`1.96·s/√n`; 0 for < 2 samples).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std() / (self.count as f64).sqrt()
+        }
+    }
+}
 
 /// Summary statistics of the alive portion of a graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +174,19 @@ mod tests {
         assert_eq!(h.iter().sum::<usize>(), 8);
         assert_eq!(h[1], 7);
         assert_eq!(h[7], 1);
+    }
+
+    #[test]
+    fn welford_matches_naive_two_pass() {
+        let xs = [0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4];
+        let w = Welford::from_samples(xs.iter().copied());
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert!(w.ci95_half_width() > 0.0);
+        assert_eq!(Welford::default().mean(), 0.0);
+        assert_eq!(Welford::from_samples([5.0]).std(), 0.0);
     }
 
     #[test]

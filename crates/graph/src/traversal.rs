@@ -1,53 +1,67 @@
 //! Breadth-first and depth-first traversal over masked graphs.
 //!
-//! All traversals respect an alive mask and reuse caller-provided
-//! scratch where hot (the pruning loop calls BFS thousands of times).
+//! All traversals respect an alive mask. Every kernel has a `_with`
+//! variant taking a [`Scratch`] so hot loops (the pruning loop calls
+//! BFS thousands of times; the Monte-Carlo harnesses call it per
+//! trial) reuse the visited set and queue instead of allocating; the
+//! plain variants are convenience wrappers over a fresh scratch.
 
 use crate::bitset::NodeSet;
 use crate::csr::CsrGraph;
 use crate::node::NodeId;
-use std::collections::VecDeque;
+use crate::scratch::Scratch;
 
 /// Nodes reachable from `src` within `alive`, in BFS order.
 ///
 /// Returns an empty vector if `src` is not alive.
 pub fn bfs_order(g: &CsrGraph, alive: &NodeSet, src: NodeId) -> Vec<NodeId> {
+    let mut scratch = Scratch::new();
+    bfs_order_with(g, alive, src, &mut scratch).to_vec()
+}
+
+/// [`bfs_order`] into reusable scratch; the returned slice borrows
+/// the scratch's queue (BFS order *is* enqueue order).
+pub fn bfs_order_with<'s>(
+    g: &CsrGraph,
+    alive: &NodeSet,
+    src: NodeId,
+    scratch: &'s mut Scratch,
+) -> &'s [NodeId] {
+    scratch.reset(g.num_nodes());
     if !alive.contains(src) {
-        return Vec::new();
+        return &scratch.queue;
     }
-    let mut visited = NodeSet::empty(g.num_nodes());
-    let mut order = Vec::new();
-    let mut queue = VecDeque::new();
-    visited.insert(src);
-    queue.push_back(src);
-    while let Some(v) = queue.pop_front() {
-        order.push(v);
+    scratch.visited.insert(src);
+    scratch.queue.push(src);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let v = scratch.queue[head];
+        head += 1;
         for &w in g.neighbors(v) {
-            if alive.contains(w) && visited.insert(w) {
-                queue.push_back(w);
+            if alive.contains(w) && scratch.visited.insert(w) {
+                scratch.queue.push(w);
             }
         }
     }
-    order
+    &scratch.queue
 }
 
 /// The set of nodes reachable from `src` within `alive`.
 pub fn reachable_set(g: &CsrGraph, alive: &NodeSet, src: NodeId) -> NodeSet {
-    let mut visited = NodeSet::empty(g.num_nodes());
-    if !alive.contains(src) {
-        return visited;
-    }
-    let mut queue = VecDeque::new();
-    visited.insert(src);
-    queue.push_back(src);
-    while let Some(v) = queue.pop_front() {
-        for &w in g.neighbors(v) {
-            if alive.contains(w) && visited.insert(w) {
-                queue.push_back(w);
-            }
-        }
-    }
-    visited
+    let mut scratch = Scratch::new();
+    reachable_set_with(g, alive, src, &mut scratch).clone()
+}
+
+/// [`reachable_set`] into reusable scratch; the returned set borrows
+/// the scratch's visited buffer.
+pub fn reachable_set_with<'s>(
+    g: &CsrGraph,
+    alive: &NodeSet,
+    src: NodeId,
+    scratch: &'s mut Scratch,
+) -> &'s NodeSet {
+    bfs_order_with(g, alive, src, scratch);
+    &scratch.visited
 }
 
 /// Nodes reachable from `src` within `alive`, in preorder DFS order
@@ -76,14 +90,30 @@ pub fn dfs_order(g: &CsrGraph, alive: &NodeSet, src: NodeId) -> Vec<NodeId> {
 /// `target_size` nodes (or the whole reachable region, whichever is
 /// smaller). Used by greedy cut-finders and compact-set samplers.
 pub fn bfs_ball(g: &CsrGraph, alive: &NodeSet, seed: NodeId, target_size: usize) -> NodeSet {
-    let mut ball = NodeSet::empty(g.num_nodes());
+    let mut scratch = Scratch::new();
+    bfs_ball_with(g, alive, seed, target_size, &mut scratch).clone()
+}
+
+/// [`bfs_ball`] into reusable scratch; the returned set borrows the
+/// scratch's visited buffer.
+pub fn bfs_ball_with<'s>(
+    g: &CsrGraph,
+    alive: &NodeSet,
+    seed: NodeId,
+    target_size: usize,
+    scratch: &'s mut Scratch,
+) -> &'s NodeSet {
+    scratch.reset(g.num_nodes());
     if !alive.contains(seed) || target_size == 0 {
-        return ball;
+        return &scratch.visited;
     }
-    let mut queue = VecDeque::new();
+    let ball = &mut scratch.visited;
     ball.insert(seed);
-    queue.push_back(seed);
-    while let Some(v) = queue.pop_front() {
+    scratch.queue.push(seed);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let v = scratch.queue[head];
+        head += 1;
         if ball.len() >= target_size {
             break;
         }
@@ -92,11 +122,11 @@ pub fn bfs_ball(g: &CsrGraph, alive: &NodeSet, seed: NodeId, target_size: usize)
                 break;
             }
             if alive.contains(w) && ball.insert(w) {
-                queue.push_back(w);
+                scratch.queue.push(w);
             }
         }
     }
-    ball
+    &scratch.visited
 }
 
 /// True if the set `s` induces a connected subgraph of `g`.
@@ -140,6 +170,28 @@ mod tests {
         let order = bfs_order(&g, &alive, 0);
         assert_eq!(order, vec![0, 1]);
         assert!(bfs_order(&g, &alive, 2).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible() {
+        let g = two_triangles_bridge();
+        let alive = NodeSet::full(6);
+        let mut scratch = Scratch::new();
+        // a hot, dirty scratch must give the same answers as a fresh one
+        for _ in 0..3 {
+            assert_eq!(
+                bfs_order_with(&g, &alive, 0, &mut scratch),
+                bfs_order(&g, &alive, 0)
+            );
+            assert_eq!(
+                reachable_set_with(&g, &alive, 3, &mut scratch),
+                &reachable_set(&g, &alive, 3)
+            );
+            assert_eq!(
+                bfs_ball_with(&g, &alive, 0, 3, &mut scratch),
+                &bfs_ball(&g, &alive, 0, 3)
+            );
+        }
     }
 
     #[test]

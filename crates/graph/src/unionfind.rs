@@ -5,7 +5,7 @@
 //! sweeps, where a single trial performs `n` unions and `O(m)` finds.
 
 /// Union-find over `0..len` with union-by-size and path halving.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     /// parent[i] == i for roots.
     parent: Vec<u32>,
@@ -23,6 +23,18 @@ impl UnionFind {
             size: vec![1; len],
             components: len,
         }
+    }
+
+    /// Resets to `len` singleton sets, reusing the allocations (the
+    /// Newman–Ziff sweep scratch calls this once per trial instead of
+    /// building a fresh forest).
+    pub fn reset(&mut self, len: usize) {
+        assert!(len <= u32::MAX as usize);
+        self.parent.clear();
+        self.parent.extend(0..len as u32);
+        self.size.clear();
+        self.size.resize(len, 1);
+        self.components = len;
     }
 
     /// Number of elements.
@@ -119,6 +131,23 @@ mod tests {
         assert_eq!(uf.max_component_size(), 0);
         let mut uf1 = UnionFind::new(1);
         assert_eq!(uf1.component_size(0), 1);
+    }
+
+    #[test]
+    fn reset_restores_singletons_at_any_size() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.reset(6);
+        assert_eq!(uf.num_components(), 6);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.component_size(3), 1);
+        uf.reset(9); // grow
+        assert_eq!(uf.len(), 9);
+        assert_eq!(uf.num_components(), 9);
+        uf.reset(2); // shrink
+        assert_eq!(uf.len(), 2);
+        assert_eq!(uf.max_component_size(), 1);
     }
 
     #[test]

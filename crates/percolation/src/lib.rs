@@ -31,5 +31,8 @@ pub mod sample;
 
 pub use critical::{estimate_critical, CriticalEstimate, Mode};
 pub use montecarlo::{MonteCarlo, Stat};
-pub use newman_ziff::{bond_sweep, site_sweep};
-pub use sample::{gamma_bond, gamma_site, sample_alive_edges, sample_alive_nodes};
+pub use newman_ziff::{bond_sweep, bond_sweep_with, site_sweep, site_sweep_with, SweepScratch};
+pub use sample::{
+    gamma_bond, gamma_site, gamma_site_with, sample_alive_edges, sample_alive_nodes,
+    sample_alive_nodes_into,
+};

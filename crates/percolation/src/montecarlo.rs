@@ -2,12 +2,19 @@
 //!
 //! Trials are independent and deterministically seeded
 //! (`seed = base ⊕ trial-index` hashed), so results are reproducible
-//! for any thread count — the property the A3 ablation bench measures.
+//! for any thread count — and for any pool age: trials run on the
+//! persistent executor through
+//! [`par_map_init`](fx_graph::par::par_map_init), with one
+//! [`TrialScratch`] arena per worker (alive mask, traversal scratch,
+//! Newman–Ziff buffers), so a sweep of `t` trials over an `n`-node
+//! graph performs O(threads) arena allocations instead of O(t·n)
+//! (the A3 ablation bench measures the harness itself).
 
-use crate::newman_ziff::{bond_sweep, site_sweep};
-use crate::sample::{gamma_site, sample_alive_nodes};
-use fx_graph::par::par_map;
-use fx_graph::CsrGraph;
+use crate::newman_ziff::{bond_sweep_with, site_sweep_with, SweepScratch};
+use crate::sample::{gamma_site_with, sample_alive_nodes_into};
+use fx_graph::par::{par_map_init, resolve_threads};
+use fx_graph::stats::Welford;
+use fx_graph::{CsrGraph, NodeSet, Scratch};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -21,23 +28,34 @@ pub struct Stat {
 }
 
 impl Stat {
-    /// Computes mean and sample σ.
+    /// Computes mean and sample σ (streaming, via the shared
+    /// [`Welford`] accumulator).
     pub fn from_samples(xs: &[f64]) -> Stat {
-        let n = xs.len();
-        if n == 0 {
-            return Stat {
-                mean: 0.0,
-                std: 0.0,
-            };
-        }
-        let mean = xs.iter().sum::<f64>() / n as f64;
-        if n < 2 {
-            return Stat { mean, std: 0.0 };
-        }
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        Stat::from(Welford::from_samples(xs.iter().copied()))
+    }
+}
+
+impl From<Welford> for Stat {
+    fn from(w: Welford) -> Stat {
         Stat {
-            mean,
-            std: var.sqrt(),
+            mean: w.mean(),
+            std: w.std(),
+        }
+    }
+}
+
+/// Per-worker trial arena: every buffer a single trial needs.
+#[derive(Debug)]
+struct TrialScratch {
+    alive: NodeSet,
+    scratch: Scratch,
+}
+
+impl TrialScratch {
+    fn new() -> Self {
+        TrialScratch {
+            alive: NodeSet::empty(0),
+            scratch: Scratch::new(),
         }
     }
 }
@@ -47,7 +65,8 @@ impl Stat {
 pub struct MonteCarlo {
     /// Independent trials per measurement.
     pub trials: usize,
-    /// Worker threads (1 = inline).
+    /// Worker threads (`1` = inline, `0` = the resolved default:
+    /// `FXNET_THREADS` / available cores).
     pub threads: usize,
     /// Base seed; trial `i` uses a seed derived from `(base, i)`.
     pub base_seed: u64,
@@ -57,7 +76,7 @@ impl Default for MonteCarlo {
     fn default() -> Self {
         MonteCarlo {
             trials: 32,
-            threads: fx_graph::par::default_threads(),
+            threads: 0,
             base_seed: 0x5EED,
         }
     }
@@ -72,12 +91,19 @@ fn trial_seed(base: u64, i: usize) -> u64 {
 }
 
 impl MonteCarlo {
+    /// The resolved worker count for this configuration.
+    fn threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+
     /// `γ(keep)` for **site** percolation by direct resampling.
     pub fn gamma_site_at(&self, g: &CsrGraph, keep: f64) -> Stat {
-        let samples = par_map(self.trials, self.threads, |i| {
-            let mut rng = SmallRng::seed_from_u64(trial_seed(self.base_seed, i));
-            let alive = sample_alive_nodes(g.num_nodes(), keep, &mut rng);
-            gamma_site(g, &alive)
+        let n = g.num_nodes();
+        let base = self.base_seed;
+        let samples = par_map_init(self.trials, self.threads(), TrialScratch::new, |ts, i| {
+            let mut rng = SmallRng::seed_from_u64(trial_seed(base, i));
+            sample_alive_nodes_into(n, keep, &mut rng, &mut ts.alive);
+            gamma_site_with(g, &ts.alive, &mut ts.scratch)
         });
         Stat::from_samples(&samples)
     }
@@ -87,43 +113,53 @@ impl MonteCarlo {
     /// `k = round(keep·n)` mapping).
     pub fn gamma_site_curve(&self, g: &CsrGraph, keeps: &[f64]) -> Vec<Stat> {
         let n = g.num_nodes();
-        let curves = par_map(self.trials, self.threads, |i| {
-            let mut rng = SmallRng::seed_from_u64(trial_seed(self.base_seed, i));
-            site_sweep(g, &mut rng)
-        });
-        keeps
-            .iter()
-            .map(|&q| {
-                let k = ((q * n as f64).round() as usize).min(n);
-                let samples: Vec<f64> = curves
-                    .iter()
-                    .map(|c| c[k] as f64 / n.max(1) as f64)
-                    .collect();
-                Stat::from_samples(&samples)
-            })
-            .collect()
+        let base = self.base_seed;
+        let curves = par_map_init(
+            self.trials,
+            self.threads(),
+            SweepScratch::new,
+            |sweep, i| {
+                let mut rng = SmallRng::seed_from_u64(trial_seed(base, i));
+                site_sweep_with(g, &mut rng, sweep).to_vec()
+            },
+        );
+        curve_stats(&curves, keeps, n, n)
     }
 
     /// Whole `γ(keep)` **bond** curve (nodes always present).
     pub fn gamma_bond_curve(&self, g: &CsrGraph, keeps: &[f64]) -> Vec<Stat> {
         let n = g.num_nodes();
         let m = g.num_edges();
-        let curves = par_map(self.trials, self.threads, |i| {
-            let mut rng = SmallRng::seed_from_u64(trial_seed(self.base_seed, i));
-            bond_sweep(g, &mut rng)
-        });
-        keeps
-            .iter()
-            .map(|&q| {
-                let k = ((q * m as f64).round() as usize).min(m);
-                let samples: Vec<f64> = curves
-                    .iter()
-                    .map(|c| c[k] as f64 / n.max(1) as f64)
-                    .collect();
-                Stat::from_samples(&samples)
-            })
-            .collect()
+        let base = self.base_seed;
+        let curves = par_map_init(
+            self.trials,
+            self.threads(),
+            SweepScratch::new,
+            |sweep, i| {
+                let mut rng = SmallRng::seed_from_u64(trial_seed(base, i));
+                bond_sweep_with(g, &mut rng, sweep).to_vec()
+            },
+        );
+        curve_stats(&curves, keeps, n, m)
     }
+}
+
+/// Maps per-trial largest-cluster curves (indexed by occupied count)
+/// to per-keep statistics, streaming each keep's samples through one
+/// Welford accumulator in trial order (deterministic for any
+/// schedule).
+fn curve_stats(curves: &[Vec<u32>], keeps: &[f64], n: usize, steps: usize) -> Vec<Stat> {
+    keeps
+        .iter()
+        .map(|&q| {
+            let k = ((q * steps as f64).round() as usize).min(steps);
+            let mut w = Welford::default();
+            for c in curves {
+                w.push(c[k] as f64 / n.max(1) as f64);
+            }
+            Stat::from(w)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -156,25 +192,32 @@ mod tests {
         assert!((curve[3].mean - 1.0).abs() < 1e-12);
     }
 
+    /// The tentpole determinism contract: identical statistics across
+    /// thread counts {1, 2, 8} *and* across repeated calls on the
+    /// same persistent pool (reuse must not perturb seed derivation).
     #[test]
-    fn deterministic_across_thread_counts() {
+    fn deterministic_across_thread_counts_and_pool_reuse() {
         let g = generators::hypercube(7);
         let keeps = [0.3, 0.6, 0.9];
-        let a = MonteCarlo {
+        let reference = MonteCarlo {
             trials: 6,
             threads: 1,
             base_seed: 7,
         }
         .gamma_site_curve(&g, &keeps);
-        let b = MonteCarlo {
-            trials: 6,
-            threads: 4,
-            base_seed: 7,
-        }
-        .gamma_site_curve(&g, &keeps);
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.mean, y.mean);
-            assert_eq!(x.std, y.std);
+        for threads in [1usize, 2, 8] {
+            let mc = MonteCarlo {
+                trials: 6,
+                threads,
+                base_seed: 7,
+            };
+            for round in 0..3 {
+                let got = mc.gamma_site_curve(&g, &keeps);
+                for (x, y) in reference.iter().zip(&got) {
+                    assert_eq!(x.mean, y.mean, "threads {threads}, round {round}");
+                    assert_eq!(x.std, y.std, "threads {threads}, round {round}");
+                }
+            }
         }
     }
 
@@ -210,5 +253,23 @@ mod tests {
         let c = mc.gamma_bond_curve(&g, &[0.0, 1.0]);
         assert!((c[1].mean - 1.0).abs() < 1e-12);
         assert!(c[0].mean < 0.1);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_default() {
+        let g = generators::cycle(30);
+        let a = MonteCarlo {
+            trials: 4,
+            threads: 0,
+            base_seed: 9,
+        }
+        .gamma_site_at(&g, 0.8);
+        let b = MonteCarlo {
+            trials: 4,
+            threads: 3,
+            base_seed: 9,
+        }
+        .gamma_site_at(&g, 0.8);
+        assert_eq!(a.mean, b.mean, "thread count never changes results");
     }
 }

@@ -14,48 +14,94 @@ use fx_graph::{CsrGraph, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+/// Reusable buffers for Newman–Ziff sweeps: one per Monte-Carlo
+/// worker, so a 10k-trial curve allocates O(threads) arenas instead
+/// of a fresh permutation + occupancy array + union-find per trial.
+#[derive(Debug, Clone, Default)]
+pub struct SweepScratch {
+    order: Vec<NodeId>,
+    edges: Vec<(NodeId, NodeId)>,
+    occupied: Vec<bool>,
+    uf: UnionFind,
+    curve: Vec<u32>,
+}
+
+impl SweepScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        SweepScratch::default()
+    }
+}
+
 /// One site-percolation sweep: `out[k]` = size of the largest cluster
 /// when exactly `k` nodes are occupied (in a uniformly random order).
 pub fn site_sweep<R: Rng + ?Sized>(g: &CsrGraph, rng: &mut R) -> Vec<u32> {
+    site_sweep_with(g, rng, &mut SweepScratch::new()).to_vec()
+}
+
+/// [`site_sweep`] through reusable scratch (same random stream); the
+/// returned curve borrows the scratch.
+pub fn site_sweep_with<'s, R: Rng + ?Sized>(
+    g: &CsrGraph,
+    rng: &mut R,
+    scratch: &'s mut SweepScratch,
+) -> &'s [u32] {
     let n = g.num_nodes();
-    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-    order.shuffle(rng);
-    let mut occupied = vec![false; n];
-    let mut uf = UnionFind::new(n);
+    scratch.order.clear();
+    scratch.order.extend(0..n as NodeId);
+    scratch.order.shuffle(rng);
+    scratch.occupied.clear();
+    scratch.occupied.resize(n, false);
+    scratch.uf.reset(n);
+    let uf = &mut scratch.uf;
     let mut largest = 0u32;
-    let mut out = Vec::with_capacity(n + 1);
-    out.push(0);
-    for &v in &order {
-        occupied[v as usize] = true;
+    scratch.curve.clear();
+    scratch.curve.reserve(n + 1);
+    scratch.curve.push(0);
+    for &v in &scratch.order {
+        scratch.occupied[v as usize] = true;
         for &w in g.neighbors(v) {
-            if occupied[w as usize] {
+            if scratch.occupied[w as usize] {
                 uf.union(v, w);
             }
         }
         let size = uf.component_size(v) as u32;
         largest = largest.max(size);
-        out.push(largest);
+        scratch.curve.push(largest);
     }
-    out
+    &scratch.curve
 }
 
 /// One bond-percolation sweep: `out[k]` = largest cluster size with
 /// exactly `k` edges occupied (all nodes present; singletons count 1).
 pub fn bond_sweep<R: Rng + ?Sized>(g: &CsrGraph, rng: &mut R) -> Vec<u32> {
+    bond_sweep_with(g, rng, &mut SweepScratch::new()).to_vec()
+}
+
+/// [`bond_sweep`] through reusable scratch (same random stream); the
+/// returned curve borrows the scratch.
+pub fn bond_sweep_with<'s, R: Rng + ?Sized>(
+    g: &CsrGraph,
+    rng: &mut R,
+    scratch: &'s mut SweepScratch,
+) -> &'s [u32] {
     let n = g.num_nodes();
-    let mut edges: Vec<(NodeId, NodeId)> = g.edges().map(|e| (e.u, e.v)).collect();
-    edges.shuffle(rng);
-    let mut uf = UnionFind::new(n);
+    scratch.edges.clear();
+    scratch.edges.extend(g.edges().map(|e| (e.u, e.v)));
+    scratch.edges.shuffle(rng);
+    scratch.uf.reset(n);
+    let uf = &mut scratch.uf;
     let mut largest = if n == 0 { 0 } else { 1u32 };
-    let mut out = Vec::with_capacity(edges.len() + 1);
-    out.push(largest);
-    for &(u, v) in &edges {
+    scratch.curve.clear();
+    scratch.curve.reserve(scratch.edges.len() + 1);
+    scratch.curve.push(largest);
+    for &(u, v) in &scratch.edges {
         uf.union(u, v);
         let size = uf.component_size(u) as u32;
         largest = largest.max(size);
-        out.push(largest);
+        scratch.curve.push(largest);
     }
-    out
+    &scratch.curve
 }
 
 #[cfg(test)]

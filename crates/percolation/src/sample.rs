@@ -3,23 +3,31 @@
 //! §1.1.
 
 use fx_graph::components::largest_component;
-use fx_graph::{CsrGraph, GraphBuilder, NodeId, NodeSet};
+use fx_graph::{CsrGraph, GraphBuilder, NodeSet, Scratch};
 use rand::Rng;
 
 /// Site percolation sample: each node *survives* independently with
 /// probability `keep`. Returns the alive mask.
 pub fn sample_alive_nodes<R: Rng + ?Sized>(n: usize, keep: f64, rng: &mut R) -> NodeSet {
-    assert!(
-        (0.0..=1.0).contains(&keep),
-        "keep probability {keep} out of range"
-    );
     let mut alive = NodeSet::empty(n);
-    for v in 0..n as NodeId {
-        if rng.gen_bool(keep) {
-            alive.insert(v);
-        }
-    }
+    sample_alive_nodes_into(n, keep, rng, &mut alive);
     alive
+}
+
+/// [`sample_alive_nodes`] into a reusable mask: the Monte-Carlo
+/// harness keeps one mask per worker instead of allocating one per
+/// trial. Sampling is word-parallel
+/// ([`NodeSet::fill_random`]): ~8 RNG draws decide 64 nodes.
+pub fn sample_alive_nodes_into<R: Rng + ?Sized>(
+    n: usize,
+    keep: f64,
+    rng: &mut R,
+    out: &mut NodeSet,
+) {
+    if out.capacity() != n {
+        *out = NodeSet::empty(n);
+    }
+    out.fill_random(keep, rng);
 }
 
 /// Bond percolation sample: each edge survives independently with
@@ -42,6 +50,12 @@ pub fn sample_alive_edges<R: Rng + ?Sized>(g: &CsrGraph, keep: f64, rng: &mut R)
 /// ORIGINAL node count (the paper's disintegration measure).
 pub fn gamma_site(g: &CsrGraph, alive: &NodeSet) -> f64 {
     fx_graph::components::gamma(g, alive)
+}
+
+/// [`gamma_site`] through reusable traversal scratch — the
+/// allocation-free per-trial kernel.
+pub fn gamma_site_with(g: &CsrGraph, alive: &NodeSet, scratch: &mut Scratch) -> f64 {
+    fx_graph::components::gamma_with(g, alive, scratch)
 }
 
 /// `γ` for a bond-percolated graph.

@@ -36,4 +36,7 @@ pub mod span;
 
 pub use compact_sets::{is_compact_set, random_compact_set};
 pub use mesh::{boundary_virtually_connected, mesh_boundary_tree, mesh_span_ratio};
-pub use span::{exact_span, sampled_span, set_span, SetSpan, SpanEstimate};
+pub use span::{
+    exact_span, exact_span_cancelable, sampled_span, sampled_span_cancelable, set_span, SetSpan,
+    SpanEstimate,
+};

@@ -16,6 +16,7 @@
 
 use crate::compact_sets::{for_each_compact_set, random_compact_path, random_compact_set};
 use fx_graph::boundary::node_boundary;
+use fx_graph::par::CancelToken;
 use fx_graph::tree::{dreyfus_wagner_cost, mehlhorn_steiner, DREYFUS_WAGNER_MAX_TERMINALS};
 use fx_graph::{CsrGraph, NodeSet};
 use rand::Rng;
@@ -94,12 +95,26 @@ pub struct SpanEstimate {
 /// Exact span by exhaustive compact-set enumeration (small graphs;
 /// `cap` bounds the number of connected subsets visited).
 pub fn exact_span(g: &CsrGraph, cap: usize) -> SpanEstimate {
+    exact_span_cancelable(g, cap, &CancelToken::new())
+}
+
+/// [`exact_span`] polling a [`CancelToken`] between compact sets: the
+/// campaign layer's per-cell `timeout_ms` rides on this, since exact
+/// enumeration is the canonical pathological cell. A cancelled run
+/// returns what was examined so far, marked non-exhaustive (a lower
+/// bound on σ, like any truncated enumeration).
+pub fn exact_span_cancelable(g: &CsrGraph, cap: usize, token: &CancelToken) -> SpanEstimate {
     let mut max_ratio = 0.0f64;
     let mut worst: Option<NodeSet> = None;
     let mut worst_exact = false;
     let mut examined = 0usize;
     let mut all_exact = true;
+    let mut cancelled = false;
     let (_, exhaustive) = for_each_compact_set(g, cap, |u| {
+        if token.is_cancelled() {
+            cancelled = true;
+            return false;
+        }
         if let Some(s) = set_span(g, u) {
             examined += 1;
             all_exact &= s.exact;
@@ -116,7 +131,7 @@ pub fn exact_span(g: &CsrGraph, cap: usize) -> SpanEstimate {
         worst_set: worst,
         worst_exact,
         sets_examined: examined,
-        exhaustive: exhaustive && all_exact,
+        exhaustive: exhaustive && all_exact && !cancelled,
     }
 }
 
@@ -129,11 +144,28 @@ pub fn sampled_span<R: Rng + ?Sized>(
     max_size: usize,
     rng: &mut R,
 ) -> SpanEstimate {
+    sampled_span_cancelable(g, samples, max_size, rng, &CancelToken::new())
+}
+
+/// [`sampled_span`] polling a [`CancelToken`] between samples, so
+/// campaign cells with `timeout_ms` return promptly on large graphs
+/// too. A cancelled run reports the samples drawn so far (still a
+/// valid lower bound on σ).
+pub fn sampled_span_cancelable<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    samples: usize,
+    max_size: usize,
+    rng: &mut R,
+    token: &CancelToken,
+) -> SpanEstimate {
     let mut max_ratio = 0.0f64;
     let mut worst: Option<NodeSet> = None;
     let mut worst_exact = false;
     let mut examined = 0usize;
     for i in 0..samples {
+        if token.is_cancelled() {
+            break;
+        }
         let set = if i % 2 == 0 {
             random_compact_set(g, max_size, 50, rng)
         } else {
@@ -228,6 +260,20 @@ mod tests {
             exact.max_ratio
         );
         assert!(sampled.sets_examined > 0);
+    }
+
+    #[test]
+    fn cancelled_spans_truncate_but_stay_valid_lower_bounds() {
+        let g = generators::mesh(&[3, 4]);
+        let fired = CancelToken::new();
+        fired.cancel();
+        let exact = exact_span_cancelable(&g, 10_000_000, &fired);
+        assert!(!exact.exhaustive);
+        assert_eq!(exact.sets_examined, 0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let sampled = sampled_span_cancelable(&g, 100, 6, &mut rng, &fired);
+        assert_eq!(sampled.sets_examined, 0, "polled before every sample");
+        assert!(!sampled.exhaustive);
     }
 
     #[test]

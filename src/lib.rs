@@ -32,8 +32,7 @@
 //! * **`json`** — the dependency-free JSON layer behind every
 //!   serialized artifact (the build environment is offline, so there
 //!   is no serde; `vendor/` likewise ships API-compatible stand-ins
-//!   for `rand`, `parking_lot`, `crossbeam`, `proptest`, and
-//!   `criterion`).
+//!   for `rand`, `parking_lot`, `proptest`, and `criterion`).
 //!
 //! ## Quickstart
 //!
@@ -106,7 +105,9 @@
 //! * **`[params]`** — `k` (Thm 2.1), `epsilon` (Prune2 ε; defaults to
 //!   the Thm 3.4 ceiling `1/(2δ)`; also the Thm 2.5 dissection piece
 //!   fraction), `sigma`, `trials`, `samples`, `gamma`, `grid`,
-//!   `mode` (`site`/`bond`).
+//!   `mode` (`site`/`bond`), `timeout_ms` (per-cell wall-clock
+//!   budget; a cell past it is cancelled cooperatively and journaled
+//!   with a `timed_out = 1` marker).
 //!
 //! Invalid grid points (e.g. `prune2` × `adversarial:k`, or
 //! `chain-centers` on a non-subdivided scenario) are rejected when

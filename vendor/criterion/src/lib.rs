@@ -1,12 +1,33 @@
 //! Offline stand-in for the subset of `criterion` this workspace
-//! uses. Provides the same bench-authoring API (`criterion_group!`,
+//! uses — grown into a real statistical harness.
+//!
+//! The bench-authoring API matches criterion (`criterion_group!`,
 //! `criterion_main!`, `Criterion`, groups, `Bencher::iter`,
-//! `BenchmarkId`) with a simple wall-clock measurement loop instead of
-//! criterion's statistical machinery: each benchmark runs for roughly
-//! `measurement_time` (after `warm_up_time`) and reports mean
-//! time/iteration to stdout.
+//! `BenchmarkId`); the measurement loop behind it provides:
+//!
+//! * a **warm-up / calibration** phase estimating per-iteration cost;
+//! * **adaptive iteration counts** — each sample re-targets
+//!   `measurement_time / sample_size` from a running cost estimate,
+//!   so fast and slow benches alike get stable, full-length samples;
+//! * **median/MAD outlier rejection** — samples further than
+//!   3.5 robust standard deviations (MAD·1.4826) from the median are
+//!   excluded from the reported statistics (interrupts, frequency
+//!   ramps);
+//! * a **machine-readable ledger**: every bench binary merges its
+//!   per-bench mean/median/σ/MAD into `results/BENCH_e2e.json` at the
+//!   workspace root (override with `FX_BENCH_JSON`), together with
+//!   the resolved thread count — the repo's perf-trajectory record;
+//! * **baseline regression detection**: the previous ledger contents
+//!   are the baseline, and with `FX_BENCH_FAIL_RATIO=R` set the run
+//!   exits non-zero when any bench's median regresses more than `R`×
+//!   (CI's bench-smoke gate).
+//!
+//! `FX_BENCH_FAST=1` shrinks the warm-up and measurement windows
+//! (~10× shorter run) for smoke jobs; statistics fields are computed
+//! the same way, just from shorter samples.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver.
@@ -17,26 +38,47 @@ pub struct Criterion {
     sample_size: usize,
 }
 
+/// True when `FX_BENCH_FAST=1`: smoke-test windows.
+fn fast_mode() -> bool {
+    std::env::var("FX_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            measurement_time: Duration::from_millis(1000),
-            warm_up_time: Duration::from_millis(200),
-            sample_size: 10,
+        if fast_mode() {
+            Criterion {
+                measurement_time: Duration::from_millis(120),
+                warm_up_time: Duration::from_millis(20),
+                sample_size: 10,
+            }
+        } else {
+            Criterion {
+                measurement_time: Duration::from_millis(1000),
+                warm_up_time: Duration::from_millis(200),
+                sample_size: 10,
+            }
         }
     }
 }
 
 impl Criterion {
-    /// Sets the measurement window per benchmark.
+    /// Sets the measurement window per benchmark (`FX_BENCH_FAST=1`
+    /// overrides it with the smoke window).
     pub fn measurement_time(mut self, d: Duration) -> Self {
-        self.measurement_time = d;
+        if !fast_mode() {
+            self.measurement_time = d;
+        }
         self
     }
 
-    /// Sets the warm-up window per benchmark.
+    /// Sets the warm-up window per benchmark (`FX_BENCH_FAST=1`
+    /// overrides it with the smoke window).
     pub fn warm_up_time(mut self, d: Duration) -> Self {
-        self.warm_up_time = d;
+        if !fast_mode() {
+            self.warm_up_time = d;
+        }
         self
     }
 
@@ -157,9 +199,100 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+/// Robust + classical statistics of one benchmark's per-iteration
+/// sample times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// Benchmark id (`group/function[/param]`).
+    pub id: String,
+    /// Mean seconds/iter over inlier samples.
+    pub mean_s: f64,
+    /// Median seconds/iter over *all* samples.
+    pub median_s: f64,
+    /// Sample σ of seconds/iter over inlier samples.
+    pub std_s: f64,
+    /// Median absolute deviation of seconds/iter (all samples).
+    pub mad_s: f64,
+    /// Samples measured.
+    pub samples: usize,
+    /// Samples rejected as outliers (> 3.5 robust σ from the median).
+    pub outliers: usize,
+    /// Total timed iterations across all samples.
+    pub iters: u64,
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Computes [`BenchStats`] from raw per-iteration sample times:
+/// median/MAD first, then mean/σ over the samples within
+/// `3.5 · (1.4826·MAD)` of the median (all samples when MAD is 0).
+pub fn bench_stats(id: &str, sample_times: &[f64], iters: u64) -> BenchStats {
+    let mut sorted = sample_times.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = median_of(&sorted);
+    let mut deviations: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
+    deviations.sort_by(f64::total_cmp);
+    let mad = median_of(&deviations);
+    // robust scale: MAD, falling back to the mean absolute deviation
+    // when MAD degenerates to 0 (more than half the samples identical)
+    let scale = if mad > 0.0 {
+        1.4826 * mad
+    } else if !deviations.is_empty() {
+        1.2533 * deviations.iter().sum::<f64>() / deviations.len() as f64
+    } else {
+        0.0
+    };
+    let cutoff = 3.5 * scale;
+    let inliers: Vec<f64> = if scale > 0.0 {
+        sorted
+            .iter()
+            .copied()
+            .filter(|x| (x - median).abs() <= cutoff)
+            .collect()
+    } else {
+        sorted.clone()
+    };
+    let n = inliers.len().max(1) as f64;
+    let mean = inliers.iter().sum::<f64>() / n;
+    let var = if inliers.len() < 2 {
+        0.0
+    } else {
+        inliers.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (inliers.len() - 1) as f64
+    };
+    BenchStats {
+        id: id.to_string(),
+        mean_s: mean,
+        median_s: median,
+        std_s: var.sqrt(),
+        mad_s: mad,
+        samples: sample_times.len(),
+        outliers: sample_times.len() - inliers.len(),
+        iters,
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<BenchStats>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchStats>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, mut f: F) {
-    // Warm-up + calibration: run single iterations until the warm-up
-    // window closes to estimate per-iteration cost.
+    // Warm-up + calibration: single iterations until the warm-up
+    // window closes, estimating per-iteration cost.
     let warm_start = Instant::now();
     let mut warm_iters = 0u64;
     while warm_start.elapsed() < c.warm_up_time || warm_iters == 0 {
@@ -173,31 +306,39 @@ fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, mut f: F) {
             break;
         }
     }
-    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-    // Measurement: split the window into `sample_size` samples.
-    let budget = c.measurement_time.as_secs_f64();
-    let total_iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
-    let per_sample = (total_iters / c.sample_size.max(1) as u64).max(1);
-    let mut best = f64::INFINITY;
-    let mut sum = 0.0;
-    let mut measured = 0u64;
-    for _ in 0..c.sample_size {
+    let mut per_iter = (warm_start.elapsed().as_secs_f64() / warm_iters as f64).max(1e-9);
+
+    // Measurement: `sample_size` samples, each adaptively re-targeted
+    // at measurement_time / sample_size from the running cost
+    // estimate (EWMA), so drifting benches keep full-length samples.
+    let samples = c.sample_size.max(1);
+    let target_sample_s = c.measurement_time.as_secs_f64() / samples as f64;
+    let mut sample_times = Vec::with_capacity(samples);
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let iters = ((target_sample_s / per_iter) as u64).clamp(1, 1_000_000);
         let mut b = Bencher {
-            iters: per_sample,
+            iters,
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        let t = b.elapsed.as_secs_f64() / per_sample as f64;
-        best = best.min(t);
-        sum += b.elapsed.as_secs_f64();
-        measured += per_sample;
+        let t = b.elapsed.as_secs_f64() / iters as f64;
+        sample_times.push(t);
+        total_iters += iters;
+        per_iter = (0.5 * per_iter + 0.5 * t).max(1e-9);
     }
-    let mean = sum / measured.max(1) as f64;
+
+    let stats = bench_stats(label, &sample_times, total_iters);
     println!(
-        "bench {label:<50} mean {:>12}  best {:>12}  ({measured} iters)",
-        format_time(mean),
-        format_time(best)
+        "bench {label:<50} mean {:>12}  median {:>12}  σ {:>12}  ({} samples, {} outliers, {} iters)",
+        format_time(stats.mean_s),
+        format_time(stats.median_s),
+        format_time(stats.std_s),
+        stats.samples,
+        stats.outliers,
+        stats.iters
     );
+    registry().lock().unwrap().push(stats);
 }
 
 fn format_time(secs: f64) -> String {
@@ -209,6 +350,212 @@ fn format_time(secs: f64) -> String {
         format!("{:.2} ms", secs * 1e3)
     } else {
         format!("{:.3} s", secs)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ledger: BENCH_e2e.json merge + baseline regression detection
+// ---------------------------------------------------------------------
+
+/// Resolved worker-thread count, mirroring
+/// `fx_graph::par::default_threads` (the shim cannot depend on
+/// fx-graph without a cycle through fx-bench).
+fn bench_threads() -> usize {
+    if let Ok(raw) = std::env::var("FXNET_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// The ledger path: `FX_BENCH_JSON`, or `results/BENCH_e2e.json`
+/// under the workspace root (found by walking up from the bench
+/// crate's manifest dir to the first `Cargo.lock`).
+fn ledger_path(manifest_dir: &str) -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("FX_BENCH_JSON") {
+        return std::path::PathBuf::from(p);
+    }
+    let mut dir = std::path::Path::new(manifest_dir);
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("results").join("BENCH_e2e.json");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return std::path::PathBuf::from("BENCH_e2e.json"),
+        }
+    }
+}
+
+fn stats_to_json(s: &BenchStats) -> fx_json::Json {
+    use fx_json::Json;
+    Json::Obj(vec![
+        ("id".to_string(), Json::Str(s.id.clone())),
+        ("mean_s".to_string(), Json::Num(s.mean_s)),
+        ("median_s".to_string(), Json::Num(s.median_s)),
+        ("std_s".to_string(), Json::Num(s.std_s)),
+        ("mad_s".to_string(), Json::Num(s.mad_s)),
+        ("samples".to_string(), Json::UInt(s.samples as u64)),
+        ("outliers".to_string(), Json::UInt(s.outliers as u64)),
+        ("iters".to_string(), Json::UInt(s.iters)),
+    ])
+}
+
+/// Parsed previous ledger: baseline `(id, median_s)` pairs, the
+/// thread count it was recorded at, and the raw entries for merging.
+struct Ledger {
+    baseline: Vec<(String, f64)>,
+    threads: Option<u64>,
+    entries: Vec<(String, fx_json::Json)>,
+}
+
+impl Ledger {
+    fn empty() -> Ledger {
+        Ledger {
+            baseline: Vec::new(),
+            threads: None,
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// Reads and parses the ledger once (empty on absence / parse error).
+fn load_ledger(path: &std::path::Path) -> Ledger {
+    use fx_json::Json;
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ledger::empty();
+    };
+    let Ok(json) = Json::parse(&text) else {
+        return Ledger::empty();
+    };
+    let threads = json.get("threads").and_then(Json::as_u64);
+    let Some(Json::Arr(benches)) = json.get("benches") else {
+        return Ledger {
+            baseline: Vec::new(),
+            threads,
+            entries: Vec::new(),
+        };
+    };
+    let mut baseline = Vec::new();
+    let mut entries = Vec::new();
+    for b in benches {
+        let Some(id) = b.get("id").and_then(Json::as_str) else {
+            continue;
+        };
+        if let Some(median) = b.get("median_s").and_then(Json::as_f64) {
+            baseline.push((id.to_string(), median));
+        }
+        entries.push((id.to_string(), b.clone()));
+    }
+    Ledger {
+        baseline,
+        threads,
+        entries,
+    }
+}
+
+/// Writes (merges) this run's results into the ledger and applies the
+/// regression gate. Called by `criterion_main!` after every group has
+/// run; `manifest_dir` is the bench crate's `CARGO_MANIFEST_DIR`.
+///
+/// Exits non-zero when `FX_BENCH_FAIL_RATIO=R` is set and any bench's
+/// median exceeds `R ×` its baseline median (the previous ledger
+/// entry for the same id). The ledger is written before the gate
+/// fires, so a failing run still records what it measured.
+pub fn finalize(manifest_dir: &str) {
+    let results = registry().lock().unwrap().clone();
+    if results.is_empty() {
+        return;
+    }
+    let path = ledger_path(manifest_dir);
+    let ledger = load_ledger(&path);
+
+    // merge by id: this run's entries replace the previous ledger's,
+    // other binaries' entries survive
+    let mut merged = ledger.entries.clone();
+    for s in &results {
+        let entry = stats_to_json(s);
+        match merged.iter_mut().find(|(id, _)| id == &s.id) {
+            Some((_, slot)) => *slot = entry,
+            None => merged.push((s.id.clone(), entry)),
+        }
+    }
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    write_ledger(&path, merged);
+    check_regressions(&results, &ledger);
+}
+
+fn write_ledger(path: &std::path::Path, merged: Vec<(String, fx_json::Json)>) {
+    use fx_json::Json;
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let doc = Json::Obj(vec![
+        (
+            "schema".to_string(),
+            Json::Str("fx-bench-e2e/1".to_string()),
+        ),
+        ("threads".to_string(), Json::UInt(bench_threads() as u64)),
+        (
+            "benches".to_string(),
+            Json::Arr(merged.into_iter().map(|(_, v)| v).collect()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("bench ledger: {}", path.display());
+    }
+}
+
+fn check_regressions(results: &[BenchStats], ledger: &Ledger) {
+    let Ok(raw) = std::env::var("FX_BENCH_FAIL_RATIO") else {
+        return;
+    };
+    let Ok(ratio) = raw.trim().parse::<f64>() else {
+        eprintln!("warning: FX_BENCH_FAIL_RATIO {raw:?} is not a number; gate skipped");
+        return;
+    };
+    // the ledger records the thread count it was measured at exactly
+    // for this comparison: medians from different concurrency levels
+    // are not commensurable, so the gate declines rather than flag
+    // phantom regressions
+    let threads = bench_threads() as u64;
+    if let Some(base_threads) = ledger.threads {
+        if base_threads != threads {
+            eprintln!(
+                "warning: baseline ledger was recorded with threads={base_threads}, this run \
+                 uses threads={threads}; regression gate skipped"
+            );
+            return;
+        }
+    }
+    let mut regressions = Vec::new();
+    for s in results {
+        if let Some((_, old)) = ledger.baseline.iter().find(|(id, _)| id == &s.id) {
+            if *old > 1e-9 && s.median_s > ratio * old {
+                regressions.push(format!(
+                    "  {}: median {} vs baseline {} ({:.2}× > {ratio}×)",
+                    s.id,
+                    format_time(s.median_s),
+                    format_time(*old),
+                    s.median_s / old
+                ));
+            }
+        }
+    }
+    if !regressions.is_empty() {
+        eprintln!("bench regression(s) beyond {ratio}× baseline:");
+        for r in &regressions {
+            eprintln!("{r}");
+        }
+        std::process::exit(1);
     }
 }
 
@@ -230,7 +577,9 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, running each group.
+/// Declares the bench binary's `main`: runs each group, then merges
+/// the measured statistics into the `BENCH_e2e.json` ledger and
+/// applies the `FX_BENCH_FAIL_RATIO` regression gate.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
@@ -241,6 +590,7 @@ macro_rules! criterion_main {
                 return;
             }
             $( $group(); )+
+            $crate::finalize(env!("CARGO_MANIFEST_DIR"));
         }
     };
 }
@@ -251,7 +601,7 @@ mod tests {
 
     fn sample_bench(c: &mut Criterion) {
         let mut group = c.benchmark_group("shim");
-        group.sample_size(2);
+        group.sample_size(4);
         group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
         group.bench_with_input(BenchmarkId::new("scale", 3), &3u64, |b, &k| {
             b.iter(|| black_box(k) * 2)
@@ -260,11 +610,79 @@ mod tests {
     }
 
     #[test]
-    fn harness_runs() {
+    fn harness_runs_and_records() {
         let mut c = Criterion::default()
             .measurement_time(Duration::from_millis(5))
             .warm_up_time(Duration::from_millis(1));
         sample_bench(&mut c);
         c.bench_function("standalone", |b| b.iter(|| black_box(7u32).pow(2)));
+        let recorded = registry().lock().unwrap();
+        let ids: Vec<&str> = recorded.iter().map(|s| s.id.as_str()).collect();
+        assert!(ids.contains(&"shim/add"));
+        assert!(ids.contains(&"shim/scale/3"));
+        assert!(ids.contains(&"standalone"));
+        for s in recorded.iter() {
+            assert!(s.mean_s >= 0.0 && s.median_s >= 0.0);
+            assert!(s.samples >= 1 && s.iters >= 1);
+        }
+    }
+
+    #[test]
+    fn stats_reject_outliers_by_mad() {
+        let mut samples = vec![1.0; 20];
+        samples.push(100.0); // an interrupt-shaped spike
+        let s = bench_stats("x", &samples, 21);
+        assert_eq!(s.median_s, 1.0);
+        assert_eq!(s.outliers, 1, "the spike is rejected");
+        assert!(
+            (s.mean_s - 1.0).abs() < 1e-12,
+            "mean is robust: {}",
+            s.mean_s
+        );
+        // without the rejection the mean would be ~5.7
+        let raw_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(raw_mean > 5.0);
+    }
+
+    #[test]
+    fn stats_with_zero_mad_keep_everything() {
+        let s = bench_stats("y", &[2.0, 2.0, 2.0], 3);
+        assert_eq!(s.outliers, 0);
+        assert_eq!(s.mean_s, 2.0);
+        assert_eq!(s.mad_s, 0.0);
+        let empty = bench_stats("z", &[], 0);
+        assert_eq!(empty.median_s, 0.0);
+    }
+
+    #[test]
+    fn ledger_roundtrip_merge_and_baseline() {
+        let dir = std::env::temp_dir().join(format!("fx-criterion-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_e2e.json");
+        let a = bench_stats("alpha", &[1.0, 1.1, 0.9], 3);
+        write_ledger(&path, vec![("alpha".to_string(), stats_to_json(&a))]);
+        let ledger = load_ledger(&path);
+        assert_eq!(ledger.baseline.len(), 1);
+        assert_eq!(ledger.baseline[0].0, "alpha");
+        assert!((ledger.baseline[0].1 - 1.0).abs() < 1e-12);
+        assert_eq!(ledger.threads, Some(bench_threads() as u64));
+        assert_eq!(ledger.entries.len(), 1);
+        // merge: replace alpha, add beta, keep sorted
+        let b = bench_stats("beta", &[2.0], 1);
+        let a2 = bench_stats("alpha", &[3.0], 1);
+        write_ledger(
+            &path,
+            vec![
+                ("alpha".to_string(), stats_to_json(&a2)),
+                ("beta".to_string(), stats_to_json(&b)),
+            ],
+        );
+        let reloaded = load_ledger(&path);
+        assert_eq!(reloaded.baseline.len(), 2);
+        assert!((reloaded.baseline[0].1 - 3.0).abs() < 1e-12);
+        // a missing ledger is empty, not an error
+        assert!(load_ledger(&dir.join("absent.json")).baseline.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
