@@ -10,7 +10,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fx_core::{analyze_random, AnalyzerConfig, Family};
-use fx_percolation::{estimate_critical, Mode, MonteCarlo};
+use fx_faults::{targeted_order, FaultModel, HeavyTailedFaults, TargetBy};
+use fx_graph::NodeSet;
+use fx_percolation::{
+    critical_removal_fraction, estimate_critical, gamma_removal_curve, Mode, MonteCarlo,
+    SweepScratch,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// Percolation Monte-Carlo: γ at a point (direct resampling) and the
 /// critical-probability search (Newman–Ziff curves), default threads.
@@ -49,6 +56,36 @@ fn bench_mc_random_faults(c: &mut Criterion) {
     group.finish();
 }
 
+/// The targeted-fault sweep pipeline (E17/E19): the full ordered
+/// Newman–Ziff dilution curve (order + sweep + critical removal
+/// fraction) and the heavy-tailed per-trial sampler on a hot mask —
+/// the two kernels behind the PR-4 fault-layer campaign cells.
+fn bench_targeted_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("targeted_sweep_e2e");
+    group.sample_size(10);
+    let g = fx_graph::generators::torus(&[48, 48]); // 2304 nodes
+    let fracs: Vec<f64> = (0..=40).map(|i| i as f64 / 40.0).collect();
+    let mut sweep = SweepScratch::new();
+    group.bench_function("dilution_curve_torus_2304", |b| {
+        b.iter(|| {
+            let order = targeted_order(&g, TargetBy::Core);
+            let curve = gamma_removal_curve(&g, &order, &fracs, &mut sweep);
+            let f_star = critical_removal_fraction(&g, &order, 0.1, 40, &mut sweep);
+            (curve.len(), f_star)
+        })
+    });
+    let model = HeavyTailedFaults { p: 0.2, alpha: 1.5 };
+    let mut mask = NodeSet::empty(g.num_nodes());
+    let mut rng = SmallRng::seed_from_u64(0xE2E);
+    group.bench_function("heavy_tailed_sample_torus_2304", |b| {
+        b.iter(|| {
+            model.sample_into(&g, &mut rng, &mut mask);
+            mask.len()
+        })
+    });
+    group.finish();
+}
+
 /// Shortened criterion cycle, matching the other suites.
 fn fast_config() -> Criterion {
     Criterion::default()
@@ -59,6 +96,6 @@ fn fast_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast_config();
-    targets = bench_mc_percolation, bench_mc_random_faults
+    targets = bench_mc_percolation, bench_mc_random_faults, bench_targeted_sweep
 }
 criterion_main!(benches);

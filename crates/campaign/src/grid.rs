@@ -26,6 +26,11 @@ pub struct Cell {
     pub replicate: usize,
     /// Deterministic per-cell RNG seed.
     pub seed: u64,
+    /// Index of the declaring grid in `spec.grids` — the cell's
+    /// `[params]` overrides come from there. NOT part of the cell
+    /// identity: keys, seeds, and shards depend only on the axes, so
+    /// reorganizing a spec's grid tables never reshuffles seeds.
+    pub grid: usize,
 }
 
 impl Cell {
@@ -85,7 +90,7 @@ pub fn shard_of(key: &str, shards: usize) -> usize {
 pub fn expand(spec: &CampaignSpec) -> Result<Vec<Cell>, String> {
     let mut cells = Vec::new();
     let mut seen: HashMap<String, String> = HashMap::new(); // canonical key → grid label
-    for grid in &spec.grids {
+    for (grid_index, grid) in spec.grids.iter().enumerate() {
         for graph in &grid.graphs {
             // duplicates are detected on the *canonical* scenario
             // spelling, so aliases (`rr:…` vs `random-regular:…`,
@@ -103,6 +108,7 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<Cell>, String> {
                             algo: *algo,
                             replicate,
                             seed: 0,
+                            grid: grid_index,
                         };
                         let key = cell.key();
                         let canonical_key = format!("{canonical}|{fault}|{algo}|r{replicate}");

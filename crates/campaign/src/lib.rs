@@ -9,14 +9,19 @@
 //! 1. **Declare** the grid(s) in a small TOML-subset spec
 //!    ([`CampaignSpec`]) — scenario specs (plain families like
 //!    `torus:16,16` / `hypercube:10`, plus the *derived* sources
-//!    `subdivided:n,d,k` and `overlay:dim,n[,churn=ops]` the paper's
-//!    lower-bound and §4 results live on) × fault models (`random:p`,
-//!    `adversarial:k`, `chain-centers`, …) × algorithms (`prune`,
-//!    `prune2`, `percolation`, `span`, `expansion-cert`, `shatter`,
-//!    `dissect`, `diameter`, `compact-audit`, `routing`,
-//!    `load-balance`, `embed`) × replicates. Experiments whose
-//!    sub-grids are not one cross product declare several `[grid-…]`
-//!    tables.
+//!    `subdivided:n,d,k` and
+//!    `overlay:dim,n[,churn=ops][,sessions=pareto:alpha][,depart=degree]`
+//!    the paper's lower-bound and §4 results live on) × fault models
+//!    (any entry of the `fx_faults::spec` registry: `random:p`,
+//!    `adversarial:k`, `chain-centers`, `targeted:frac[,by=core]`,
+//!    `clustered:f,r`, `heavy-tailed:p,alpha`, … — plus `fault-sweep`
+//!    ranges like `targeted:0.05..0.25/5` that expand into a severity
+//!    axis) × algorithms (`prune`, `prune2`, `percolation`, `span`,
+//!    `expansion-cert`, `shatter`, `dissect`, `diameter`,
+//!    `compact-audit`, `routing`, `load-balance`, `embed`) ×
+//!    replicates. Experiments whose sub-grids are not one cross
+//!    product declare several `[grid-…]` tables, each of which may
+//!    override `epsilon`/`samples`/`timeout_ms` for its own cells.
 //! 2. **Expand** it into [`Cell`]s with deterministic per-cell seeds
 //!    derived from the cell *identity* (editing a spec never
 //!    reshuffles seeds of untouched cells).
@@ -59,8 +64,9 @@
 //! | `name` | campaign id (artifact prefix) | required |
 //! | `graphs` | list of scenario specs | required¹ |
 //! | `algorithms` | list of algorithms | required¹ |
-//! | `faults` | list of fault models | `["none"]` |
-//! | `[grid-…]` | extra `graphs`/`faults`/`algorithms` grids | — |
+//! | `faults` | list of fault models (fx-faults registry grammar) | `["none"]` |
+//! | `fault-sweep` | templated fault specs, `lo..hi/steps` ranges expanded into the axis | — |
+//! | `[grid-…]` | extra `graphs`/`faults`/`fault-sweep`/`algorithms` grids; may override `epsilon`/`samples`/`timeout_ms` per grid | — |
 //! | `replicates` | replicates per grid point | 1 |
 //! | `seed` | master seed | 42 |
 //! | `output` | artifact directory | `results/campaigns/<name>` |
@@ -101,4 +107,4 @@ pub use engine::{journal_for, report, run, RunOptions, RunSummary};
 pub use exec::{run_cell, run_cell_cancelable, CellResult};
 pub use grid::{cell_seed, expand, shard_of, Cell};
 pub use journal::{merge_journals, Journal, JournalWriter, MergeSummary};
-pub use spec::{Algo, CampaignSpec, FaultSpec, GridSpec, Params};
+pub use spec::{Algo, CampaignSpec, FaultSpec, GridOverrides, GridSpec, Params, TargetBy};

@@ -20,104 +20,12 @@ use fx_core::{Scenario, ScenarioKind};
 use std::fmt;
 use std::path::PathBuf;
 
-/// A fault model axis value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum FaultSpec {
-    /// No faults injected.
-    None,
-    /// I.i.d. node faults with probability `p` (`random:p`).
-    Random {
-        /// Per-node fault probability.
-        p: f64,
-    },
-    /// Exactly `f` uniform random node faults (`random-exact:f`).
-    RandomExact {
-        /// Failed-node count.
-        f: usize,
-    },
-    /// Sparse-cut adversary with a node budget
-    /// (`adversarial:k` / `sparse-cut:k`).
-    SparseCut {
-        /// Adversary budget.
-        budget: usize,
-    },
-    /// Highest-degree-first adversary (`degree:k`).
-    Degree {
-        /// Adversary budget.
-        budget: usize,
-    },
-    /// Theorem 2.3 chain-center adversary (`chain-centers[:f]`);
-    /// only valid on subdivided scenarios. Without a budget, every
-    /// chain center is killed (the theorem's construction).
-    ChainCenters {
-        /// Optional fault budget (`None` = all centers).
-        budget: Option<usize>,
-    },
-}
-
-impl FaultSpec {
-    /// Parses a compact fault spec string.
-    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
-        let (name, param) = spec.split_once(':').unwrap_or((spec, ""));
-        let usize_param = || -> Result<usize, String> {
-            param
-                .trim()
-                .parse()
-                .map_err(|_| format!("fault spec {spec:?}: bad integer parameter {param:?}"))
-        };
-        match name {
-            "none" => {
-                if param.is_empty() {
-                    Ok(FaultSpec::None)
-                } else {
-                    Err(format!("fault spec {spec:?}: `none` takes no parameter"))
-                }
-            }
-            "random" => {
-                let p: f64 = param
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("fault spec {spec:?}: bad probability {param:?}"))?;
-                if !(0.0..=1.0).contains(&p) {
-                    return Err(format!("fault spec {spec:?}: probability out of [0,1]"));
-                }
-                Ok(FaultSpec::Random { p })
-            }
-            "random-exact" => Ok(FaultSpec::RandomExact { f: usize_param()? }),
-            "adversarial" | "sparse-cut" => Ok(FaultSpec::SparseCut {
-                budget: usize_param()?,
-            }),
-            "degree" => Ok(FaultSpec::Degree {
-                budget: usize_param()?,
-            }),
-            "chain-centers" => Ok(FaultSpec::ChainCenters {
-                budget: if param.is_empty() {
-                    None
-                } else {
-                    Some(usize_param()?)
-                },
-            }),
-            other => Err(format!(
-                "unknown fault model {other:?} (try none | random:0.05 | random-exact:8 | \
-                 adversarial:8 | degree:8 | chain-centers)"
-            )),
-        }
-    }
-}
-
-impl fmt::Display for FaultSpec {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FaultSpec::None => write!(f, "none"),
-            FaultSpec::Random { p } => write!(f, "random:{p}"),
-            FaultSpec::RandomExact { f: n } => write!(f, "random-exact:{n}"),
-            FaultSpec::SparseCut { budget } => write!(f, "adversarial:{budget}"),
-            FaultSpec::Degree { budget } => write!(f, "degree:{budget}"),
-            FaultSpec::ChainCenters { budget: None } => write!(f, "chain-centers"),
-            FaultSpec::ChainCenters { budget: Some(b) } => write!(f, "chain-centers:{b}"),
-        }
-    }
-}
+// The fault axis is OWNED by fx-faults: grammar, registry,
+// validation, sweep expansion, and construction all live there
+// (`fx_faults::spec`); the campaign layer only composes the axis into
+// grids and validates grid points. Re-exported so spec consumers keep
+// one import path.
+pub use fx_faults::{expand_sweep, FaultSpec, TargetBy};
 
 /// An algorithm axis value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,23 +93,32 @@ impl Algo {
         // scenario × fault rule, independent of the algorithm: the
         // chain-center adversary only understands the Theorem 2.3
         // construction
-        if matches!(fault, FaultSpec::ChainCenters { .. })
-            && scenario.kind() != ScenarioKind::Subdivided
-        {
+        if fault.needs_subdivided() && scenario.kind() != ScenarioKind::Subdivided {
             return Err(format!(
                 "chain-centers is the Theorem 2.3 adversary for subdivided expanders; \
                  scenario `{scenario}` has no chains — use subdivided:n,d,k"
             ));
         }
         match (self, fault) {
-            (Algo::Prune2, FaultSpec::Random { .. }) => Ok(()),
+            (Algo::Prune2, f) if f.is_iid() => Ok(()),
             (Algo::Prune2, other) => Err(format!(
                 "prune2 implements the random-fault theorem (3.4); fault model `{other}` is not \
                  i.i.d. random — use `random:p`"
             )),
-            (Algo::Percolation, FaultSpec::None | FaultSpec::Random { .. }) => Ok(()),
+            // percolation measures dilution curves: randomized
+            // dilution models (γ under the draw) and fractional
+            // targeted removal (the deterministic dilution curve from
+            // one ordered sweep) — but not budgeted adversaries
+            (Algo::Percolation, f)
+                if f.is_none()
+                    || f.is_random_dilution()
+                    || matches!(f, FaultSpec::Targeted { .. }) =>
+            {
+                Ok(())
+            }
             (Algo::Percolation, other) => Err(format!(
-                "percolation measures random dilution; fault model `{other}` is adversarial"
+                "percolation measures dilution; fault model `{other}` is a budgeted adversary — \
+                 use none, random:p, heavy-tailed:p,alpha, clustered:f,r, or targeted:frac"
             )),
             (Algo::Span, FaultSpec::None) => Ok(()),
             (Algo::Span, other) => Err(format!(
@@ -307,6 +224,39 @@ impl Default for Params {
     }
 }
 
+impl Params {
+    /// The effective parameters of a grid: the campaign-global
+    /// `[params]` with the grid's overrides applied.
+    pub fn with_overrides(&self, o: &GridOverrides) -> Params {
+        let mut p = self.clone();
+        if o.epsilon.is_some() {
+            p.epsilon = o.epsilon;
+        }
+        if let Some(s) = o.samples {
+            p.samples = s;
+        }
+        if o.timeout_ms.is_some() {
+            p.timeout_ms = o.timeout_ms;
+        }
+        p
+    }
+}
+
+/// Per-grid overrides of the campaign-global `[params]`: a
+/// `[grid-…]` table may set `epsilon`, `samples`, or `timeout_ms` for
+/// its own cells (e.g. a generous timeout on one pathological
+/// sub-grid, a higher sample count on the sampled-span grid) without
+/// touching the rest of the campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GridOverrides {
+    /// Overrides `params.epsilon` for this grid's cells.
+    pub epsilon: Option<f64>,
+    /// Overrides `params.samples`.
+    pub samples: Option<usize>,
+    /// Overrides `params.timeout_ms`.
+    pub timeout_ms: Option<u64>,
+}
+
 /// One grid of the campaign: a full cross product
 /// `graphs × faults × algorithms` whose every point is valid.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,10 +267,13 @@ pub struct GridSpec {
     pub label: String,
     /// Scenario axis (compact [`Scenario::from_spec`] strings).
     pub graphs: Vec<String>,
-    /// Fault-model axis.
+    /// Fault-model axis (explicit `faults` entries plus expanded
+    /// `fault-sweep` ranges).
     pub faults: Vec<FaultSpec>,
     /// Algorithm axis.
     pub algorithms: Vec<Algo>,
+    /// This grid's `[params]` overrides (empty for the root grid).
+    pub overrides: GridOverrides,
 }
 
 /// A declarative campaign: the grids plus execution defaults.
@@ -399,21 +352,32 @@ impl CampaignSpec {
         let mut grids = Vec::new();
         if doc.get("graphs").is_some()
             || doc.get("faults").is_some()
+            || doc.get("fault-sweep").is_some()
             || doc.get("algorithms").is_some()
         {
-            grids.push(parse_grid("grid", |key| doc.get(key))?);
+            // the root grid: per-grid overrides live in [grid-…]
+            // tables only (root cells read [params] directly)
+            grids.push(parse_grid("grid", false, |key| doc.get(key))?);
         }
         for (table, entries) in &doc.tables {
             if !is_grid_table(table) {
                 continue;
             }
-            const KNOWN_GRID: &[&str] = &["graphs", "faults", "algorithms"];
+            const KNOWN_GRID: &[&str] = &[
+                "graphs",
+                "faults",
+                "fault-sweep",
+                "algorithms",
+                "epsilon",
+                "samples",
+                "timeout_ms",
+            ];
             for key in entries.keys() {
                 if !KNOWN_GRID.contains(&key.as_str()) {
                     return Err(format!("unknown key `{key}` in [{table}]"));
                 }
             }
-            grids.push(parse_grid(table, |key| doc.get_in(table, key))?);
+            grids.push(parse_grid(table, true, |key| doc.get_in(table, key))?);
         }
         if grids.is_empty() {
             return Err(
@@ -507,6 +471,7 @@ impl CampaignSpec {
             "output",
             "graphs",
             "faults",
+            "fault-sweep",
             "algorithms",
         ];
         for key in doc.root.keys() {
@@ -537,9 +502,12 @@ fn is_grid_table(name: &str) -> bool {
 }
 
 /// Parses and validates one grid's axes through `get` (root lookup or
-/// a `[grid-…]` table lookup).
+/// a `[grid-…]` table lookup). `allow_overrides` is true for
+/// `[grid-…]` tables, whose entries may override a subset of
+/// `[params]` for their own cells.
 fn parse_grid<'a>(
     label: &str,
+    allow_overrides: bool,
     get: impl Fn(&str) -> Option<&'a TomlValue>,
 ) -> Result<GridSpec, String> {
     let string_list = |key: &str| -> Result<Vec<String>, String> {
@@ -571,14 +539,52 @@ fn parse_grid<'a>(
         .collect::<Result<_, _>>()?;
 
     let fault_strings = string_list("faults")?;
-    let faults = if fault_strings.is_empty() {
-        vec![FaultSpec::None]
-    } else {
-        fault_strings
-            .iter()
-            .map(|s| FaultSpec::parse(s))
-            .collect::<Result<_, _>>()?
-    };
+    let mut faults: Vec<FaultSpec> = fault_strings
+        .iter()
+        .map(|s| FaultSpec::parse(s).map_err(|e| format!("[{label}] faults entry: {e}")))
+        .collect::<Result<_, _>>()?;
+    // the severity axis: each fault-sweep entry expands its
+    // `lo..hi/steps` range into one fault model per step
+    for sweep in string_list("fault-sweep")? {
+        faults
+            .extend(expand_sweep(&sweep).map_err(|e| format!("[{label}] fault-sweep entry: {e}"))?);
+    }
+    if faults.is_empty() {
+        faults.push(FaultSpec::None);
+    }
+
+    let mut overrides = GridOverrides::default();
+    if allow_overrides {
+        if let Some(v) = get("epsilon") {
+            let eps = v
+                .as_f64()
+                .ok_or(format!("[{label}] epsilon must be a number"))?;
+            if !(0.0..=1.0).contains(&eps) {
+                return Err(format!("[{label}] epsilon must be in [0, 1]"));
+            }
+            overrides.epsilon = Some(eps);
+        }
+        if let Some(v) = get("samples") {
+            let s = v
+                .as_usize()
+                .ok_or(format!("[{label}] samples must be a non-negative integer"))?;
+            if s == 0 {
+                return Err(format!("[{label}] samples must be ≥ 1"));
+            }
+            overrides.samples = Some(s);
+        }
+        if let Some(v) = get("timeout_ms") {
+            let t = v.as_usize().ok_or(format!(
+                "[{label}] timeout_ms must be a non-negative integer"
+            ))?;
+            if t == 0 {
+                return Err(format!(
+                    "[{label}] timeout_ms must be ≥ 1 (omit it for no timeout)"
+                ));
+            }
+            overrides.timeout_ms = Some(t as u64);
+        }
+    }
 
     let algo_strings = string_list("algorithms")?;
     if algo_strings.is_empty() {
@@ -607,6 +613,7 @@ fn parse_grid<'a>(
         graphs,
         faults,
         algorithms,
+        overrides,
     })
 }
 
@@ -742,8 +749,8 @@ algorithms = ["span"]
         }
     }
 
-    /// Every algorithm's accept/reject matrix over fault-model kinds
-    /// and scenario kinds, exhaustively.
+    /// Every algorithm's accept/reject matrix over every registry
+    /// fault kind and every scenario kind, exhaustively.
     #[test]
     fn accepts_matrix_is_exhaustive() {
         let faults = [
@@ -753,13 +760,26 @@ algorithms = ["span"]
             FaultSpec::SparseCut { budget: 3 },
             FaultSpec::Degree { budget: 3 },
             FaultSpec::ChainCenters { budget: None },
+            FaultSpec::Targeted {
+                frac: 0.1,
+                by: TargetBy::Degree,
+            },
+            FaultSpec::Targeted {
+                frac: 0.1,
+                by: TargetBy::Core,
+            },
+            FaultSpec::Clustered { f: 3, r: 2 },
+            FaultSpec::HeavyTailed { p: 0.1, alpha: 1.5 },
         ];
+        const CHAIN_CENTERS: usize = 5; // index into `faults`
         let plain = Scenario::Plain(Family::Torus { dims: vec![6, 6] });
         let subdivided = Scenario::Subdivided { n: 20, d: 4, k: 2 };
         let overlay = Scenario::Overlay {
             dim: 2,
             peers: 32,
             churn: 0,
+            sessions: None,
+            depart_degree: false,
         };
         let algos = [
             Algo::Prune,
@@ -783,7 +803,9 @@ algorithms = ["span"]
                 Algo::Prune | Algo::ExpansionCert => true,
                 Algo::Diameter | Algo::Routing | Algo::LoadBalance => true,
                 Algo::Prune2 => fi == 1,
-                Algo::Percolation => fi <= 1,
+                // none, random, targeted (both orders), clustered,
+                // heavy-tailed — everything that reads as dilution
+                Algo::Percolation => fi <= 1 || fi >= 6,
                 Algo::Span | Algo::Dissect | Algo::CompactAudit => fi == 0,
                 Algo::Shatter | Algo::Embed => fi != 0,
             }
@@ -793,7 +815,7 @@ algorithms = ["span"]
                 // on plain and overlay scenarios, chain-centers is
                 // always rejected; everything else matches the table
                 for scenario in [&plain, &overlay] {
-                    let expect = ok_on_subdivided(algo, fi) && fi != 5;
+                    let expect = ok_on_subdivided(algo, fi) && fi != CHAIN_CENTERS;
                     assert_eq!(
                         algo.accepts(fault, scenario).is_ok(),
                         expect,
@@ -863,28 +885,138 @@ algorithms = ["span"]
         .is_err());
     }
 
+    /// The fault grammar itself is owned (and exhaustively tested) by
+    /// `fx_faults::spec`; here we only check the delegation seam — a
+    /// registry model unknown to the old campaign grammar parses
+    /// through the spec layer end to end.
     #[test]
-    fn fault_spec_roundtrip() {
-        for s in [
-            "none",
-            "random:0.05",
-            "random-exact:8",
-            "adversarial:4",
-            "degree:2",
-            "chain-centers",
-            "chain-centers:12",
-        ] {
-            let f = FaultSpec::parse(s).unwrap();
-            assert_eq!(f.to_string(), s);
-        }
+    fn fault_axis_delegates_to_the_registry() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "registry"
+graphs = ["torus:8,8"]
+faults = ["targeted:0.2,by=core", "clustered:3,1", "heavy-tailed:0.1,1.5"]
+algorithms = ["shatter"]
+"#,
+        )
+        .unwrap();
         assert_eq!(
-            FaultSpec::parse("sparse-cut:4").unwrap(),
-            FaultSpec::SparseCut { budget: 4 }
+            spec.grids[0].faults,
+            vec![
+                FaultSpec::Targeted {
+                    frac: 0.2,
+                    by: TargetBy::Core
+                },
+                FaultSpec::Clustered { f: 3, r: 1 },
+                FaultSpec::HeavyTailed { p: 0.1, alpha: 1.5 },
+            ]
         );
-        assert!(FaultSpec::parse("random:1.5").is_err());
-        assert!(FaultSpec::parse("random:x").is_err());
-        assert!(FaultSpec::parse("none:3").is_err());
-        assert!(FaultSpec::parse("chain-centers:x").is_err());
-        assert!(FaultSpec::parse("gamma-ray").is_err());
+        let err = CampaignSpec::parse(
+            "name = \"d\"\ngraphs = [\"cycle:10\"]\nfaults = [\"gamma-ray\"]\n\
+             algorithms = [\"prune\"]",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown fault model"), "{err}");
+        assert!(
+            err.contains("heavy-tailed:p,alpha"),
+            "registry grammar: {err}"
+        );
+    }
+
+    #[test]
+    fn fault_sweep_expands_into_the_axis() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "sweep"
+[grid-sweep]
+graphs = ["torus:8,8"]
+faults = ["none"]
+fault-sweep = ["targeted:0.1..0.3/3", "random:0.05..0.1/2"]
+algorithms = ["expansion-cert"]
+"#,
+        )
+        .unwrap();
+        let faults: Vec<String> = spec.grids[0].faults.iter().map(|f| f.to_string()).collect();
+        assert_eq!(
+            faults,
+            vec![
+                "none",
+                "targeted:0.1",
+                "targeted:0.2",
+                "targeted:0.3",
+                "random:0.05",
+                "random:0.1"
+            ]
+        );
+        // sweep points are grid points: invalid ones reject at parse
+        let err = CampaignSpec::parse(
+            "name = \"d\"\ngraphs = [\"cycle:10\"]\nfault-sweep = [\"random:0.1..0.3/3\"]\n\
+             algorithms = [\"span\"]",
+        )
+        .unwrap_err();
+        assert!(err.contains("span"), "{err}");
+        // malformed sweeps reject with the grid label
+        let err = CampaignSpec::parse(
+            "name = \"d\"\n[grid-a]\ngraphs = [\"cycle:10\"]\nfault-sweep = [\"random:0.1\"]\n\
+             algorithms = [\"prune\"]",
+        )
+        .unwrap_err();
+        assert!(err.contains("[grid-a]") && err.contains("lo..hi"), "{err}");
+    }
+
+    #[test]
+    fn per_grid_overrides_parse_and_apply() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "overrides"
+[grid-default]
+graphs = ["torus:6,6"]
+algorithms = ["span"]
+[grid-tuned]
+graphs = ["mesh:3,4"]
+algorithms = ["span"]
+samples = 32
+timeout_ms = 1500
+epsilon = 0.25
+[params]
+samples = 200
+"#,
+        )
+        .unwrap();
+        let by_label = |l: &str| spec.grids.iter().find(|g| g.label == l).unwrap();
+        assert_eq!(by_label("grid-default").overrides, GridOverrides::default());
+        let tuned = by_label("grid-tuned");
+        assert_eq!(tuned.overrides.samples, Some(32));
+        assert_eq!(tuned.overrides.timeout_ms, Some(1500));
+        assert_eq!(tuned.overrides.epsilon, Some(0.25));
+        // effective params merge overrides over [params]
+        let eff = spec.params.with_overrides(&tuned.overrides);
+        assert_eq!(eff.samples, 32);
+        assert_eq!(eff.timeout_ms, Some(1500));
+        assert_eq!(eff.epsilon, Some(0.25));
+        assert_eq!(eff.k, spec.params.k, "untouched params pass through");
+        let eff_default = spec
+            .params
+            .with_overrides(&by_label("grid-default").overrides);
+        assert_eq!(eff_default, spec.params);
+
+        // bad override values are parse errors, with the grid label
+        for bad in [
+            "epsilon = 1.5",
+            "samples = 0",
+            "timeout_ms = 0",
+            "samples = \"many\"",
+        ] {
+            let text = format!(
+                "name = \"d\"\n[grid-a]\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n{bad}"
+            );
+            let err = CampaignSpec::parse(&text).unwrap_err();
+            assert!(err.contains("[grid-a]"), "{bad} → {err}");
+        }
+        // overrides are grid-table-only: at the root they are unknown
+        assert!(CampaignSpec::parse(
+            "name = \"d\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\nsamples = 5"
+        )
+        .is_err());
     }
 }

@@ -144,7 +144,19 @@ mod tests {
             Scenario::Overlay {
                 dim: 2,
                 peers: 64,
-                churn: 100
+                churn: 100,
+                sessions: None,
+                depart_degree: false,
+            }
+        );
+        assert_eq!(
+            parse_graph_spec("overlay:2,64,churn=100,sessions=pareto:1.5,depart=degree").unwrap(),
+            Scenario::Overlay {
+                dim: 2,
+                peers: 64,
+                churn: 100,
+                sessions: Some(1.5),
+                depart_degree: true,
             }
         );
         assert!(parse_graph_spec("torus").is_err());

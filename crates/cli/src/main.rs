@@ -21,7 +21,7 @@ use fx_core::{analyze_adversarial, theory_table, AnalyzerConfig, Network};
 use fx_expansion::certificate::{
     edge_expansion_bounds, node_expansion_bounds, Effort, ExpansionBounds,
 };
-use fx_faults::{DegreeAdversary, ExactRandomFaults, FaultModel, SparseCutAdversary};
+use fx_faults::{DegreeAdversary, ExactRandomFaults, FaultModel, FaultSpec, SparseCutAdversary};
 use fx_percolation::{estimate_critical, Mode, MonteCarlo};
 use fx_span::span::{exact_span, sampled_span};
 use rand::rngs::SmallRng;
@@ -43,6 +43,7 @@ commands:
   expansion  --graph SPEC [--seed N]            two-sided α / αe certificates
   prune      --graph SPEC --faults N
              [--adversary sparse-cut|degree|random] [--k K]  Theorem 2.1 pipeline
+             [--fault FAULTSPEC]  (any registry model, e.g. targeted:0.1,by=core)
   percolate  --graph SPEC [--mode site|bond] [--trials N] [--gamma T]
                                                 critical probability estimate
   span       --graph SPEC [--samples N]         span (exact ≤ 20 nodes, else sampled)
@@ -50,6 +51,7 @@ commands:
   campaign   run|resume --spec FILE [--threads N] [--limit N] [--out DIR]
                         [--shard I/M] [--quiet]
              report     --spec FILE [--out DIR]
+             check      --spec FILE             parse + validate + expand, run nothing
              merge      --out FILE JOURNAL...
                                                 declarative scenario campaigns
                                                 (journaled, resumable, parallel;
@@ -62,7 +64,11 @@ global:     --threads N   worker threads (or FXNET_THREADS; default: cores, ≤ 
 graph SPEC: torus:16,16 | mesh:8,8,8 | hypercube:10 | butterfly:8 |
             debruijn:10 | shuffle-exchange:10 | margulis:32 |
             random-regular:1024,4 | cycle:100 | complete:64
-   derived: subdivided:200,4,8 (Thm 2.3 H_k) | overlay:2,256,churn=400 (§4 CAN)";
+   derived: subdivided:200,4,8 (Thm 2.3 H_k) |
+            overlay:2,256,churn=400[,sessions=pareto:1.5][,depart=degree] (§4 CAN)
+fault SPEC: none | random:p | random-exact:f | adversarial:f | degree:f |
+            chain-centers[:f] | targeted:frac[,by=degree|core] | clustered:f,r |
+            heavy-tailed:p,alpha       (the fx-faults registry grammar)";
 
 fn main() -> ExitCode {
     let parsed = match Args::parse(std::env::args().skip(1)) {
@@ -125,7 +131,7 @@ fn run_campaign(args: &Args) -> Result<(), String> {
         .positionals
         .first()
         .map(String::as_str)
-        .ok_or("campaign requires an action: run | resume | report | merge")?;
+        .ok_or("campaign requires an action: run | resume | report | check | merge")?;
     if action == "merge" {
         return merge_campaign_journals(args);
     }
@@ -134,6 +140,30 @@ fn run_campaign(args: &Args) -> Result<(), String> {
     }
     let spec_path = args.get("spec").ok_or("missing --spec FILE")?;
     let spec = CampaignSpec::load(std::path::Path::new(spec_path))?;
+    if action == "check" {
+        // parse + validate + expand (duplicate-cell detection), run
+        // nothing: the CI `spec-check` step runs this over every
+        // committed spec so a grammar change can never silently
+        // orphan one
+        let cells = fx_campaign::expand(&spec)?;
+        outln!(
+            "spec OK: campaign {} — {} grid(s), {} cells ({} replicates)",
+            spec.name,
+            spec.grids.len(),
+            cells.len(),
+            spec.replicates
+        );
+        for grid in &spec.grids {
+            outln!(
+                "  [{}] {} scenario(s) × {} fault(s) × {} algorithm(s)",
+                grid.label,
+                grid.graphs.len(),
+                grid.faults.len(),
+                grid.algorithms.len()
+            );
+        }
+        return Ok(());
+    }
     let opts = RunOptions {
         threads: args.get_parsed("threads", 0usize)?,
         limit: match args.get("limit") {
@@ -227,12 +257,19 @@ fn run(args: &Args) -> Result<(), String> {
             let (net, _) = build_network(args)?;
             let faults: usize = args.get_parsed("faults", net.n() / 50)?;
             let k: f64 = args.get_parsed("k", 2.0)?;
-            let adversary = args.get("adversary").unwrap_or("sparse-cut");
-            let model: Box<dyn FaultModel> = match adversary {
-                "sparse-cut" => Box::new(SparseCutAdversary { budget: faults }),
-                "degree" => Box::new(DegreeAdversary { budget: faults }),
-                "random" => Box::new(ExactRandomFaults { f: faults }),
-                other => return Err(format!("unknown adversary: {other}")),
+            let model: Box<dyn FaultModel> = if let Some(fault_spec) = args.get("fault") {
+                // the full registry grammar (chain-centers excluded:
+                // the CLI builds plain networks without subdivision
+                // bookkeeping)
+                FaultSpec::parse(fault_spec)?.build(None)?
+            } else {
+                let adversary = args.get("adversary").unwrap_or("sparse-cut");
+                match adversary {
+                    "sparse-cut" => Box::new(SparseCutAdversary { budget: faults }),
+                    "degree" => Box::new(DegreeAdversary { budget: faults }),
+                    "random" => Box::new(ExactRandomFaults { f: faults }),
+                    other => return Err(format!("unknown adversary: {other}")),
+                }
             };
             let config = AnalyzerConfig {
                 threads: threads_option(args)?,

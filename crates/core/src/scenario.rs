@@ -16,20 +16,24 @@
 //! * `subdivided:<n>,<d>,<k>` — a random `d`-regular expander on `n`
 //!   nodes with every edge subdivided by a `k`-node chain
 //!   (Theorem 2.3's `H_k`);
-//! * `overlay:<dim>,<peers>[,churn=<ops>]` — a CAN overlay of
-//!   `peers` zones in a `dim`-dimensional key space, then `ops`
-//!   join/leave churn operations (50/50 mix).
+//! * `overlay:<dim>,<peers>[,churn=<ops>][,sessions=pareto:<alpha>][,depart=degree|random]`
+//!   — a CAN overlay of `peers` zones in a `dim`-dimensional key
+//!   space, then `ops` join/leave churn operations (50/50 mix).
+//!   `sessions=pareto:alpha` draws heavy-tailed per-peer session
+//!   weights (short sessions leave first); `depart=degree` makes
+//!   every departure remove the best-connected zone — churn as an
+//!   adversary.
 
 use crate::families::{subdivided_expander, Family};
 use crate::network::Network;
 use fx_graph::generators::SubdividedGraph;
-use fx_overlay::Overlay;
+use fx_overlay::{ChurnPolicy, Overlay};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
 
 /// A buildable campaign graph source.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Scenario {
     /// A plain graph family.
     Plain(Family),
@@ -51,6 +55,12 @@ pub enum Scenario {
         peers: usize,
         /// Join/leave churn operations applied after growth.
         churn: usize,
+        /// Pareto shape for heavy-tailed session weights (`None` =
+        /// memoryless churn).
+        sessions: Option<f64>,
+        /// Degree-targeted departures (the best-connected zone
+        /// leaves) instead of uniformly random ones.
+        depart_degree: bool,
     },
 }
 
@@ -96,6 +106,12 @@ pub struct OverlayInfo {
     pub vol_max: f64,
     /// Mean zone volume.
     pub vol_mean: f64,
+    /// Pareto shape of the session model, when one was used.
+    pub session_alpha: Option<f64>,
+    /// Mean session weight of the *surviving* peers (1.0 under
+    /// memoryless churn; grows past 1 under Pareto sessions as
+    /// short-session peers wash out).
+    pub mean_session: f64,
 }
 
 impl Scenario {
@@ -134,9 +150,17 @@ impl Scenario {
             }
             "overlay" => {
                 let mut churn: Option<usize> = None;
+                let mut sessions: Option<f64> = None;
+                let mut depart: Option<bool> = None;
                 let mut nums = Vec::new();
                 for (i, piece) in params.split(',').enumerate() {
                     let piece = piece.trim();
+                    let is_option = piece.contains('=');
+                    if is_option && i < 2 {
+                        return Err(format!(
+                            "scenario {spec:?}: options must come after <dim>,<peers>"
+                        ));
+                    }
                     if let Some(ops) = piece.strip_prefix("churn=") {
                         if churn.is_some() {
                             return Err(format!("scenario {spec:?}: churn=… given twice"));
@@ -144,11 +168,45 @@ impl Scenario {
                         churn = Some(ops.parse().map_err(|_| {
                             format!("scenario {spec:?}: bad churn op count {ops:?}")
                         })?);
-                        if i < 2 {
+                    } else if let Some(model) = piece.strip_prefix("sessions=") {
+                        if sessions.is_some() {
+                            return Err(format!("scenario {spec:?}: sessions=… given twice"));
+                        }
+                        let Some(alpha) = model.strip_prefix("pareto:") else {
                             return Err(format!(
-                                "scenario {spec:?}: churn=… must come after <dim>,<peers>"
+                                "scenario {spec:?}: expected sessions=pareto:<alpha>, \
+                                 got sessions={model:?}"
+                            ));
+                        };
+                        let alpha: f64 = alpha.parse().map_err(|_| {
+                            format!("scenario {spec:?}: bad Pareto shape {alpha:?}")
+                        })?;
+                        if !alpha.is_finite() || alpha <= 1.0 {
+                            return Err(format!(
+                                "scenario {spec:?}: session Pareto shape must be a finite \
+                                 number > 1 (the session mean must exist)"
                             ));
                         }
+                        sessions = Some(alpha);
+                    } else if let Some(policy) = piece.strip_prefix("depart=") {
+                        if depart.is_some() {
+                            return Err(format!("scenario {spec:?}: depart=… given twice"));
+                        }
+                        depart = Some(match policy {
+                            "degree" => true,
+                            "random" => false,
+                            other => {
+                                return Err(format!(
+                                    "scenario {spec:?}: expected depart=degree|random, \
+                                     got depart={other:?}"
+                                ))
+                            }
+                        });
+                    } else if is_option {
+                        return Err(format!(
+                            "scenario {spec:?}: unknown option {piece:?} \
+                             (try churn=… | sessions=pareto:… | depart=degree)"
+                        ));
                     } else {
                         nums.push(piece.parse::<usize>().map_err(|_| {
                             format!("scenario {spec:?}: bad integer parameter {piece:?}")
@@ -157,8 +215,8 @@ impl Scenario {
                 }
                 if nums.len() != 2 {
                     return Err(format!(
-                        "overlay expects <dim>,<peers>[,churn=<ops>] \
-                         (try overlay:2,256,churn=400), got {spec:?}"
+                        "overlay expects <dim>,<peers>[,churn=<ops>][,sessions=pareto:<alpha>]\
+                         [,depart=degree|random] (try overlay:2,256,churn=400), got {spec:?}"
                     ));
                 }
                 let (dim, peers) = (nums[0], nums[1]);
@@ -172,6 +230,8 @@ impl Scenario {
                     dim,
                     peers,
                     churn: churn.unwrap_or(0),
+                    sessions,
+                    depart_degree: depart.unwrap_or(false),
                 })
             }
             _ => Family::from_spec(spec).map(Scenario::Plain).map_err(|e| {
@@ -207,10 +267,21 @@ impl Scenario {
                     overlay: None,
                 }
             }
-            Scenario::Overlay { dim, peers, churn } => {
+            Scenario::Overlay {
+                dim,
+                peers,
+                churn,
+                sessions,
+                depart_degree,
+            } => {
                 let mut rng = SmallRng::seed_from_u64(seed);
-                let mut ov = Overlay::with_peers(*dim, *peers, &mut rng);
-                ov.churn(*churn, 0.5, &mut rng);
+                let policy = ChurnPolicy {
+                    join_bias: 0.5,
+                    session_alpha: *sessions,
+                    degree_targeted: *depart_degree,
+                };
+                let mut ov = Overlay::with_peers_policy(*dim, *peers, &policy, &mut rng);
+                ov.churn_with(*churn, &policy, &mut rng);
                 let (graph, _owners) = ov.graph();
                 let (vol_min, vol_max, vol_mean) = ov.volume_stats();
                 let (joins, leaves) = ov.churn_counts();
@@ -222,6 +293,8 @@ impl Scenario {
                     vol_min,
                     vol_max,
                     vol_mean,
+                    session_alpha: *sessions,
+                    mean_session: ov.alive_session_mean(),
                 };
                 BuiltScenario {
                     net: Network::new(format!("can(d={dim},n={peers},churn={churn})"), graph),
@@ -254,12 +327,24 @@ impl fmt::Display for Scenario {
         match self {
             Scenario::Plain(family) => write!(f, "{}", family.spec_string()),
             Scenario::Subdivided { n, d, k } => write!(f, "subdivided:{n},{d},{k}"),
-            Scenario::Overlay { dim, peers, churn } => {
-                if *churn == 0 {
-                    write!(f, "overlay:{dim},{peers}")
-                } else {
-                    write!(f, "overlay:{dim},{peers},churn={churn}")
+            Scenario::Overlay {
+                dim,
+                peers,
+                churn,
+                sessions,
+                depart_degree,
+            } => {
+                write!(f, "overlay:{dim},{peers}")?;
+                if *churn != 0 {
+                    write!(f, ",churn={churn}")?;
                 }
+                if let Some(alpha) = sessions {
+                    write!(f, ",sessions=pareto:{alpha}")?;
+                }
+                if *depart_degree {
+                    write!(f, ",depart=degree")?;
+                }
+                Ok(())
             }
         }
     }
@@ -330,6 +415,36 @@ mod tests {
     }
 
     #[test]
+    fn churned_overlay_policies_build_and_differ() {
+        let plain = Scenario::from_spec("overlay:2,48,churn=60").unwrap();
+        let heavy = Scenario::from_spec("overlay:2,48,churn=60,sessions=pareto:1.5").unwrap();
+        let targeted =
+            Scenario::from_spec("overlay:2,48,churn=60,sessions=pareto:1.5,depart=degree").unwrap();
+        let bp = plain.build(5);
+        let bh = heavy.build(5);
+        let bt = targeted.build(5);
+        let ip = bp.overlay.unwrap();
+        let ih = bh.overlay.unwrap();
+        let it = bt.overlay.unwrap();
+        assert_eq!(ip.session_alpha, None);
+        assert_eq!(ip.mean_session, 1.0, "memoryless churn has unit sessions");
+        assert_eq!(ih.session_alpha, Some(1.5));
+        assert!(
+            ih.mean_session > 1.0,
+            "survivors skew long-session: {}",
+            ih.mean_session
+        );
+        assert!(it.mean_session > 1.0);
+        // the policies actually change the built graph
+        let ep: Vec<_> = bp.net.graph.edges().collect();
+        let eh: Vec<_> = bh.net.graph.edges().collect();
+        assert_ne!(ep, eh, "session model must move the build");
+        for built in [&bp.net, &bh.net, &bt.net] {
+            assert!(is_connected(&built.graph, &built.full_mask()));
+        }
+    }
+
+    #[test]
     fn display_round_trips() {
         for spec in [
             "torus:4,4",
@@ -338,6 +453,9 @@ mod tests {
             "subdivided:20,4,6",
             "overlay:2,48",
             "overlay:2,48,churn=60",
+            "overlay:2,48,churn=60,sessions=pareto:1.5",
+            "overlay:2,48,sessions=pareto:2.5,depart=degree",
+            "overlay:2,48,churn=60,sessions=pareto:1.5,depart=degree",
         ] {
             let s = Scenario::from_spec(spec).unwrap();
             assert_eq!(s.to_string(), spec);
@@ -362,6 +480,13 @@ mod tests {
             "overlay:2,64,churn=x",
             "overlay:2,64,churn=5,churn=9",
             "overlay:churn=5,2,64",
+            "overlay:2,64,sessions=pareto:1.0",
+            "overlay:2,64,sessions=pareto:x",
+            "overlay:2,64,sessions=uniform:2",
+            "overlay:2,64,sessions=pareto:1.5,sessions=pareto:2.0",
+            "overlay:2,64,depart=entropy",
+            "overlay:2,64,depart=degree,depart=random",
+            "overlay:2,64,ttl=5",
             "klein-bottle:3",
         ] {
             assert!(

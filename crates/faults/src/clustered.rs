@@ -1,0 +1,138 @@
+//! Spatially correlated faults: whole BFS balls fail together.
+//!
+//! Independent faults (§3 of the paper) and worst-case separators
+//! (§2) bracket reality; measured failures are often *correlated but
+//! local* — a rack, a neighborhood, a cascade seeded at one point
+//! (Witthaut & Timme's nonlocal-failure line in PAPERS.md).
+//! [`ClusteredFaults`] models the local regime: `f` uniformly random
+//! centers each take down their radius-`r` BFS ball. This is exactly
+//! the adversarial-but-local shape Theorem 2.1's pruning handles
+//! best: each ball is a compact region whose boundary the prune can
+//! cut at cost proportional to its surface, not its volume.
+
+use crate::model::FaultModel;
+use fx_graph::{CsrGraph, NodeId, NodeSet};
+use rand::{Rng, RngCore};
+
+/// `f` faulted BFS balls of radius `r` around uniform random centers
+/// (balls may overlap; radius 0 = the centers alone).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusteredFaults {
+    /// Number of fault balls.
+    pub balls: usize,
+    /// Ball radius in hops.
+    pub radius: usize,
+}
+
+impl FaultModel for ClusteredFaults {
+    fn sample(&self, g: &CsrGraph, rng: &mut dyn RngCore) -> NodeSet {
+        let mut failed = NodeSet::empty(g.num_nodes());
+        self.sample_into(g, rng, &mut failed);
+        failed
+    }
+
+    fn sample_into(&self, g: &CsrGraph, rng: &mut dyn RngCore, out: &mut NodeSet) {
+        let n = g.num_nodes();
+        if out.capacity() != n {
+            *out = NodeSet::empty(n);
+        } else {
+            out.clear();
+        }
+        if n == 0 {
+            return;
+        }
+        // per-ball BFS over the *healthy* graph: overlap with an
+        // earlier ball must not block a later ball's expansion, so
+        // each ball keeps its own frontier (word-parallel union at
+        // the end of each ball)
+        let mut ball = NodeSet::empty(n);
+        let mut queue: Vec<(NodeId, u32)> = Vec::new();
+        for _ in 0..self.balls {
+            let center = rng.gen_range(0..n as NodeId);
+            ball.clear();
+            queue.clear();
+            ball.insert(center);
+            queue.push((center, 0));
+            let mut head = 0;
+            while head < queue.len() {
+                let (v, depth) = queue[head];
+                head += 1;
+                if depth as usize >= self.radius {
+                    continue;
+                }
+                for &w in g.neighbors(v) {
+                    if ball.insert(w) {
+                        queue.push((w, depth + 1));
+                    }
+                }
+            }
+            out.union_with(&ball);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("clustered(f={}, r={})", self.balls, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn radius_zero_is_just_centers() {
+        let g = generators::cycle(50);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let failed = ClusteredFaults {
+            balls: 5,
+            radius: 0,
+        }
+        .sample(&g, &mut rng);
+        assert!(failed.len() <= 5, "at most 5 centers (may collide)");
+        assert!(!failed.is_empty());
+    }
+
+    #[test]
+    fn ball_size_matches_geometry_on_a_cycle() {
+        // a radius-r ball on a cycle is a 2r+1 arc
+        let g = generators::cycle(100);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let failed = ClusteredFaults {
+            balls: 1,
+            radius: 3,
+        }
+        .sample(&g, &mut rng);
+        assert_eq!(failed.len(), 7);
+        // the arc is contiguous: removing it leaves one component
+        let comps = fx_graph::components::components(&g, &failed.complement());
+        assert_eq!(comps.count(), 1);
+    }
+
+    #[test]
+    fn overlapping_balls_union() {
+        let g = generators::path(10);
+        let mut rng = SmallRng::seed_from_u64(3);
+        // radius covers the whole path from any center
+        let failed = ClusteredFaults {
+            balls: 2,
+            radius: 10,
+        }
+        .sample(&g, &mut rng);
+        assert_eq!(failed.len(), 10);
+    }
+
+    #[test]
+    fn zero_balls_no_faults() {
+        let g = generators::torus(&[6, 6]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(ClusteredFaults {
+            balls: 0,
+            radius: 3
+        }
+        .sample(&g, &mut rng)
+        .is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Heterogeneous random faults with heavy-tailed per-node weights.
+//!
+//! I.i.d. faults (§3) give every node the same probability `p`; real
+//! deployments are heterogeneous — a minority of nodes (old hardware,
+//! hot racks, flaky links) carries most of the failure mass.
+//! [`HeavyTailedFaults`] models this with Pareto(α) per-node fault
+//! weights: node `v` fails with probability
+//! `min(1, p · X_v · (α−1)/α)` where `X_v ~ Pareto(α, 1)`. The
+//! `(α−1)/α` factor normalizes `E[X]` to 1, so the *expected* fault
+//! fraction stays ≈ `p` while the per-node distribution grows a heavy
+//! tail as `α → 1` (α must exceed 1 for the mean to exist). At
+//! `α → ∞` the model degenerates to i.i.d. `random:p`.
+
+use crate::model::FaultModel;
+use fx_graph::{pareto_sample, CsrGraph, NodeSet};
+use rand::{Rng, RngCore};
+
+/// Pareto-weighted independent node faults.
+#[derive(Debug, Clone, Copy)]
+pub struct HeavyTailedFaults {
+    /// Target mean fault probability.
+    pub p: f64,
+    /// Pareto shape (must be `> 1`; smaller = heavier tail).
+    pub alpha: f64,
+}
+
+impl FaultModel for HeavyTailedFaults {
+    fn sample(&self, g: &CsrGraph, rng: &mut dyn RngCore) -> NodeSet {
+        let mut failed = NodeSet::empty(g.num_nodes());
+        self.sample_into(g, rng, &mut failed);
+        failed
+    }
+
+    fn sample_into(&self, g: &CsrGraph, rng: &mut dyn RngCore, out: &mut NodeSet) {
+        assert!(
+            (0.0..=1.0).contains(&self.p),
+            "fault probability {} out of range",
+            self.p
+        );
+        assert!(
+            self.alpha > 1.0,
+            "Pareto shape {} must exceed 1 (finite mean)",
+            self.alpha
+        );
+        let n = g.num_nodes();
+        if out.capacity() != n {
+            *out = NodeSet::empty(n);
+        } else {
+            out.clear();
+        }
+        let unit_mean = (self.alpha - 1.0) / self.alpha;
+        for v in 0..n as u32 {
+            let weight = pareto_sample(self.alpha, rng);
+            let q = (self.p * weight * unit_mean).min(1.0);
+            if rng.gen_bool(q) {
+                out.insert(v);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("heavy-tailed(p={}, alpha={})", self.p, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_fault_fraction_tracks_p() {
+        let g = generators::torus(&[30, 30]); // 900 nodes
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = HeavyTailedFaults { p: 0.2, alpha: 2.0 };
+        let mut total = 0usize;
+        let trials = 30;
+        for _ in 0..trials {
+            total += model.sample(&g, &mut rng).len();
+        }
+        let mean = total as f64 / trials as f64;
+        // E[min(1, p·X/E[X])] ≤ p; the truncation bites harder as the
+        // tail grows, so the observed mean sits a little under p·n
+        assert!((100.0..200.0).contains(&mean), "mean faults {mean}");
+    }
+
+    #[test]
+    fn extremes() {
+        let g = generators::path(64);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(
+            HeavyTailedFaults { p: 0.0, alpha: 1.5 }
+                .sample(&g, &mut rng)
+                .len(),
+            0
+        );
+        // p = 1 does not force every node down: q = min(1, X/3) for
+        // α = 1.5, so only the heavy draws are certain — but the
+        // fault set must be substantial
+        let all = HeavyTailedFaults { p: 1.0, alpha: 1.5 }.sample(&g, &mut rng);
+        assert!(all.len() > 32, "{}", all.len());
+    }
+
+    #[test]
+    fn large_alpha_approaches_iid() {
+        // α huge → weights ≈ 1 → per-node probability ≈ p
+        let g = generators::torus(&[25, 25]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = HeavyTailedFaults {
+            p: 0.3,
+            alpha: 200.0,
+        };
+        let mut total = 0usize;
+        for _ in 0..20 {
+            total += model.sample(&g, &mut rng).len();
+        }
+        let mean = total as f64 / 20.0;
+        assert!((mean - 187.5).abs() < 25.0, "mean {mean} vs 625·0.3");
+    }
+}

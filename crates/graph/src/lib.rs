@@ -57,5 +57,5 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use node::{Edge, NodeId};
 pub use scratch::Scratch;
-pub use stats::Welford;
+pub use stats::{pareto_sample, Welford};
 pub use view::SubView;

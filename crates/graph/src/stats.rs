@@ -134,6 +134,20 @@ pub fn degree_histogram(g: &CsrGraph, alive: &NodeSet) -> Vec<usize> {
     hist
 }
 
+/// One draw from a Pareto(α, x_m = 1) distribution by inverse
+/// transform: heavy-tailed weights for fault models (per-node fault
+/// heterogeneity) and overlay session times. `α` must be positive;
+/// the mean is finite only for `α > 1` (callers wanting a unit-mean
+/// normalization multiply by `(α−1)/α`).
+pub fn pareto_sample<R: rand::RngCore + ?Sized>(alpha: f64, rng: &mut R) -> f64 {
+    assert!(alpha > 0.0, "Pareto shape must be positive, got {alpha}");
+    use rand::Rng;
+    // u ∈ (0, 1]: complement of the half-open uniform draw, so the
+    // power never divides by zero
+    let u: f64 = 1.0 - rng.gen_range(0.0..1.0);
+    u.powf(-1.0 / alpha)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +201,24 @@ mod tests {
         assert!(w.ci95_half_width() > 0.0);
         assert_eq!(Welford::default().mean(), 0.0);
         assert_eq!(Welford::from_samples([5.0]).std(), 0.0);
+    }
+
+    #[test]
+    fn pareto_draws_are_heavy_tailed_with_unit_floor() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let alpha = 1.5;
+        let mut mean = 0.0;
+        let trials = 4000;
+        for _ in 0..trials {
+            let x = pareto_sample(alpha, &mut rng);
+            assert!(x >= 1.0, "Pareto support is [1, ∞), got {x}");
+            mean += x / trials as f64;
+        }
+        // E[X] = α/(α−1) = 3 for α = 1.5 (slow convergence: the tail
+        // is heavy, so allow a generous window)
+        assert!((1.8..8.0).contains(&mean), "mean {mean}");
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod bsp;
 pub mod overlay;
 
 pub use bsp::{Bsp, PeerId, Zone, ZoneBox};
-pub use overlay::Overlay;
+pub use overlay::{ChurnPolicy, Overlay};

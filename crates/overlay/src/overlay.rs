@@ -7,9 +7,40 @@
 //! join/leave churn whose neighbor graph is the object the paper's
 //! mesh results approximate (experiment E14 measures how well).
 
-use crate::bsp::{Bsp, PeerId};
-use fx_graph::{CsrGraph, GraphBuilder};
+use crate::bsp::{Bsp, PeerId, Zone};
+use fx_graph::{pareto_sample, CsrGraph, GraphBuilder};
 use rand::Rng;
+
+/// How churn picks sessions and departure victims.
+///
+/// The default reproduces the original memoryless churn: uniform
+/// joins, uniformly random leaves. Pareto session weights
+/// (`session_alpha`) make short-session peers leave first, so the
+/// surviving population is heavy-tailed in session length — the
+/// measured-overlay regime of the small-world fault-tolerance line in
+/// PAPERS.md. Degree-targeted departures (`degree_targeted`) always
+/// remove the best-connected zone — churn as an adversary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnPolicy {
+    /// Probability that a churn op is a join (else a leave).
+    pub join_bias: f64,
+    /// Pareto shape for per-peer session weights (`> 1`); `None` =
+    /// memoryless (every peer equally likely to leave).
+    pub session_alpha: Option<f64>,
+    /// Departures remove the highest-degree zone instead of a random
+    /// one.
+    pub degree_targeted: bool,
+}
+
+impl Default for ChurnPolicy {
+    fn default() -> Self {
+        ChurnPolicy {
+            join_bias: 0.5,
+            session_alpha: None,
+            degree_targeted: false,
+        }
+    }
+}
 
 /// A CAN-style overlay simulator.
 #[derive(Debug, Clone)]
@@ -18,6 +49,9 @@ pub struct Overlay {
     next_peer: PeerId,
     joins: usize,
     leaves: usize,
+    /// Per-peer session weight, indexed by peer id (1.0 = default;
+    /// only Pareto-session churn assigns anything else).
+    sessions: Vec<f64>,
 }
 
 impl Overlay {
@@ -29,15 +63,29 @@ impl Overlay {
             next_peer: 1,
             joins: 0,
             leaves: 0,
+            sessions: vec![1.0],
         }
     }
 
     /// Builds an overlay of `n` peers by repeated joins.
     pub fn with_peers<R: Rng + ?Sized>(d: usize, n: usize, rng: &mut R) -> Self {
+        Overlay::with_peers_policy(d, n, &ChurnPolicy::default(), rng)
+    }
+
+    /// Builds an overlay of `n` peers by repeated joins under a churn
+    /// policy (Pareto sessions assign each joining peer its session
+    /// weight; with the default policy this is exactly
+    /// [`Overlay::with_peers`], same random stream).
+    pub fn with_peers_policy<R: Rng + ?Sized>(
+        d: usize,
+        n: usize,
+        policy: &ChurnPolicy,
+        rng: &mut R,
+    ) -> Self {
         assert!(n >= 1);
         let mut o = Overlay::new(d);
         for _ in 1..n {
-            o.join(rng);
+            o.join_with(policy, rng);
         }
         o
     }
@@ -68,6 +116,21 @@ impl Overlay {
         id
     }
 
+    /// [`Overlay::join`] under a churn policy: Pareto-session churn
+    /// additionally draws the new peer's session weight (after the
+    /// split point, so the split stream matches plain joins).
+    pub fn join_with<R: Rng + ?Sized>(&mut self, policy: &ChurnPolicy, rng: &mut R) -> PeerId {
+        let id = self.join(rng);
+        if let Some(alpha) = policy.session_alpha {
+            let ttl = pareto_sample(alpha, rng);
+            if self.sessions.len() <= id as usize {
+                self.sessions.resize(id as usize + 1, 1.0);
+            }
+            self.sessions[id as usize] = ttl;
+        }
+        id
+    }
+
     /// A uniformly random peer leaves (no-op when only one remains).
     /// Returns the departed peer id if any.
     pub fn leave<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<PeerId> {
@@ -82,14 +145,81 @@ impl Overlay {
         Some(owner)
     }
 
+    /// The session weight assigned to `peer` (1.0 unless Pareto
+    /// sessions drew one at join time).
+    pub fn session(&self, peer: PeerId) -> f64 {
+        self.sessions.get(peer as usize).copied().unwrap_or(1.0)
+    }
+
+    /// Mean session weight over the *alive* peers — under heavy-tailed
+    /// churn this grows past 1 as short-session peers wash out
+    /// (survivorship of the long-lived).
+    pub fn alive_session_mean(&self) -> f64 {
+        let zones = self.bsp.zones();
+        if zones.is_empty() {
+            return 1.0;
+        }
+        zones.iter().map(|z| self.session(z.owner)).sum::<f64>() / zones.len() as f64
+    }
+
+    /// [`Overlay::leave`] under a churn policy. With Pareto sessions
+    /// and/or degree targeting the victim is *deterministic*: the
+    /// peer maximizing `degree^t / session` (t = 1 iff targeted),
+    /// i.e. the shortest-session / best-connected zone; ties go to
+    /// the earliest zone in tree order. The default policy keeps the
+    /// original uniform random departure (same stream).
+    ///
+    /// Degree targeting recomputes the zone adjacency from scratch —
+    /// O(zones²) box tests per departure, fine at campaign scales
+    /// (≤ a few hundred peers/ops) but quadratic-per-op; incremental
+    /// degree maintenance is a ROADMAP open item.
+    pub fn leave_with<R: Rng + ?Sized>(
+        &mut self,
+        policy: &ChurnPolicy,
+        rng: &mut R,
+    ) -> Option<PeerId> {
+        if policy.session_alpha.is_none() && !policy.degree_targeted {
+            return self.leave(rng);
+        }
+        let zones = self.bsp.zones();
+        if zones.len() <= 1 {
+            return None;
+        }
+        let degrees = policy.degree_targeted.then(|| zone_degrees(&zones));
+        let mut best: Option<(f64, usize)> = None;
+        for (i, z) in zones.iter().enumerate() {
+            let degree = degrees.as_ref().map_or(1.0, |d| (d[i] + 1) as f64);
+            let score = degree / self.session(z.owner);
+            if best.is_none_or(|(b, _)| score > b) {
+                best = Some((score, i));
+            }
+        }
+        let (_, i) = best?;
+        let owner = zones[i].owner;
+        self.bsp.remove_leaf(zones[i].idx);
+        self.leaves += 1;
+        Some(owner)
+    }
+
     /// Applies `ops` churn operations: each is a join with probability
     /// `join_bias`, otherwise a leave.
     pub fn churn<R: Rng + ?Sized>(&mut self, ops: usize, join_bias: f64, rng: &mut R) {
+        let policy = ChurnPolicy {
+            join_bias,
+            ..ChurnPolicy::default()
+        };
+        self.churn_with(ops, &policy, rng);
+    }
+
+    /// [`Overlay::churn`] under a full churn policy (sessions and
+    /// targeted departures). With the default policy this is exactly
+    /// the original memoryless churn, same random stream.
+    pub fn churn_with<R: Rng + ?Sized>(&mut self, ops: usize, policy: &ChurnPolicy, rng: &mut R) {
         for _ in 0..ops {
-            if rng.gen_bool(join_bias) || self.num_peers() <= 2 {
-                self.join(rng);
+            if rng.gen_bool(policy.join_bias) || self.num_peers() <= 2 {
+                self.join_with(policy, rng);
             } else {
-                self.leave(rng);
+                self.leave_with(policy, rng);
             }
         }
     }
@@ -116,6 +246,12 @@ impl Overlay {
         self.bsp.zones()
     }
 
+    /// Per-zone neighbor counts in zone (tree) order — the degrees of
+    /// [`Overlay::graph`] without building it.
+    pub fn zone_degrees(&self) -> Vec<usize> {
+        zone_degrees(&self.bsp.zones())
+    }
+
     /// Zone volume statistics `(min, max, mean)` — CAN load balance.
     pub fn volume_stats(&self) -> (f64, f64, f64) {
         let zones = self.bsp.zones();
@@ -125,6 +261,22 @@ impl Overlay {
         let mean = vols.iter().sum::<f64>() / vols.len() as f64;
         (min, max, mean)
     }
+}
+
+/// Neighbor counts of each zone (zones touching on a (d−1)-face, with
+/// wraparound) — the same adjacency [`Overlay::graph`] materializes.
+fn zone_degrees(zones: &[Zone]) -> Vec<usize> {
+    let n = zones.len();
+    let mut deg = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if zones[i].bounds.touches(&zones[j].bounds) {
+                deg[i] += 1;
+                deg[j] += 1;
+            }
+        }
+    }
+    deg
 }
 
 #[cfg(test)]
@@ -209,6 +361,76 @@ mod tests {
         let m2 = 2.0 * g2.num_edges() as f64 / 128.0;
         let m4 = 2.0 * g4.num_edges() as f64 / 128.0;
         assert!(m4 > m2, "degree should grow with dimension: {m2} vs {m4}");
+    }
+
+    #[test]
+    fn default_policy_matches_legacy_churn_stream() {
+        let mut a = SmallRng::seed_from_u64(21);
+        let mut b = SmallRng::seed_from_u64(21);
+        let mut oa = Overlay::with_peers(2, 40, &mut a);
+        let mut ob = Overlay::with_peers_policy(2, 40, &ChurnPolicy::default(), &mut b);
+        oa.churn(60, 0.5, &mut a);
+        ob.churn_with(60, &ChurnPolicy::default(), &mut b);
+        let (ga, _) = oa.graph();
+        let (gb, _) = ob.graph();
+        assert_eq!(
+            ga.edges().collect::<Vec<_>>(),
+            gb.edges().collect::<Vec<_>>(),
+            "default policy must not perturb the legacy stream"
+        );
+    }
+
+    #[test]
+    fn pareto_sessions_wash_out_short_sessions() {
+        let policy = ChurnPolicy {
+            join_bias: 0.3, // leave-heavy churn
+            session_alpha: Some(1.5),
+            degree_targeted: false,
+        };
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut o = Overlay::with_peers_policy(2, 60, &policy, &mut rng);
+        let before = o.alive_session_mean();
+        o.churn_with(80, &policy, &mut rng);
+        let after = o.alive_session_mean();
+        assert!(
+            after > before,
+            "survivors skew long-session: {before} → {after}"
+        );
+        assert!(o.num_peers() >= 2);
+        let (g, _) = o.graph();
+        assert!(is_connected(&g, &NodeSet::full(g.num_nodes())));
+    }
+
+    #[test]
+    fn degree_targeted_departure_removes_max_degree_zone() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut o = Overlay::with_peers(2, 30, &mut rng);
+        let degs = o.zone_degrees();
+        let max_deg = *degs.iter().max().unwrap();
+        let zones = o.zones();
+        let policy = ChurnPolicy {
+            degree_targeted: true,
+            ..ChurnPolicy::default()
+        };
+        let victim = o.leave_with(&policy, &mut rng).unwrap();
+        let victim_deg = zones
+            .iter()
+            .zip(&degs)
+            .find(|(z, _)| z.owner == victim)
+            .unwrap()
+            .1;
+        assert_eq!(*victim_deg, max_deg, "the best-connected peer departs");
+    }
+
+    #[test]
+    fn zone_degrees_match_snapshot_graph() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        let o = Overlay::with_peers(3, 40, &mut rng);
+        let (g, _) = o.graph();
+        let degs = o.zone_degrees();
+        for (i, &d) in degs.iter().enumerate() {
+            assert_eq!(d, g.degree(i as u32), "zone {i}");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! n, bond), and `0.337 < p* < 0.436` (butterfly, site).
 
 use crate::montecarlo::{MonteCarlo, Stat};
+use fx_graph::par::CancelToken;
 use fx_graph::CsrGraph;
 
 /// Which elements fail.
@@ -44,12 +45,32 @@ pub fn estimate_critical(
     gamma_threshold: f64,
     grid: usize,
 ) -> CriticalEstimate {
+    estimate_critical_cancelable(g, mode, mc, gamma_threshold, grid, &CancelToken::new())
+}
+
+/// [`estimate_critical`] with cooperative cancellation: every trial
+/// sweep polls `token` before starting, so a campaign cell's
+/// `timeout_ms` is honored mid-curve on very large graphs — the
+/// remaining trials are skipped and the estimate covers the completed
+/// ones. A token that never fires yields exactly the uncancelled
+/// estimate. The crossing scan itself is O(grid) float compares and
+/// deliberately does NOT poll: by the time it runs the curve is paid
+/// for, and observing the token there would mark fully completed
+/// work as truncated.
+pub fn estimate_critical_cancelable(
+    g: &CsrGraph,
+    mode: Mode,
+    mc: &MonteCarlo,
+    gamma_threshold: f64,
+    grid: usize,
+    token: &CancelToken,
+) -> CriticalEstimate {
     assert!(grid >= 2);
     assert!((0.0..1.0).contains(&gamma_threshold) && gamma_threshold > 0.0);
     let keeps: Vec<f64> = (0..=grid).map(|i| i as f64 / grid as f64).collect();
     let curve = match mode {
-        Mode::Site => mc.gamma_site_curve(g, &keeps),
-        Mode::Bond => mc.gamma_bond_curve(g, &keeps),
+        Mode::Site => mc.gamma_site_curve_cancelable(g, &keeps, token),
+        Mode::Bond => mc.gamma_bond_curve_cancelable(g, &keeps, token),
     };
     // first index where mean γ ≥ threshold
     let mut p_star = 1.0;
@@ -153,6 +174,23 @@ mod tests {
             e_small.p_star,
             e_large.p_star
         );
+    }
+
+    #[test]
+    fn cancelable_estimate_matches_then_truncates() {
+        let g = generators::torus(&[16, 16]);
+        // an unfired token changes nothing
+        let free = CancelToken::new();
+        let a = estimate_critical(&g, Mode::Site, &mc(), 0.1, 20);
+        let b = estimate_critical_cancelable(&g, Mode::Site, &mc(), 0.1, 20, &free);
+        assert_eq!(a.p_star, b.p_star);
+        assert!(!free.was_observed());
+        // a pre-fired token truncates promptly and is observed
+        let fired = CancelToken::new();
+        fired.cancel();
+        let c = estimate_critical_cancelable(&g, Mode::Site, &mc(), 0.1, 20, &fired);
+        assert!(fired.was_observed(), "cancellation points must react");
+        assert!((0.0..=1.0).contains(&c.p_star));
     }
 
     #[test]

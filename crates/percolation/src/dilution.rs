@@ -1,0 +1,140 @@
+//! Targeted (deterministic) dilution curves.
+//!
+//! Random site percolation asks how γ decays as a uniformly random
+//! fraction of the network fails; the *targeted* counterpart removes
+//! nodes in a fixed importance order (degree attack, k-core attack —
+//! any order the caller supplies) and reads the same γ curve. Because
+//! the order is fixed, **one** ordered Newman–Ziff sweep
+//! ([`site_sweep_ordered_with`]) yields the entire curve — no trials,
+//! no resampling — and the scratch arena is shared with the random
+//! sweeps.
+//!
+//! The curves feed the paper's robustness comparison: the gap between
+//! the random critical probability `p*` and the targeted critical
+//! removal fraction [`critical_removal_fraction`] is exactly the
+//! "random vs worst-case faults" axis of Bagchi et al. §2 vs §3,
+//! measured on the percolation side.
+
+use crate::newman_ziff::{site_sweep_ordered_with, SweepScratch};
+use fx_graph::{CsrGraph, NodeId};
+
+/// γ (largest-component fraction of the ORIGINAL node count) after
+/// removing the first `round(frac·n)` nodes of `order`, for every
+/// requested removal fraction. `order` must be a permutation of the
+/// nodes, most-important-first; one ordered sweep serves all `fracs`.
+pub fn gamma_removal_curve(
+    g: &CsrGraph,
+    order: &[NodeId],
+    fracs: &[f64],
+    scratch: &mut SweepScratch,
+) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return vec![0.0; fracs.len()];
+    }
+    // the sweep *inserts* nodes, so reverse: the most important node
+    // (removed first) is inserted last
+    let addition: Vec<NodeId> = order.iter().rev().copied().collect();
+    let curve = site_sweep_ordered_with(g, &addition, scratch);
+    fracs
+        .iter()
+        .map(|&frac| {
+            let removed = ((frac * n as f64).round() as usize).min(n);
+            curve[n - removed] as f64 / n as f64
+        })
+        .collect()
+}
+
+/// The smallest removal fraction at which γ drops below `threshold`
+/// under the given removal order, scanned on a uniform grid of
+/// `grid + 1` fractions with linear interpolation — the targeted
+/// analogue of the random critical probability `1 − p*`. Returns 1.0
+/// when γ stays above the threshold all the way to full removal
+/// (impossible for `threshold > 0`, kept for form's sake) and 0.0
+/// when the intact graph is already below it.
+pub fn critical_removal_fraction(
+    g: &CsrGraph,
+    order: &[NodeId],
+    threshold: f64,
+    grid: usize,
+    scratch: &mut SweepScratch,
+) -> f64 {
+    assert!(grid >= 2);
+    let fracs: Vec<f64> = (0..=grid).map(|i| i as f64 / grid as f64).collect();
+    let gammas = gamma_removal_curve(g, order, &fracs, scratch);
+    crossing_fraction(&fracs, &gammas, threshold)
+}
+
+/// The crossing scan behind [`critical_removal_fraction`], on an
+/// already-computed curve: the first fraction (linearly interpolated)
+/// at which `gammas` drops below `threshold`. Callers that already
+/// paid for a removal curve (e.g. the campaign's targeted-percolation
+/// cells) use this directly instead of sweeping again.
+pub fn crossing_fraction(fracs: &[f64], gammas: &[f64], threshold: f64) -> f64 {
+    assert_eq!(fracs.len(), gammas.len());
+    assert!(threshold > 0.0 && threshold < 1.0);
+    for i in 0..gammas.len() {
+        if gammas[i] < threshold {
+            if i == 0 {
+                return 0.0;
+            }
+            let (y0, y1) = (gammas[i - 1], gammas[i]);
+            let t = if (y0 - y1).abs() < 1e-15 {
+                0.0
+            } else {
+                (y0 - threshold) / (y0 - y1)
+            };
+            return fracs[i - 1] + t * (fracs[i] - fracs[i - 1]);
+        }
+    }
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_graph::generators;
+
+    #[test]
+    fn curve_on_a_star_collapses_at_the_hub() {
+        let g = generators::star(20);
+        // hub first (a degree attack)
+        let mut order: Vec<NodeId> = (0..20).collect();
+        let mut scratch = SweepScratch::new();
+        let curve = gamma_removal_curve(&g, &order, &[0.0, 0.05, 0.5, 1.0], &mut scratch);
+        assert!((curve[0] - 1.0).abs() < 1e-12, "intact star is connected");
+        // 0.05·20 = 1 removal = the hub → singletons only
+        assert!((curve[1] - 1.0 / 20.0).abs() < 1e-12, "{curve:?}");
+        assert_eq!(curve[3], 0.0, "full removal");
+        let f = critical_removal_fraction(&g, &order, 0.1, 20, &mut scratch);
+        assert!(f <= 0.05 + 1e-12, "hub attack is critical immediately: {f}");
+
+        // leaves-first order keeps the hub's component shrinking
+        // only linearly — far more robust
+        order.rotate_left(1); // hub last
+        let f_weak = critical_removal_fraction(&g, &order, 0.1, 20, &mut scratch);
+        assert!(f_weak > 0.8, "leaves-first barely hurts γ: {f_weak}");
+    }
+
+    #[test]
+    fn curve_is_monotone_in_removal_on_a_torus() {
+        let g = generators::torus(&[12, 12]);
+        let order: Vec<NodeId> = (0..144).collect();
+        let fracs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let mut scratch = SweepScratch::new();
+        let curve = gamma_removal_curve(&g, &order, &fracs, &mut scratch);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "γ decays with removal: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = generators::path(0);
+        let mut scratch = SweepScratch::new();
+        assert_eq!(
+            gamma_removal_curve(&g, &[], &[0.0, 1.0], &mut scratch),
+            vec![0.0, 0.0]
+        );
+    }
+}

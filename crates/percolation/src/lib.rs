@@ -25,13 +25,17 @@
 #![warn(missing_docs)]
 
 pub mod critical;
+pub mod dilution;
 pub mod montecarlo;
 pub mod newman_ziff;
 pub mod sample;
 
-pub use critical::{estimate_critical, CriticalEstimate, Mode};
+pub use critical::{estimate_critical, estimate_critical_cancelable, CriticalEstimate, Mode};
+pub use dilution::{critical_removal_fraction, crossing_fraction, gamma_removal_curve};
 pub use montecarlo::{MonteCarlo, Stat};
-pub use newman_ziff::{bond_sweep, bond_sweep_with, site_sweep, site_sweep_with, SweepScratch};
+pub use newman_ziff::{
+    bond_sweep, bond_sweep_with, site_sweep, site_sweep_ordered_with, site_sweep_with, SweepScratch,
+};
 pub use sample::{
     gamma_bond, gamma_site, gamma_site_with, sample_alive_edges, sample_alive_nodes,
     sample_alive_nodes_into,

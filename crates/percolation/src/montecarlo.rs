@@ -12,7 +12,7 @@
 
 use crate::newman_ziff::{bond_sweep_with, site_sweep_with, SweepScratch};
 use crate::sample::{gamma_site_with, sample_alive_nodes_into};
-use fx_graph::par::{par_map_init, resolve_threads};
+use fx_graph::par::{par_map_init, resolve_threads, CancelToken};
 use fx_graph::stats::Welford;
 use fx_graph::{CsrGraph, NodeSet, Scratch};
 use rand::rngs::SmallRng;
@@ -112,6 +112,20 @@ impl MonteCarlo {
     /// from Newman–Ziff sweeps (one sweep per trial; canonical
     /// `k = round(keep·n)` mapping).
     pub fn gamma_site_curve(&self, g: &CsrGraph, keeps: &[f64]) -> Vec<Stat> {
+        self.gamma_site_curve_cancelable(g, keeps, &CancelToken::new())
+    }
+
+    /// [`MonteCarlo::gamma_site_curve`] with cooperative cancellation:
+    /// once `token` fires, remaining trial sweeps are skipped and the
+    /// statistics cover the completed trials only. A token that never
+    /// fires yields exactly the uncancelled curve (every trial
+    /// completes, deterministically, for any thread count).
+    pub fn gamma_site_curve_cancelable(
+        &self,
+        g: &CsrGraph,
+        keeps: &[f64],
+        token: &CancelToken,
+    ) -> Vec<Stat> {
         let n = g.num_nodes();
         let base = self.base_seed;
         let curves = par_map_init(
@@ -119,6 +133,9 @@ impl MonteCarlo {
             self.threads(),
             SweepScratch::new,
             |sweep, i| {
+                if token.is_cancelled() {
+                    return Vec::new(); // skipped-trial sentinel
+                }
                 let mut rng = SmallRng::seed_from_u64(trial_seed(base, i));
                 site_sweep_with(g, &mut rng, sweep).to_vec()
             },
@@ -128,6 +145,17 @@ impl MonteCarlo {
 
     /// Whole `γ(keep)` **bond** curve (nodes always present).
     pub fn gamma_bond_curve(&self, g: &CsrGraph, keeps: &[f64]) -> Vec<Stat> {
+        self.gamma_bond_curve_cancelable(g, keeps, &CancelToken::new())
+    }
+
+    /// [`MonteCarlo::gamma_bond_curve`] with cooperative cancellation
+    /// (same contract as the site variant).
+    pub fn gamma_bond_curve_cancelable(
+        &self,
+        g: &CsrGraph,
+        keeps: &[f64],
+        token: &CancelToken,
+    ) -> Vec<Stat> {
         let n = g.num_nodes();
         let m = g.num_edges();
         let base = self.base_seed;
@@ -136,6 +164,9 @@ impl MonteCarlo {
             self.threads(),
             SweepScratch::new,
             |sweep, i| {
+                if token.is_cancelled() {
+                    return Vec::new(); // skipped-trial sentinel
+                }
                 let mut rng = SmallRng::seed_from_u64(trial_seed(base, i));
                 bond_sweep_with(g, &mut rng, sweep).to_vec()
             },
@@ -147,14 +178,15 @@ impl MonteCarlo {
 /// Maps per-trial largest-cluster curves (indexed by occupied count)
 /// to per-keep statistics, streaming each keep's samples through one
 /// Welford accumulator in trial order (deterministic for any
-/// schedule).
+/// schedule). Empty curves are skipped-trial sentinels from a fired
+/// cancellation token and contribute nothing.
 fn curve_stats(curves: &[Vec<u32>], keeps: &[f64], n: usize, steps: usize) -> Vec<Stat> {
     keeps
         .iter()
         .map(|&q| {
             let k = ((q * steps as f64).round() as usize).min(steps);
             let mut w = Welford::default();
-            for c in curves {
+            for c in curves.iter().filter(|c| !c.is_empty()) {
                 w.push(c[k] as f64 / n.max(1) as f64);
             }
             Stat::from(w)

@@ -50,26 +50,56 @@ pub fn site_sweep_with<'s, R: Rng + ?Sized>(
     scratch.order.clear();
     scratch.order.extend(0..n as NodeId);
     scratch.order.shuffle(rng);
-    scratch.occupied.clear();
-    scratch.occupied.resize(n, false);
-    scratch.uf.reset(n);
-    let uf = &mut scratch.uf;
-    let mut largest = 0u32;
-    scratch.curve.clear();
-    scratch.curve.reserve(n + 1);
-    scratch.curve.push(0);
-    for &v in &scratch.order {
-        scratch.occupied[v as usize] = true;
-        for &w in g.neighbors(v) {
-            if scratch.occupied[w as usize] {
-                uf.union(v, w);
+    scratch.site_run(g)
+}
+
+/// A site sweep in the *caller's* insertion order instead of a random
+/// permutation: `out[k]` = largest cluster with the first `k` nodes of
+/// `order` occupied. One deterministic sweep yields a whole *targeted*
+/// dilution curve — pass the reverse of a removal order (e.g.
+/// `fx-faults`' degree/core attack order) and read the curve at
+/// `n − removed`.
+pub fn site_sweep_ordered_with<'s>(
+    g: &CsrGraph,
+    order: &[NodeId],
+    scratch: &'s mut SweepScratch,
+) -> &'s [u32] {
+    assert_eq!(
+        order.len(),
+        g.num_nodes(),
+        "insertion order must cover every node exactly once"
+    );
+    scratch.order.clear();
+    scratch.order.extend_from_slice(order);
+    scratch.site_run(g)
+}
+
+impl SweepScratch {
+    /// The site-sweep kernel: inserts `self.order` one node at a
+    /// time, maintaining the largest cluster with union–find.
+    fn site_run(&mut self, g: &CsrGraph) -> &[u32] {
+        let n = g.num_nodes();
+        self.occupied.clear();
+        self.occupied.resize(n, false);
+        self.uf.reset(n);
+        let uf = &mut self.uf;
+        let mut largest = 0u32;
+        self.curve.clear();
+        self.curve.reserve(n + 1);
+        self.curve.push(0);
+        for &v in &self.order {
+            self.occupied[v as usize] = true;
+            for &w in g.neighbors(v) {
+                if self.occupied[w as usize] {
+                    uf.union(v, w);
+                }
             }
+            let size = uf.component_size(v) as u32;
+            largest = largest.max(size);
+            self.curve.push(largest);
         }
-        let size = uf.component_size(v) as u32;
-        largest = largest.max(size);
-        scratch.curve.push(largest);
+        &self.curve
     }
-    &scratch.curve
 }
 
 /// One bond-percolation sweep: `out[k]` = largest cluster size with
@@ -135,6 +165,22 @@ mod tests {
         for w in curve.windows(2) {
             assert!(w[0] <= w[1]);
         }
+    }
+
+    #[test]
+    fn ordered_sweep_matches_manual_gamma() {
+        // insert a path's nodes end-to-end: after k insertions the
+        // largest cluster is exactly k
+        let g = generators::path(10);
+        let order: Vec<NodeId> = (0..10).collect();
+        let mut scratch = SweepScratch::new();
+        let curve = site_sweep_ordered_with(&g, &order, &mut scratch).to_vec();
+        assert_eq!(curve, (0..=10u32).collect::<Vec<_>>());
+        // reversed order gives the same curve by symmetry; scratch
+        // reuse must not perturb it
+        let rev: Vec<NodeId> = (0..10).rev().collect();
+        let curve2 = site_sweep_ordered_with(&g, &rev, &mut scratch).to_vec();
+        assert_eq!(curve, curve2);
     }
 
     #[test]

@@ -226,6 +226,71 @@ algorithms = ["expansion-cert", "percolation"]
 }
 
 #[test]
+fn fault_layer_campaign_is_deterministic_across_thread_counts() {
+    // The PR-4 fault layer end to end: registry models (targeted /
+    // clustered / heavy-tailed), a fault-sweep axis, heavy-tailed
+    // overlay churn, and a per-grid override — running at different
+    // thread counts must journal per-model metrics bit-identically.
+    const FAULT_GRID: &str = r#"
+name = "fault-layer-it"
+seed = 99
+replicates = 2
+[grid-models]
+graphs = ["random-regular:48,4"]
+faults = ["targeted:0.15,by=core", "clustered:3,1", "heavy-tailed:0.15,1.5"]
+algorithms = ["shatter", "percolation"]
+[grid-sweep]
+graphs = ["torus:8,8"]
+fault-sweep = ["targeted:0.1..0.3/3"]
+algorithms = ["shatter"]
+samples = 16
+[grid-overlay]
+graphs = ["overlay:2,32,churn=40,sessions=pareto:1.5,depart=degree"]
+faults = ["heavy-tailed:0.1,2.0"]
+algorithms = ["expansion-cert"]
+[params]
+grid = 16
+"#;
+    let dir_a = temp_dir("fault-layer-1");
+    let dir_b = temp_dir("fault-layer-4");
+    let a = run(
+        &spec_with_output(FAULT_GRID, &dir_a),
+        &RunOptions {
+            threads: 1,
+            quiet: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let b = run(
+        &spec_with_output(FAULT_GRID, &dir_b),
+        &RunOptions {
+            threads: 4,
+            quiet: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(a.complete && b.complete);
+    assert_eq!(a.aggregates, b.aggregates, "thread count must not matter");
+    // per-model metrics reached the aggregates
+    let has = |group_frag: &str, metric: &str| {
+        a.aggregates
+            .iter()
+            .any(|g| g.group.contains(group_frag) && g.metric == metric)
+    };
+    assert!(has("targeted:0.15,by=core|percolation", "f_star_targeted"));
+    assert!(has("targeted:0.15,by=core|percolation", "dilution_auc"));
+    assert!(has("clustered:3,1|percolation", "gamma"));
+    assert!(has("heavy-tailed:0.15,1.5|shatter", "shatter_fraction"));
+    assert!(has("targeted:0.2|shatter", "gamma"), "sweep midpoint cell");
+    assert!(has("sessions=pareto:1.5", "mean_session"));
+    for d in [dir_a, dir_b] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
 fn bundled_specs_parse_and_expand() {
     for (path, expected_grids) in [
         ("specs/random_faults.toml", 1usize),
@@ -236,6 +301,7 @@ fn bundled_specs_parse_and_expand() {
         ("specs/structure.toml", 2),
         ("specs/emulation.toml", 3),
         ("specs/overlay_churn.toml", 2),
+        ("specs/targeted_faults.toml", 4),
     ] {
         let spec = CampaignSpec::load(std::path::Path::new(path)).unwrap();
         assert_eq!(spec.grids.len(), expected_grids, "{path}");
