@@ -12,6 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fx_core::{analyze_random, AnalyzerConfig, Family};
 use fx_faults::{targeted_order, FaultModel, HeavyTailedFaults, TargetBy};
 use fx_graph::NodeSet;
+use fx_overlay::{ChurnPolicy, Overlay};
 use fx_percolation::{
     critical_removal_fraction, estimate_critical, gamma_removal_curve, Mode, MonteCarlo,
     SweepScratch,
@@ -86,6 +87,46 @@ fn bench_targeted_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The overlay churn pipeline at campaign scale: grow a 2-D CAN to
+/// 2k peers, drive 500 degree-targeted churn ops through the
+/// incremental adjacency engine, and snapshot the neighbor graph —
+/// the per-cell construction cost of every `overlay:…,depart=degree`
+/// scenario (`specs/overlay_scale.toml` runs the same pipeline at
+/// 10k peers).
+fn bench_overlay_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_churn_e2e");
+    group.sample_size(10);
+    let targeted = ChurnPolicy {
+        join_bias: 0.5,
+        session_alpha: None,
+        degree_targeted: true,
+    };
+    group.bench_function("degree_churn_2k", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(0xE2E);
+            let mut ov = Overlay::with_peers_policy(2, 2000, &targeted, &mut rng);
+            ov.churn_with(500, &targeted, &mut rng);
+            let (g, _) = ov.graph();
+            (g.num_edges(), ov.peak_degree(), ov.adj_updates())
+        })
+    });
+    let sessions = ChurnPolicy {
+        join_bias: 0.5,
+        session_alpha: Some(1.5),
+        degree_targeted: true,
+    };
+    group.bench_function("pareto_degree_churn_2k", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(0xE2E);
+            let mut ov = Overlay::with_peers_policy(2, 2000, &sessions, &mut rng);
+            ov.churn_with(500, &sessions, &mut rng);
+            let (g, _) = ov.graph();
+            (g.num_edges(), ov.alive_session_mean())
+        })
+    });
+    group.finish();
+}
+
 /// Shortened criterion cycle, matching the other suites.
 fn fast_config() -> Criterion {
     Criterion::default()
@@ -96,6 +137,7 @@ fn fast_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast_config();
-    targets = bench_mc_percolation, bench_mc_random_faults, bench_targeted_sweep
+    targets = bench_mc_percolation, bench_mc_random_faults, bench_targeted_sweep,
+        bench_overlay_churn
 }
 criterion_main!(benches);

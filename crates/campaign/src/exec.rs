@@ -360,6 +360,11 @@ fn scenario_metrics(built: &BuiltScenario) -> Vec<(String, f64)> {
             2.0 * built.net.graph.num_edges() as f64 / n,
         ));
         m.push(("vol_ratio".to_string(), ov.vol_max / ov.vol_min.max(1e-300)));
+        // incremental-adjacency engine telemetry: the hub watermark
+        // the churn history produced and what maintaining the zone
+        // adjacency cost (link updates, not O(zones²) rescans)
+        m.push(("peak_zone_degree".to_string(), ov.peak_degree as f64));
+        m.push(("adj_updates".to_string(), ov.adj_updates as f64));
         if ov.session_alpha.is_some() {
             // heavy-tailed churn: session survivorship of the alive
             // population (grows past 1 as short sessions wash out)
@@ -883,6 +888,12 @@ algorithms = ["expansion-cert", "percolation"]
             assert!(r.metric("peers").unwrap() > 0.0);
             assert!(r.metric("vol_ratio").unwrap() >= 1.0);
             assert!(r.metric("mean_degree").unwrap() > 0.0);
+            assert!(
+                r.metric("peak_zone_degree").unwrap() >= r.metric("mean_degree").unwrap(),
+                "the lifetime hub watermark bounds the mean: {:?}",
+                r.metrics
+            );
+            assert!(r.metric("adj_updates").unwrap() > 0.0);
             assert_eq!(r.metrics, run_cell(&spec, &cell).metrics, "{}", cell.key());
         }
     }

@@ -25,7 +25,7 @@ use std::path::PathBuf;
 // (`fx_faults::spec`); the campaign layer only composes the axis into
 // grids and validates grid points. Re-exported so spec consumers keep
 // one import path.
-pub use fx_faults::{expand_sweep, FaultSpec, TargetBy};
+pub use fx_faults::{expand_sweep, CenterBias, FaultSpec, TargetBy};
 
 /// An algorithm axis value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -768,8 +768,21 @@ algorithms = ["span"]
                 frac: 0.1,
                 by: TargetBy::Core,
             },
-            FaultSpec::Clustered { f: 3, r: 2 },
+            FaultSpec::Clustered {
+                f: 3,
+                r: 2,
+                centers: CenterBias::Uniform,
+            },
             FaultSpec::HeavyTailed { p: 0.1, alpha: 1.5 },
+            FaultSpec::Targeted {
+                frac: 0.1,
+                by: TargetBy::DegreeAdaptive,
+            },
+            FaultSpec::Clustered {
+                f: 3,
+                r: 2,
+                centers: CenterBias::Degree,
+            },
         ];
         const CHAIN_CENTERS: usize = 5; // index into `faults`
         let plain = Scenario::Plain(Family::Torus { dims: vec![6, 6] });
@@ -803,8 +816,9 @@ algorithms = ["span"]
                 Algo::Prune | Algo::ExpansionCert => true,
                 Algo::Diameter | Algo::Routing | Algo::LoadBalance => true,
                 Algo::Prune2 => fi == 1,
-                // none, random, targeted (both orders), clustered,
-                // heavy-tailed — everything that reads as dilution
+                // none, random, targeted (all three orders),
+                // clustered (both center models), heavy-tailed —
+                // everything that reads as dilution
                 Algo::Percolation => fi <= 1 || fi >= 6,
                 Algo::Span | Algo::Dissect | Algo::CompactAudit => fi == 0,
                 Algo::Shatter | Algo::Embed => fi != 0,
@@ -895,7 +909,7 @@ algorithms = ["span"]
             r#"
 name = "registry"
 graphs = ["torus:8,8"]
-faults = ["targeted:0.2,by=core", "clustered:3,1", "heavy-tailed:0.1,1.5"]
+faults = ["targeted:0.2,by=core", "targeted:0.2,by=degree-adaptive", "clustered:3,1", "clustered:3,1,centers=degree", "heavy-tailed:0.1,1.5"]
 algorithms = ["shatter"]
 "#,
         )
@@ -907,7 +921,20 @@ algorithms = ["shatter"]
                     frac: 0.2,
                     by: TargetBy::Core
                 },
-                FaultSpec::Clustered { f: 3, r: 1 },
+                FaultSpec::Targeted {
+                    frac: 0.2,
+                    by: TargetBy::DegreeAdaptive
+                },
+                FaultSpec::Clustered {
+                    f: 3,
+                    r: 1,
+                    centers: CenterBias::Uniform
+                },
+                FaultSpec::Clustered {
+                    f: 3,
+                    r: 1,
+                    centers: CenterBias::Degree
+                },
                 FaultSpec::HeavyTailed { p: 0.1, alpha: 1.5 },
             ]
         );

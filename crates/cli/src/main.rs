@@ -67,8 +67,9 @@ graph SPEC: torus:16,16 | mesh:8,8,8 | hypercube:10 | butterfly:8 |
    derived: subdivided:200,4,8 (Thm 2.3 H_k) |
             overlay:2,256,churn=400[,sessions=pareto:1.5][,depart=degree] (§4 CAN)
 fault SPEC: none | random:p | random-exact:f | adversarial:f | degree:f |
-            chain-centers[:f] | targeted:frac[,by=degree|core] | clustered:f,r |
-            heavy-tailed:p,alpha       (the fx-faults registry grammar)";
+            chain-centers[:f] | targeted:frac[,by=degree|core|degree-adaptive] |
+            clustered:f,r[,centers=degree] | heavy-tailed:p,alpha
+                                       (the fx-faults registry grammar)";
 
 fn main() -> ExitCode {
     let parsed = match Args::parse(std::env::args().skip(1)) {

@@ -112,6 +112,13 @@ pub struct OverlayInfo {
     /// memoryless churn; grows past 1 under Pareto sessions as
     /// short-session peers wash out).
     pub mean_session: f64,
+    /// Highest zone degree reached at any point of growth + churn —
+    /// how hub-ish the overlay got under this churn history.
+    pub peak_degree: usize,
+    /// Incremental adjacency-link updates performed by the zone
+    /// engine over the whole history (the maintenance cost that
+    /// replaced the per-departure O(zones²) rescan).
+    pub adj_updates: u64,
 }
 
 impl Scenario {
@@ -295,6 +302,8 @@ impl Scenario {
                     vol_mean,
                     session_alpha: *sessions,
                     mean_session: ov.alive_session_mean(),
+                    peak_degree: ov.peak_degree(),
+                    adj_updates: ov.adj_updates(),
                 };
                 BuiltScenario {
                     net: Network::new(format!("can(d={dim},n={peers},churn={churn})"), graph),
@@ -388,6 +397,8 @@ mod tests {
         assert_eq!(info.joins + 1 - info.leaves, info.peers, "peer accounting");
         assert!(info.joins >= 48, "growth joins plus churn joins");
         assert!(info.vol_min > 0.0 && info.vol_max <= 1.0);
+        assert!(info.peak_degree >= 4, "a churned 2-D CAN grows hubs");
+        assert!(info.adj_updates > 0, "incremental engine did the work");
         assert!(
             (info.vol_mean * info.peers as f64 - 1.0).abs() < 1e-9,
             "zones tile the key space"

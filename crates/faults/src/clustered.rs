@@ -4,24 +4,75 @@
 //! (§2) bracket reality; measured failures are often *correlated but
 //! local* — a rack, a neighborhood, a cascade seeded at one point
 //! (Witthaut & Timme's nonlocal-failure line in PAPERS.md).
-//! [`ClusteredFaults`] models the local regime: `f` uniformly random
-//! centers each take down their radius-`r` BFS ball. This is exactly
-//! the adversarial-but-local shape Theorem 2.1's pruning handles
-//! best: each ball is a compact region whose boundary the prune can
-//! cut at cost proportional to its surface, not its volume.
+//! [`ClusteredFaults`] models the local regime: `f` random centers
+//! each take down their radius-`r` BFS ball. This is exactly the
+//! adversarial-but-local shape Theorem 2.1's pruning handles best:
+//! each ball is a compact region whose boundary the prune can cut at
+//! cost proportional to its surface, not its volume.
+//!
+//! Center placement is an axis of its own ([`CenterBias`]): uniform
+//! centers are the purely random regime, while degree-proportional
+//! centers (`centers=degree`) seed cascades where the network is
+//! densest — interpolating toward the targeted hub attacks without
+//! giving up the ball-local fault shape.
 
 use crate::model::FaultModel;
 use fx_graph::{CsrGraph, NodeId, NodeSet};
 use rand::{Rng, RngCore};
 
-/// `f` faulted BFS balls of radius `r` around uniform random centers
-/// (balls may overlap; radius 0 = the centers alone).
+/// How clustered-fault ball centers are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CenterBias {
+    /// Uniformly random centers.
+    Uniform,
+    /// Degree-proportional centers: a center is drawn with
+    /// probability proportional to its degree (a uniformly random
+    /// edge endpoint), so cascades start where the network is
+    /// densest.
+    Degree,
+}
+
+/// `f` faulted BFS balls of radius `r` around random centers (balls
+/// may overlap; radius 0 = the centers alone).
 #[derive(Debug, Clone, Copy)]
 pub struct ClusteredFaults {
     /// Number of fault balls.
     pub balls: usize,
     /// Ball radius in hops.
     pub radius: usize,
+    /// Center placement model.
+    pub centers: CenterBias,
+}
+
+impl ClusteredFaults {
+    /// Draws one ball center under the placement model. Degree bias
+    /// picks a uniform endpoint slot of the CSR adjacency (probability
+    /// ∝ degree), falling back to uniform on edgeless graphs.
+    fn draw_center(&self, g: &CsrGraph, rng: &mut dyn RngCore) -> NodeId {
+        let n = g.num_nodes();
+        match self.centers {
+            CenterBias::Uniform => rng.gen_range(0..n as NodeId),
+            CenterBias::Degree => {
+                let slots = 2 * g.num_edges();
+                if slots == 0 {
+                    return rng.gen_range(0..n as NodeId);
+                }
+                let mut t = rng.gen_range(0..slots);
+                // walk the degree sequence to the slot's owner; O(n)
+                // per draw, but f is small and this keeps the drawing
+                // order (and thus the sampled set) obviously
+                // deterministic per rng stream
+                for v in 0..n as NodeId {
+                    let d = g.degree(v);
+                    if t < d {
+                        return v;
+                    }
+                    t -= d;
+                }
+                unreachable!("slot index within 2m")
+            }
+        }
+    }
 }
 
 impl FaultModel for ClusteredFaults {
@@ -48,7 +99,7 @@ impl FaultModel for ClusteredFaults {
         let mut ball = NodeSet::empty(n);
         let mut queue: Vec<(NodeId, u32)> = Vec::new();
         for _ in 0..self.balls {
-            let center = rng.gen_range(0..n as NodeId);
+            let center = self.draw_center(g, rng);
             ball.clear();
             queue.clear();
             ball.insert(center);
@@ -71,7 +122,13 @@ impl FaultModel for ClusteredFaults {
     }
 
     fn name(&self) -> String {
-        format!("clustered(f={}, r={})", self.balls, self.radius)
+        match self.centers {
+            CenterBias::Uniform => format!("clustered(f={}, r={})", self.balls, self.radius),
+            CenterBias::Degree => format!(
+                "clustered(f={}, r={}, centers=degree)",
+                self.balls, self.radius
+            ),
+        }
     }
 }
 
@@ -82,15 +139,19 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
+    fn uniform(balls: usize, radius: usize) -> ClusteredFaults {
+        ClusteredFaults {
+            balls,
+            radius,
+            centers: CenterBias::Uniform,
+        }
+    }
+
     #[test]
     fn radius_zero_is_just_centers() {
         let g = generators::cycle(50);
         let mut rng = SmallRng::seed_from_u64(1);
-        let failed = ClusteredFaults {
-            balls: 5,
-            radius: 0,
-        }
-        .sample(&g, &mut rng);
+        let failed = uniform(5, 0).sample(&g, &mut rng);
         assert!(failed.len() <= 5, "at most 5 centers (may collide)");
         assert!(!failed.is_empty());
     }
@@ -100,11 +161,7 @@ mod tests {
         // a radius-r ball on a cycle is a 2r+1 arc
         let g = generators::cycle(100);
         let mut rng = SmallRng::seed_from_u64(2);
-        let failed = ClusteredFaults {
-            balls: 1,
-            radius: 3,
-        }
-        .sample(&g, &mut rng);
+        let failed = uniform(1, 3).sample(&g, &mut rng);
         assert_eq!(failed.len(), 7);
         // the arc is contiguous: removing it leaves one component
         let comps = fx_graph::components::components(&g, &failed.complement());
@@ -116,11 +173,7 @@ mod tests {
         let g = generators::path(10);
         let mut rng = SmallRng::seed_from_u64(3);
         // radius covers the whole path from any center
-        let failed = ClusteredFaults {
-            balls: 2,
-            radius: 10,
-        }
-        .sample(&g, &mut rng);
+        let failed = uniform(2, 10).sample(&g, &mut rng);
         assert_eq!(failed.len(), 10);
     }
 
@@ -128,11 +181,70 @@ mod tests {
     fn zero_balls_no_faults() {
         let g = generators::torus(&[6, 6]);
         let mut rng = SmallRng::seed_from_u64(4);
-        assert!(ClusteredFaults {
-            balls: 0,
-            radius: 3
+        assert!(uniform(0, 3).sample(&g, &mut rng).is_empty());
+    }
+
+    /// Same seed ⇒ same fault set, for both center models, across
+    /// repeated draws on the same hot mask.
+    #[test]
+    fn center_placement_is_seed_deterministic() {
+        // radius 0 keeps the set equal to the centers themselves, so
+        // distinct seeds must produce visibly distinct sets (a
+        // radius-1 hub ball would saturate the star and mask the
+        // difference)
+        let g = generators::star(40);
+        for centers in [CenterBias::Uniform, CenterBias::Degree] {
+            let model = ClusteredFaults {
+                balls: 4,
+                radius: 0,
+                centers,
+            };
+            let a = model.sample(&g, &mut SmallRng::seed_from_u64(9));
+            let b = model.sample(&g, &mut SmallRng::seed_from_u64(9));
+            assert_eq!(a, b, "{centers:?}: same seed must reproduce the set");
+            let c = model.sample(&g, &mut SmallRng::seed_from_u64(10));
+            assert_ne!(a, c, "{centers:?}: a different seed must move the set");
         }
-        .sample(&g, &mut rng)
-        .is_empty());
+    }
+
+    /// Degree bias concentrates cascade seeds on hubs: on a star,
+    /// half of all endpoint slots belong to the hub, so a few balls
+    /// almost surely include it — uniform placement almost surely
+    /// misses it.
+    #[test]
+    fn degree_bias_targets_hubs() {
+        let g = generators::star(200); // hub 0, degree 199
+        let biased = ClusteredFaults {
+            balls: 6,
+            radius: 0,
+            centers: CenterBias::Degree,
+        };
+        let mut hub_hits = 0;
+        for seed in 0..20 {
+            let failed = biased.sample(&g, &mut SmallRng::seed_from_u64(seed));
+            if failed.contains(0) {
+                hub_hits += 1;
+            }
+        }
+        // P(hub among 6 degree-biased draws) = 1 − 2^−6 ≈ 0.98 per
+        // trial; uniform placement would hit it w.p. ≈ 0.03
+        assert!(hub_hits >= 15, "hub hit only {hub_hits}/20 times");
+    }
+
+    /// Degree-biased centers on a regular graph are distribution-
+    /// identical to uniform in law, but the draw path differs; the
+    /// balls must still be genuine BFS balls.
+    #[test]
+    fn degree_biased_balls_are_still_local() {
+        let g = generators::cycle(100);
+        let model = ClusteredFaults {
+            balls: 1,
+            radius: 3,
+            centers: CenterBias::Degree,
+        };
+        let failed = model.sample(&g, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(failed.len(), 7, "radius-3 arc on a cycle");
+        let comps = fx_graph::components::components(&g, &failed.complement());
+        assert_eq!(comps.count(), 1);
     }
 }

@@ -39,7 +39,7 @@ pub mod targeted;
 pub use adversary::{
     BestOfAdversary, ChainCenterAdversary, DegreeAdversary, HyperplaneAdversary, SparseCutAdversary,
 };
-pub use clustered::ClusteredFaults;
+pub use clustered::{CenterBias, ClusteredFaults};
 pub use heavy_tailed::HeavyTailedFaults;
 pub use model::{apply_faults, FaultModel};
 pub use random::{random_edge_faults, ExactRandomFaults, RandomNodeFaults};

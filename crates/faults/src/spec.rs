@@ -14,7 +14,7 @@
 //! grids sweep fault intensity the way they sweep graph sizes.
 
 use crate::adversary::{ChainCenterAdversary, DegreeAdversary, SparseCutAdversary};
-use crate::clustered::ClusteredFaults;
+use crate::clustered::{CenterBias, ClusteredFaults};
 use crate::heavy_tailed::HeavyTailedFaults;
 use crate::model::FaultModel;
 use crate::random::{ExactRandomFaults, RandomNodeFaults};
@@ -66,12 +66,14 @@ pub enum FaultSpec {
         by: TargetBy,
     },
     /// Correlated local faults: `f` BFS balls of radius `r`
-    /// (`clustered:f,r`).
+    /// (`clustered:f,r[,centers=uniform|degree]`).
     Clustered {
         /// Number of fault balls.
         f: usize,
         /// Ball radius in hops.
         r: usize,
+        /// How ball centers are placed.
+        centers: CenterBias,
     },
     /// Pareto-weighted heterogeneous faults
     /// (`heavy-tailed:p,alpha`).
@@ -194,23 +196,25 @@ pub const REGISTRY: &[FaultModelInfo] = &[
     FaultModelInfo {
         name: "targeted",
         aliases: &[],
-        grammar: "targeted:frac[,by=degree|core]",
-        summary: "remove the top frac of nodes by degree or k-core order",
+        grammar: "targeted:frac[,by=degree|core|degree-adaptive]",
+        summary: "remove the top frac of nodes by degree, k-core, or adaptive-degree order",
         parse: |spec, param| {
             let mut pieces = param.split(',');
             let frac = prob_param(spec, pieces.next().unwrap_or(""))?;
             let by = match pieces.next().map(str::trim) {
                 None | Some("by=degree") => TargetBy::Degree,
                 Some("by=core") => TargetBy::Core,
+                Some("by=degree-adaptive") => TargetBy::DegreeAdaptive,
                 Some(other) => {
                     return Err(format!(
-                        "fault spec {spec:?}: expected by=degree|core, got {other:?}"
+                        "fault spec {spec:?}: expected by=degree|core|degree-adaptive, \
+                         got {other:?}"
                     ))
                 }
             };
             if pieces.next().is_some() {
                 return Err(format!(
-                    "fault spec {spec:?}: expected targeted:frac[,by=degree|core]"
+                    "fault spec {spec:?}: expected targeted:frac[,by=degree|core|degree-adaptive]"
                 ));
             }
             Ok(FaultSpec::Targeted { frac, by })
@@ -219,18 +223,28 @@ pub const REGISTRY: &[FaultModelInfo] = &[
     FaultModelInfo {
         name: "clustered",
         aliases: &[],
-        grammar: "clustered:f,r",
-        summary: "f correlated fault balls of BFS radius r",
+        grammar: "clustered:f,r[,centers=uniform|degree]",
+        summary: "f correlated fault balls of BFS radius r (optionally degree-biased centers)",
         parse: |spec, param| {
             let parts: Vec<&str> = param.split(',').collect();
-            if parts.len() != 2 {
+            if parts.len() < 2 || parts.len() > 3 {
                 return Err(format!(
-                    "fault spec {spec:?}: expected clustered:f,r (balls, radius)"
+                    "fault spec {spec:?}: expected clustered:f,r[,centers=uniform|degree]"
                 ));
             }
+            let centers = match parts.get(2).map(|s| s.trim()) {
+                None | Some("centers=uniform") => CenterBias::Uniform,
+                Some("centers=degree") => CenterBias::Degree,
+                Some(other) => {
+                    return Err(format!(
+                        "fault spec {spec:?}: expected centers=uniform|degree, got {other:?}"
+                    ))
+                }
+            };
             Ok(FaultSpec::Clustered {
                 f: usize_param(spec, parts[0])?,
                 r: usize_param(spec, parts[1])?,
+                centers,
             })
         },
     },
@@ -302,9 +316,10 @@ impl FaultSpec {
                 frac: *frac,
                 by: *by,
             }),
-            FaultSpec::Clustered { f, r } => Box::new(ClusteredFaults {
+            FaultSpec::Clustered { f, r, centers } => Box::new(ClusteredFaults {
                 balls: *f,
                 radius: *r,
+                centers: *centers,
             }),
             FaultSpec::HeavyTailed { p, alpha } => Box::new(HeavyTailedFaults {
                 p: *p,
@@ -371,7 +386,20 @@ impl fmt::Display for FaultSpec {
                 frac,
                 by: TargetBy::Core,
             } => write!(f, "targeted:{frac},by=core"),
-            FaultSpec::Clustered { f: n, r } => write!(f, "clustered:{n},{r}"),
+            FaultSpec::Targeted {
+                frac,
+                by: TargetBy::DegreeAdaptive,
+            } => write!(f, "targeted:{frac},by=degree-adaptive"),
+            FaultSpec::Clustered {
+                f: n,
+                r,
+                centers: CenterBias::Uniform,
+            } => write!(f, "clustered:{n},{r}"),
+            FaultSpec::Clustered {
+                f: n,
+                r,
+                centers: CenterBias::Degree,
+            } => write!(f, "clustered:{n},{r},centers=degree"),
             FaultSpec::HeavyTailed { p, alpha } => write!(f, "heavy-tailed:{p},{alpha}"),
         }
     }
@@ -421,12 +449,32 @@ pub fn expand_sweep(spec: &str) -> Result<Vec<FaultSpec>, String> {
             "fault sweep {spec:?}: need at least 2 steps (a 1-point sweep is just a value)"
         ));
     }
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(format!(
+            "fault sweep {spec:?}: range bounds must be finite numbers"
+        ));
+    }
+    if lo == hi {
+        return Err(format!(
+            "fault sweep {spec:?}: empty range ({lo}..{hi}) — every step would repeat the same \
+             value and collide on one journal key; use a plain `faults` entry instead"
+        ));
+    }
+    if lo > hi {
+        return Err(format!(
+            "fault sweep {spec:?}: reversed range ({lo} > {hi}) — write it as {hi}..{lo}"
+        ));
+    }
     let prefix = &spec[..start];
     (0..steps)
         .map(|i| {
             let v = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
             let v = (v * 1e9).round() / 1e9;
+            // re-anchor expanded-value errors (e.g. an out-of-range
+            // fraction) on the sweep the user wrote, not the
+            // generated point
             FaultSpec::parse(&format!("{prefix}{v}{suffix}"))
+                .map_err(|e| format!("fault sweep {spec:?}: expanded point invalid: {e}"))
         })
         .collect()
 }
@@ -452,7 +500,9 @@ mod tests {
             "chain-centers:12",
             "targeted:0.1",
             "targeted:0.1,by=core",
+            "targeted:0.1,by=degree-adaptive",
             "clustered:4,2",
+            "clustered:4,2,centers=degree",
             "heavy-tailed:0.05,1.5",
         ] {
             let f = FaultSpec::parse(s).unwrap();
@@ -469,6 +519,12 @@ mod tests {
                 .unwrap()
                 .to_string(),
             "targeted:0.1"
+        );
+        assert_eq!(
+            FaultSpec::parse("clustered:4,2,centers=uniform")
+                .unwrap()
+                .to_string(),
+            "clustered:4,2"
         );
     }
 
@@ -487,8 +543,11 @@ mod tests {
             "targeted:1.5",
             "targeted:0.1,by=entropy",
             "targeted:0.1,by=core,extra",
+            "targeted:0.1,by=adaptive",
             "clustered:4",
             "clustered:4,2,1",
+            "clustered:4,2,centers=core",
+            "clustered:4,2,centers=degree,extra",
             "clustered:x,2",
             "heavy-tailed:0.05",
             "heavy-tailed:0.05,1.0",
@@ -521,7 +580,9 @@ mod tests {
             "degree:2",
             "targeted:0.1",
             "targeted:0.1,by=core",
+            "targeted:0.1,by=degree-adaptive",
             "clustered:2,1",
+            "clustered:2,1,centers=degree",
             "heavy-tailed:0.1,1.5",
         ] {
             let model = FaultSpec::parse(s).unwrap().build(None).unwrap();
@@ -557,7 +618,9 @@ mod tests {
             "random-exact:7",
             "targeted:0.15",
             "targeted:0.15,by=core",
+            "targeted:0.15,by=degree-adaptive",
             "clustered:3,2",
+            "clustered:3,2,centers=degree",
             "heavy-tailed:0.2,1.5",
             "degree:5",
             "adversarial:3",
@@ -607,5 +670,38 @@ mod tests {
         ] {
             assert!(expand_sweep(bad).is_err(), "{bad}");
         }
+    }
+
+    /// Range edge cases must fail with a clear parse error naming the
+    /// sweep — never panic, never expand into colliding or invalid
+    /// grid points.
+    #[test]
+    fn sweep_range_edge_cases_error_clearly() {
+        // lo == hi: every step would alias the same journal key
+        let err = expand_sweep("targeted:0.2..0.2/3").unwrap_err();
+        assert!(err.contains("empty range"), "{err}");
+        assert!(err.contains("targeted:0.2..0.2/3"), "{err}");
+        // steps = 1: a one-point sweep is just a value
+        let err = expand_sweep("targeted:0.1..0.3/1").unwrap_err();
+        assert!(err.contains("at least 2 steps"), "{err}");
+        // reversed bounds: the error shows the fixed spelling
+        let err = expand_sweep("random:0.3..0.1/3").unwrap_err();
+        assert!(err.contains("reversed range"), "{err}");
+        assert!(err.contains("0.1..0.3"), "{err}");
+        // out-of-range fractions: the expanded point is invalid, and
+        // the error is anchored on the sweep the user wrote
+        let err = expand_sweep("targeted:0.5..1.5/3").unwrap_err();
+        assert!(err.contains("fault sweep"), "{err}");
+        assert!(err.contains("targeted:0.5..1.5/3"), "{err}");
+        assert!(err.contains("out of [0,1]"), "{err}");
+        // negative start is out of range the same way
+        let err = expand_sweep("random:-0.2..0.2/3").unwrap_err();
+        assert!(err.contains("out of [0,1]"), "{err}");
+        // non-finite bounds are rejected before expansion
+        let err = expand_sweep("random:0.1..inf/3").unwrap_err();
+        assert!(err.contains("finite"), "{err}");
+        // suffix parameters survive alongside the validation
+        let err = expand_sweep("targeted:0.3..0.1/3,by=core").unwrap_err();
+        assert!(err.contains("reversed range"), "{err}");
     }
 }

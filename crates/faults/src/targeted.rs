@@ -22,11 +22,17 @@ use rand::RngCore;
 /// Which structural ordering a targeted attack removes nodes in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TargetBy {
-    /// Highest current-degree first (static degrees; ties by id).
+    /// Highest intact-graph degree first (static degrees; ties by
+    /// id).
     Degree,
     /// Degeneracy (k-core) order: the nodes peeled *last* by the
     /// minimum-degree elimination — the innermost core — die first.
     Core,
+    /// Adaptive hub attack: highest *residual* degree first,
+    /// re-ranking after every removal — strictly stronger than the
+    /// static order on heterogeneous graphs (killing a hub demotes
+    /// its entourage before they are targeted).
+    DegreeAdaptive,
 }
 
 impl std::fmt::Display for TargetBy {
@@ -34,6 +40,7 @@ impl std::fmt::Display for TargetBy {
         f.write_str(match self {
             TargetBy::Degree => "degree",
             TargetBy::Core => "core",
+            TargetBy::DegreeAdaptive => "degree-adaptive",
         })
     }
 }
@@ -55,7 +62,40 @@ pub fn targeted_order(g: &CsrGraph, by: TargetBy) -> Vec<NodeId> {
             peel.reverse(); // innermost (last-peeled) first
             peel
         }
+        TargetBy::DegreeAdaptive => adaptive_degree_order(g),
     }
+}
+
+/// Maximum-residual-degree elimination: repeatedly remove the node of
+/// highest degree *in the remaining graph*, ties toward smaller ids.
+/// Lazy max-heap with stale-entry skipping: O((n + m) log n), and a
+/// pure function of the graph like the static orders.
+fn adaptive_degree_order(g: &CsrGraph) -> Vec<NodeId> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_nodes();
+    let mut deg: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+    // (degree, Reverse(id)): the heap max is the highest-degree node,
+    // smallest id on ties
+    let mut heap: BinaryHeap<(usize, Reverse<NodeId>)> = (0..n as NodeId)
+        .map(|v| (deg[v as usize], Reverse(v)))
+        .collect();
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while let Some((d, Reverse(v))) = heap.pop() {
+        if removed[v as usize] || deg[v as usize] != d {
+            continue; // stale entry (v already out, or demoted since push)
+        }
+        removed[v as usize] = true;
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if !removed[w as usize] {
+                deg[w as usize] -= 1;
+                heap.push((deg[w as usize], Reverse(w)));
+            }
+        }
+    }
+    order
 }
 
 /// Minimum-degree elimination (degeneracy) order via a lazy bucket
@@ -194,7 +234,7 @@ mod tests {
     fn orders_are_full_permutations_and_deterministic() {
         let mut rng = SmallRng::seed_from_u64(2);
         let g = generators::random_regular(40, 4, &mut rng);
-        for by in [TargetBy::Degree, TargetBy::Core] {
+        for by in [TargetBy::Degree, TargetBy::Core, TargetBy::DegreeAdaptive] {
             let a = targeted_order(&g, by);
             assert_eq!(a, targeted_order(&g, by), "{by}");
             let mut sorted = a.clone();
@@ -203,11 +243,39 @@ mod tests {
         }
     }
 
+    /// The adaptive order re-ranks after every removal: killing the
+    /// top hub demotes its entourage, so a rival hub overtakes it —
+    /// the static order cannot see that.
+    #[test]
+    fn adaptive_order_reranks_after_each_removal() {
+        // A (0): hub of degree 5 (B + 4 leaves); B (1): degree 4
+        // (A + 3 leaves); C (2): degree 4 (4 leaves, independent of A)
+        let mut b = fx_graph::GraphBuilder::new(14);
+        b.add_edge(0, 1);
+        for leaf in 3..7u32 {
+            b.add_edge(0, leaf);
+        }
+        for leaf in 7..10u32 {
+            b.add_edge(1, leaf);
+        }
+        for leaf in 10..14u32 {
+            b.add_edge(2, leaf);
+        }
+        let g = b.build();
+        let static_order = targeted_order(&g, TargetBy::Degree);
+        let adaptive = targeted_order(&g, TargetBy::DegreeAdaptive);
+        // static: A, then the B-vs-C degree tie breaks toward B's id
+        assert_eq!(&static_order[..3], &[0, 1, 2]);
+        // adaptive: removing A drops B to residual degree 3, so C's
+        // intact 4 overtakes it
+        assert_eq!(&adaptive[..3], &[0, 2, 1]);
+    }
+
     #[test]
     fn fraction_extremes() {
         let g = generators::cycle(30);
         let mut rng = SmallRng::seed_from_u64(3);
-        for by in [TargetBy::Degree, TargetBy::Core] {
+        for by in [TargetBy::Degree, TargetBy::Core, TargetBy::DegreeAdaptive] {
             assert_eq!(
                 TargetedFaults { frac: 0.0, by }.sample(&g, &mut rng).len(),
                 0

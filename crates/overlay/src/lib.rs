@@ -25,5 +25,5 @@
 pub mod bsp;
 pub mod overlay;
 
-pub use bsp::{Bsp, PeerId, Zone, ZoneBox};
+pub use bsp::{naive_adjacency, Bsp, NodeIdx, PeerId, Zone, ZoneBox};
 pub use overlay::{ChurnPolicy, Overlay};

@@ -6,8 +6,14 @@
 //! This module provides the steady state: a zone partition under
 //! join/leave churn whose neighbor graph is the object the paper's
 //! mesh results approximate (experiment E14 measures how well).
+//!
+//! Churn scales to 10k+ peers because the zone adjacency is maintained
+//! incrementally by [`crate::bsp`]: joins and leaves touch only the
+//! affected zone's neighborhood, per-zone degree is live, and
+//! `depart=degree` pops its victim from a maintained max-degree index
+//! instead of recomputing all O(zones²) box pairs per departure.
 
-use crate::bsp::{Bsp, PeerId, Zone};
+use crate::bsp::{Bsp, NodeIdx, PeerId};
 use fx_graph::{pareto_sample, CsrGraph, GraphBuilder};
 use rand::Rng;
 
@@ -52,6 +58,8 @@ pub struct Overlay {
     /// Per-peer session weight, indexed by peer id (1.0 = default;
     /// only Pareto-session churn assigns anything else).
     sessions: Vec<f64>,
+    /// Highest zone degree ever observed (growth + churn).
+    peak_degree: usize,
 }
 
 impl Overlay {
@@ -64,6 +72,7 @@ impl Overlay {
             joins: 0,
             leaves: 0,
             sessions: vec![1.0],
+            peak_degree: 0,
         }
     }
 
@@ -113,6 +122,7 @@ impl Overlay {
         self.next_peer += 1;
         self.bsp.split_at(&point, id);
         self.joins += 1;
+        self.track_peak();
         id
     }
 
@@ -134,15 +144,12 @@ impl Overlay {
     /// A uniformly random peer leaves (no-op when only one remains).
     /// Returns the departed peer id if any.
     pub fn leave<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<PeerId> {
-        let zones = self.bsp.zones();
-        if zones.len() <= 1 {
+        let n = self.bsp.num_zones();
+        if n <= 1 {
             return None;
         }
-        let victim = &zones[rng.gen_range(0..zones.len())];
-        let owner = victim.owner;
-        self.bsp.remove_leaf(victim.idx);
-        self.leaves += 1;
-        Some(owner)
+        let victim = self.bsp.leaf_at(rng.gen_range(0..n));
+        Some(self.depart(victim))
     }
 
     /// The session weight assigned to `peer` (1.0 unless Pareto
@@ -155,24 +162,28 @@ impl Overlay {
     /// churn this grows past 1 as short-session peers wash out
     /// (survivorship of the long-lived).
     pub fn alive_session_mean(&self) -> f64 {
-        let zones = self.bsp.zones();
-        if zones.is_empty() {
+        let n = self.bsp.num_zones();
+        if n == 0 {
             return 1.0;
         }
-        zones.iter().map(|z| self.session(z.owner)).sum::<f64>() / zones.len() as f64
+        self.bsp
+            .leaf_entries()
+            .map(|(_, owner, _)| self.session(owner))
+            .sum::<f64>()
+            / n as f64
     }
 
     /// [`Overlay::leave`] under a churn policy. With Pareto sessions
     /// and/or degree targeting the victim is *deterministic*: the
     /// peer maximizing `degree^t / session` (t = 1 iff targeted),
     /// i.e. the shortest-session / best-connected zone; ties go to
-    /// the earliest zone in tree order. The default policy keeps the
-    /// original uniform random departure (same stream).
+    /// the smallest (longest-lived) peer id. The default policy keeps
+    /// the original uniform random departure (same stream).
     ///
-    /// Degree targeting recomputes the zone adjacency from scratch —
-    /// O(zones²) box tests per departure, fine at campaign scales
-    /// (≤ a few hundred peers/ops) but quadratic-per-op; incremental
-    /// degree maintenance is a ROADMAP open item.
+    /// Degree targeting reads the incrementally maintained adjacency:
+    /// the pure `depart=degree` victim pops from the live max-degree
+    /// index (O(ties)), and session-weighted scoring is one O(peers)
+    /// pass over live degrees — no quadratic rescan anywhere.
     pub fn leave_with<R: Rng + ?Sized>(
         &mut self,
         policy: &ChurnPolicy,
@@ -181,24 +192,50 @@ impl Overlay {
         if policy.session_alpha.is_none() && !policy.degree_targeted {
             return self.leave(rng);
         }
-        let zones = self.bsp.zones();
-        if zones.len() <= 1 {
+        if self.bsp.num_zones() <= 1 {
             return None;
         }
-        let degrees = policy.degree_targeted.then(|| zone_degrees(&zones));
-        let mut best: Option<(f64, usize)> = None;
-        for (i, z) in zones.iter().enumerate() {
-            let degree = degrees.as_ref().map_or(1.0, |d| (d[i] + 1) as f64);
-            let score = degree / self.session(z.owner);
-            if best.is_none_or(|(b, _)| score > b) {
-                best = Some((score, i));
+        let victim = if policy.session_alpha.is_none() {
+            // pure degree targeting: the maintained index hands over
+            // the max-degree zone directly
+            self.bsp.max_degree_leaf().expect("≥ 2 zones")
+        } else {
+            let mut best: Option<(f64, PeerId, NodeIdx)> = None;
+            for (idx, owner, deg) in self.bsp.leaf_entries() {
+                let degree = if policy.degree_targeted {
+                    (deg + 1) as f64
+                } else {
+                    1.0
+                };
+                let score = degree / self.session(owner);
+                let better = match best {
+                    None => true,
+                    Some((s, o, _)) => score > s || (score == s && owner < o),
+                };
+                if better {
+                    best = Some((score, owner, idx));
+                }
             }
-        }
-        let (_, i) = best?;
-        let owner = zones[i].owner;
-        self.bsp.remove_leaf(zones[i].idx);
+            best?.2
+        };
+        Some(self.depart(victim))
+    }
+
+    /// Removes the zone at arena index `victim`, bumping counters and
+    /// the peak-degree watermark (merges can raise the max degree).
+    fn depart(&mut self, victim: NodeIdx) -> PeerId {
+        let owner = self.bsp.leaf_owner(victim);
+        self.bsp.remove_leaf(victim);
         self.leaves += 1;
-        Some(owner)
+        self.track_peak();
+        owner
+    }
+
+    fn track_peak(&mut self) {
+        let m = self.bsp.max_zone_degree();
+        if m > self.peak_degree {
+            self.peak_degree = m;
+        }
     }
 
     /// Applies `ops` churn operations: each is a join with probability
@@ -226,30 +263,53 @@ impl Overlay {
 
     /// Snapshots the neighbor graph: one node per peer (dense ids in
     /// zone order), edges between zones sharing a (d−1)-face (with
-    /// wraparound). Returns the graph and the peer id of each node.
+    /// wraparound). Built straight off the maintained adjacency in
+    /// O(peers + edges). Returns the graph and the peer id of each
+    /// node.
     pub fn graph(&self) -> (CsrGraph, Vec<PeerId>) {
-        let zones = self.bsp.zones();
-        let n = zones.len();
-        let mut b = GraphBuilder::new(n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if zones[i].bounds.touches(&zones[j].bounds) {
+        let n = self.bsp.num_zones();
+        let mut owners = Vec::with_capacity(n);
+        let mut b = GraphBuilder::with_capacity(n, n * 2 * self.bsp.d);
+        for (idx, owner, _) in self.bsp.leaf_entries() {
+            let i = self.bsp.position_of(idx);
+            owners.push(owner);
+            for &nb in self.bsp.leaf_neighbors(idx) {
+                let j = self.bsp.position_of(nb);
+                if i < j {
                     b.add_edge(i as u32, j as u32);
                 }
             }
         }
-        (b.build(), zones.iter().map(|z| z.owner).collect())
+        (b.build(), owners)
     }
 
-    /// The current zones (geometry + owners), in tree order.
+    /// The current zones (geometry + owners), in dense zone order.
     pub fn zones(&self) -> Vec<crate::bsp::Zone> {
         self.bsp.zones()
     }
 
-    /// Per-zone neighbor counts in zone (tree) order — the degrees of
-    /// [`Overlay::graph`] without building it.
+    /// Per-zone neighbor counts in dense zone order — the degrees of
+    /// [`Overlay::graph`], read off the maintained lists.
     pub fn zone_degrees(&self) -> Vec<usize> {
-        zone_degrees(&self.bsp.zones())
+        self.bsp.degrees()
+    }
+
+    /// The maintained adjacency in dense zone order (each row sorted)
+    /// — comparable against [`crate::bsp::naive_adjacency`].
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        self.bsp.adjacency()
+    }
+
+    /// Highest zone degree ever reached (growth + churn) — how hub-ish
+    /// the overlay got under this churn history.
+    pub fn peak_degree(&self) -> usize {
+        self.peak_degree
+    }
+
+    /// Lifetime count of incremental adjacency-link updates (the
+    /// engine's maintenance cost for this overlay's history).
+    pub fn adj_updates(&self) -> u64 {
+        self.bsp.adj_updates()
     }
 
     /// Zone volume statistics `(min, max, mean)` — CAN load balance.
@@ -263,25 +323,10 @@ impl Overlay {
     }
 }
 
-/// Neighbor counts of each zone (zones touching on a (d−1)-face, with
-/// wraparound) — the same adjacency [`Overlay::graph`] materializes.
-fn zone_degrees(zones: &[Zone]) -> Vec<usize> {
-    let n = zones.len();
-    let mut deg = vec![0usize; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if zones[i].bounds.touches(&zones[j].bounds) {
-                deg[i] += 1;
-                deg[j] += 1;
-            }
-        }
-    }
-    deg
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bsp::naive_adjacency;
     use fx_graph::components::is_connected;
     use fx_graph::NodeSet;
     use rand::rngs::SmallRng;
@@ -431,6 +476,37 @@ mod tests {
         for (i, &d) in degs.iter().enumerate() {
             assert_eq!(d, g.degree(i as u32), "zone {i}");
         }
+    }
+
+    #[test]
+    fn maintained_adjacency_matches_naive_after_policy_churn() {
+        for (alpha, targeted) in [(None, true), (Some(1.5), false), (Some(1.5), true)] {
+            let policy = ChurnPolicy {
+                join_bias: 0.45,
+                session_alpha: alpha,
+                degree_targeted: targeted,
+            };
+            let mut rng = SmallRng::seed_from_u64(77);
+            let mut o = Overlay::with_peers_policy(2, 40, &policy, &mut rng);
+            o.churn_with(120, &policy, &mut rng);
+            assert_eq!(
+                o.adjacency(),
+                naive_adjacency(&o.zones()),
+                "alpha={alpha:?} targeted={targeted}"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_degree_and_adj_updates_track_history() {
+        let mut rng = SmallRng::seed_from_u64(25);
+        let mut o = Overlay::with_peers(2, 50, &mut rng);
+        let current_max = *o.zone_degrees().iter().max().unwrap();
+        assert!(o.peak_degree() >= current_max);
+        let before = o.adj_updates();
+        o.churn(100, 0.5, &mut rng);
+        assert!(o.adj_updates() > before, "churn performs adjacency work");
+        assert!(o.peak_degree() >= *o.zone_degrees().iter().max().unwrap());
     }
 
     #[test]

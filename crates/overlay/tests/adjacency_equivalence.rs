@@ -1,0 +1,130 @@
+//! The incremental-adjacency equivalence property: after **any**
+//! random join/leave/churn sequence — across key-space dimensions 1–3,
+//! both departure policies (uniform random and degree-targeted), and
+//! with/without Pareto session weights — the incrementally maintained
+//! zone adjacency must be *exactly* equal to a from-scratch O(zones²)
+//! recomputation. The old pairwise-box-test path lives on as
+//! [`fx_overlay::naive_adjacency`], the oracle every state below is
+//! checked against.
+
+use fx_overlay::{naive_adjacency, ChurnPolicy, Overlay};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Asserts the maintained structure equals the oracle in every
+/// representation: dense adjacency rows, per-zone degrees, and the
+/// snapshot graph's edges.
+fn assert_matches_oracle(ov: &Overlay, context: &str) {
+    let zones = ov.zones();
+    let oracle = naive_adjacency(&zones);
+    assert_eq!(ov.adjacency(), oracle, "{context}: adjacency rows differ");
+    let degrees = ov.zone_degrees();
+    let oracle_degrees: Vec<usize> = oracle.iter().map(Vec::len).collect();
+    assert_eq!(degrees, oracle_degrees, "{context}: degrees differ");
+    // the snapshot graph is built from the maintained lists; its edge
+    // set must be the oracle's
+    let (g, _) = ov.graph();
+    let mut oracle_edges: Vec<(u32, u32)> = oracle
+        .iter()
+        .enumerate()
+        .flat_map(|(i, row)| {
+            row.iter()
+                .filter(move |&&j| i < j)
+                .map(move |&j| (i as u32, j as u32))
+        })
+        .collect();
+    oracle_edges.sort_unstable();
+    let mut edges: Vec<(u32, u32)> = g.edges().map(|e| (e.u, e.v)).collect();
+    edges.sort_unstable();
+    assert_eq!(edges, oracle_edges, "{context}: snapshot edges differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The headline equivalence: grow under a random policy, drive an
+    /// arbitrary op sequence through the policy-aware join/leave
+    /// paths, and compare against the O(zones²) oracle along the way
+    /// and at the end.
+    #[test]
+    fn incremental_adjacency_equals_rescan(
+        d in 1usize..=3,
+        seed in 0u64..100_000,
+        n0 in 2usize..32,
+        pareto in proptest::bool::ANY,
+        degree_targeted in proptest::bool::ANY,
+        ops in proptest::collection::vec(proptest::bool::ANY, 1..80),
+    ) {
+        let policy = ChurnPolicy {
+            join_bias: 0.5,
+            session_alpha: pareto.then_some(1.5),
+            degree_targeted,
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ov = Overlay::with_peers_policy(d, n0, &policy, &mut rng);
+        assert_matches_oracle(&ov, "after growth");
+        for (i, is_join) in ops.iter().enumerate() {
+            if *is_join {
+                ov.join_with(&policy, &mut rng);
+            } else if ov.num_peers() > 1 {
+                prop_assert!(ov.leave_with(&policy, &mut rng).is_some());
+            }
+            // checking every 7th op keeps the O(zones²) oracle cost
+            // bounded while still catching mid-sequence corruption
+            if i % 7 == 0 {
+                assert_matches_oracle(&ov, &format!("after op {i} (d={d}, seed={seed})"));
+            }
+        }
+        assert_matches_oracle(&ov, &format!("final (d={d}, seed={seed})"));
+    }
+
+    /// The bulk churn driver (the scenario layer's entry point) lands
+    /// on oracle-identical states too, for every policy combination.
+    #[test]
+    fn churn_with_lands_on_oracle_states(
+        d in 1usize..=3,
+        seed in 0u64..100_000,
+        ops in 1usize..150,
+        pareto in proptest::bool::ANY,
+        degree_targeted in proptest::bool::ANY,
+    ) {
+        let policy = ChurnPolicy {
+            join_bias: 0.4, // leave-heavy: exercise merges and handovers
+            session_alpha: pareto.then_some(2.0),
+            degree_targeted,
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ov = Overlay::with_peers_policy(d, 24, &policy, &mut rng);
+        ov.churn_with(ops, &policy, &mut rng);
+        assert_matches_oracle(
+            &ov,
+            &format!("churn_with(d={d}, seed={seed}, ops={ops}, pareto={pareto}, deg={degree_targeted})"),
+        );
+    }
+
+    /// Shrinking all the way down to a singleton and re-growing keeps
+    /// the structures consistent (the takeover/handover path is the
+    /// trickiest merge case).
+    #[test]
+    fn collapse_and_regrow_stays_consistent(
+        d in 1usize..=3,
+        seed in 0u64..50_000,
+        degree_targeted in proptest::bool::ANY,
+    ) {
+        let policy = ChurnPolicy {
+            degree_targeted,
+            ..ChurnPolicy::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ov = Overlay::with_peers_policy(d, 20, &policy, &mut rng);
+        while ov.num_peers() > 1 {
+            prop_assert!(ov.leave_with(&policy, &mut rng).is_some());
+            assert_matches_oracle(&ov, "during collapse");
+        }
+        for _ in 0..12 {
+            ov.join_with(&policy, &mut rng);
+        }
+        assert_matches_oracle(&ov, "after regrowth");
+    }
+}
