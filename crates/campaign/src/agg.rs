@@ -79,6 +79,7 @@ mod tests {
             seed: 0,
             metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             wall_ms: 1.0,
+            phase_ms: Vec::new(),
         }
     }
 

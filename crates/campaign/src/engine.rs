@@ -12,8 +12,11 @@ use crate::journal::Journal;
 use crate::spec::CampaignSpec;
 use fx_bench::{f as fmt_f, Table};
 use fx_graph::par::Pool;
+use fx_trace::{Span, Target};
 use std::collections::HashSet;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Execution options for one `run`/`resume` invocation.
 #[derive(Debug, Clone, Default)]
@@ -33,6 +36,9 @@ pub struct RunOptions {
     /// once; `campaign merge` recombines the journals. Totals and
     /// completeness are reported relative to the shard's slice.
     pub shard: Option<(usize, usize)>,
+    /// Print the per-phase timing breakdown (journaled `phase_ms`)
+    /// after the aggregates table.
+    pub timing: bool,
 }
 
 /// What a `run`/`resume`/`report` invocation did.
@@ -108,6 +114,7 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
 
     let executed = pending.len();
     if executed > 0 {
+        let run_span = Span::enter(Target::Campaign, "run");
         let writer = journal.appender()?;
         // one resolved thread count for the whole run (0 = the
         // FXNET_THREADS / core-count default)
@@ -117,18 +124,16 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
         // checkpoint granularity.
         let pool = Pool { threads, batch: 1 };
         let errors = parking_lot::Mutex::new(Vec::<String>::new());
+        let heartbeat = Heartbeat::new(executed);
         pool.for_each(
             executed,
             (
                 |i: usize| run_cell(spec, pending[i]),
                 |_first: usize, batch: Vec<(usize, CellResult)>| {
                     for (_, result) in batch {
+                        let timed_out = result.metric("timed_out").is_some();
                         if !opts.quiet {
-                            let timeout = if result.metric("timed_out").is_some() {
-                                " TIMEOUT"
-                            } else {
-                                ""
-                            };
+                            let timeout = if timed_out { " TIMEOUT" } else { "" };
                             eprintln!(
                                 "  done {:<48} [{:.0} ms]{timeout}",
                                 result.key, result.wall_ms
@@ -137,10 +142,12 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
                         if let Err(e) = writer.append(&result) {
                             errors.lock().push(e);
                         }
+                        heartbeat.cell_done(timed_out, opts.quiet);
                     }
                 },
             ),
         );
+        drop(run_span);
         let errors = errors.into_inner();
         if let Some(first) = errors.first() {
             return Err(format!(
@@ -153,7 +160,7 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
     // reload so aggregation sees exactly what is durable on disk,
     // including the cells this invocation just appended
     let results = journal.load()?;
-    finish(
+    let mut summary = finish(
         spec,
         opts,
         &journal,
@@ -161,7 +168,88 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
         cells.len(),
         skipped,
         executed,
-    )
+    )?;
+    summary
+        .artifacts
+        .extend(write_trace_artifacts(&output_dir(spec, opts), opts.quiet)?);
+    Ok(summary)
+}
+
+/// Live stderr progress: a rate/ETA/timeout line every ~2 s while
+/// cells complete (suppressed by `--quiet`, like the per-cell lines).
+struct Heartbeat {
+    total: usize,
+    done: AtomicUsize,
+    timeouts: AtomicUsize,
+    started: Instant,
+    last_print: parking_lot::Mutex<Instant>,
+}
+
+impl Heartbeat {
+    fn new(total: usize) -> Heartbeat {
+        Heartbeat {
+            total,
+            done: AtomicUsize::new(0),
+            timeouts: AtomicUsize::new(0),
+            started: Instant::now(),
+            last_print: parking_lot::Mutex::new(Instant::now()),
+        }
+    }
+
+    fn cell_done(&self, timed_out: bool, quiet: bool) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if timed_out {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        if quiet || done == self.total {
+            return; // the final state is reported by the summary table
+        }
+        let mut last = self.last_print.lock();
+        if last.elapsed().as_secs_f64() < 2.0 {
+            return;
+        }
+        *last = Instant::now();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = done as f64 / elapsed.max(1e-9);
+        let eta = (self.total - done) as f64 / rate.max(1e-9);
+        let timeouts = self.timeouts.load(Ordering::Relaxed);
+        eprintln!(
+            "  progress {done}/{} cells ({rate:.1} cells/s, ETA {eta:.0} s, {timeouts} timeouts)",
+            self.total
+        );
+    }
+}
+
+/// When any trace target is enabled, drains the collected telemetry
+/// into `trace.jsonl` and `trace.chrome.json` under `dir` and returns
+/// their paths (empty when tracing is off — the sink files are only
+/// artifacts of traced runs).
+fn write_trace_artifacts(dir: &std::path::Path, quiet: bool) -> Result<Vec<PathBuf>, String> {
+    if !Target::ALL.iter().copied().any(fx_trace::enabled) {
+        return Ok(Vec::new());
+    }
+    let snapshot = fx_trace::take_snapshot();
+    let jsonl_path = dir.join("trace.jsonl");
+    let chrome_path = dir.join("trace.chrome.json");
+    let mut jsonl = std::fs::File::create(&jsonl_path)
+        .map_err(|e| format!("cannot create {}: {e}", jsonl_path.display()))?;
+    fx_trace::write_jsonl(&snapshot, &mut jsonl)
+        .map_err(|e| format!("writing trace.jsonl: {e}"))?;
+    let mut chrome = std::fs::File::create(&chrome_path)
+        .map_err(|e| format!("cannot create {}: {e}", chrome_path.display()))?;
+    fx_trace::write_chrome(&snapshot, &mut chrome)
+        .map_err(|e| format!("writing trace.chrome.json: {e}"))?;
+    if !quiet {
+        eprintln!(
+            "trace: {} spans, {} counters, {} histograms -> {}, {}",
+            snapshot.spans.len(),
+            snapshot.counters.len(),
+            snapshot.hists.len(),
+            jsonl_path.display(),
+            chrome_path.display()
+        );
+    }
+    Ok(vec![jsonl_path, chrome_path])
 }
 
 /// Aggregates the journal and writes artifacts without executing
@@ -208,6 +296,9 @@ fn finish(
     std::fs::write(&json_path, aggregates_json(&aggregates).to_string_pretty())
         .map_err(|e| format!("writing JSON: {e}"))?;
 
+    if opts.timing {
+        timing_table(spec, results).print();
+    }
     if !opts.quiet {
         aggregates_table(spec, &aggregates, true).print();
         if !complete {
@@ -228,6 +319,61 @@ fn finish(
         aggregates,
         artifacts: vec![journal.path().to_path_buf(), csv_path, json_path],
     })
+}
+
+/// Per-phase breakdown of the journaled `phase_ms` records: one row
+/// per phase (in first-seen journal order) plus the phase sum and the
+/// journaled wall total — the last two rows are what the acceptance
+/// check compares (phases must cover ~all of wall).
+fn timing_table(spec: &CampaignSpec, results: &[CellResult]) -> Table {
+    // (name, cells, total_ms), ordered by first appearance so the
+    // build → fault → algo pipeline order is preserved
+    let mut phases: Vec<(String, usize, f64)> = Vec::new();
+    for r in results {
+        for (name, ms) in &r.phase_ms {
+            match phases.iter_mut().find(|(n, _, _)| n == name) {
+                Some(p) => {
+                    p.1 += 1;
+                    p.2 += ms;
+                }
+                None => phases.push((name.clone(), 1, *ms)),
+            }
+        }
+    }
+    let wall_total: f64 = results.iter().map(|r| r.wall_ms).sum();
+    let mut table = Table::new(
+        &format!("{}-timing", spec.name),
+        "per-phase wall time from journaled phase_ms",
+        &["phase", "cells", "total_s", "mean_ms", "wall_pct"],
+    );
+    let pct = |ms: f64| fmt_f(100.0 * ms / wall_total.max(1e-12));
+    let mut covered = 0.0;
+    for (name, cells, total_ms) in &phases {
+        covered += total_ms;
+        table.row(vec![
+            name.clone(),
+            cells.to_string(),
+            fmt_f(total_ms / 1e3),
+            fmt_f(total_ms / (*cells).max(1) as f64),
+            pct(*total_ms),
+        ]);
+    }
+    let n = results.len();
+    table.row(vec![
+        "(phases)".to_string(),
+        n.to_string(),
+        fmt_f(covered / 1e3),
+        fmt_f(covered / n.max(1) as f64),
+        pct(covered),
+    ]);
+    table.row(vec![
+        "(wall)".to_string(),
+        n.to_string(),
+        fmt_f(wall_total / 1e3),
+        fmt_f(wall_total / n.max(1) as f64),
+        "100".to_string(),
+    ]);
+    table
 }
 
 /// Renders aggregates in long form: one row per `(group, metric)`.

@@ -35,9 +35,10 @@ use fx_percolation::{
 use fx_prune::bounds::{theorem23_component_bound, theorem25_removal_bound};
 use fx_prune::{compactify, dissect, is_compact, prune, theorem34_max_epsilon, CutStrategy};
 use fx_span::span::{exact_span_cancelable, sampled_span_cancelable};
+use fx_trace::{Span, Target};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::time::Duration;
+use rand::{Rng, RngCore, SeedableRng};
+use std::time::{Duration, Instant};
 
 /// The journaled outcome of one executed cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,8 +60,15 @@ pub struct CellResult {
     /// Wall-clock milliseconds (informational; never aggregated, so
     /// journals from different machines aggregate identically).
     pub wall_ms: f64,
+    /// Per-phase wall milliseconds (`build` → `fault` → `algo`).
+    /// Informational like `wall_ms`: journaled for `report --timing`,
+    /// never aggregated, and recorded even with tracing disabled (the
+    /// cost is three clock reads per cell).
+    pub phase_ms: Vec<(String, f64)>,
 }
 
+// `phase_ms` is in the `default` block so journals written before it
+// existed still load (resume must never orphan paid-for cells).
 fx_json::impl_json_object!(CellResult {
     key,
     graph,
@@ -70,6 +78,8 @@ fx_json::impl_json_object!(CellResult {
     seed,
     metrics,
     wall_ms
+} default {
+    phase_ms
 });
 
 impl CellResult {
@@ -87,13 +97,49 @@ impl CellResult {
     }
 }
 
+std::thread_local! {
+    /// Nanoseconds spent inside fault-model sampling by the cell
+    /// currently running on this thread (cells run wholly on one
+    /// thread; reset at cell start, read at cell end). This is how
+    /// the `fault` phase is attributed even though sampling happens
+    /// inside the per-algorithm code paths.
+    static FAULT_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Decorator accumulating sampling time into [`FAULT_NS`] (and a
+/// `faults`-target span when tracing is enabled).
+struct TimedModel<'a>(Box<dyn FaultModel + 'a>);
+
+impl TimedModel<'_> {
+    fn timed<T>(&self, f: impl FnOnce(&dyn FaultModel) -> T) -> T {
+        let _span = Span::enter(Target::Faults, "sample");
+        let t0 = Instant::now();
+        let out = f(self.0.as_ref());
+        FAULT_NS.with(|c| c.set(c.get() + t0.elapsed().as_nanos() as u64));
+        out
+    }
+}
+
+impl FaultModel for TimedModel<'_> {
+    fn sample(&self, g: &fx_graph::CsrGraph, rng: &mut dyn RngCore) -> NodeSet {
+        self.timed(|m| m.sample(g, rng))
+    }
+    fn sample_into(&self, g: &fx_graph::CsrGraph, rng: &mut dyn RngCore, out: &mut NodeSet) {
+        self.timed(|m| m.sample_into(g, rng, out))
+    }
+    fn name(&self) -> String {
+        self.0.name()
+    }
+}
+
 /// Builds the fault model for a cell through the `fx-faults`
 /// registry. Borrows the built scenario: the chain-center adversary
 /// needs the subdivision bookkeeping.
 fn fault_model<'a>(fault: &FaultSpec, built: &'a BuiltScenario) -> Box<dyn FaultModel + 'a> {
-    fault
+    let model = fault
         .build(built.sub.as_ref())
-        .expect("invalid fault × scenario point rejected at spec parse time")
+        .expect("invalid fault × scenario point rejected at spec parse time");
+    Box::new(TimedModel(model))
 }
 
 /// Prune threshold ε from the Theorem 2.1 `k` parameter.
@@ -132,15 +178,25 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
 /// past the deadline — is returned unmarked.
 pub fn run_cell_cancelable(spec: &CampaignSpec, cell: &Cell, token: &CancelToken) -> CellResult {
     let started = std::time::Instant::now();
+    let cell_span = Span::enter(Target::Cell, "cell");
+    let build_span = Span::enter(Target::Cell, "phase.build");
     let scenario = Scenario::from_spec(&cell.graph).expect("scenario validated at parse time");
     // Distinct derived streams: one for (randomized) scenario builds,
     // one for the algorithm, so adding randomness to one never
     // perturbs the other.
     let built = scenario.build(cell.seed ^ 0x6A09_E667_F3BC_C908);
+    drop(build_span);
+    let build_ms = started.elapsed().as_secs_f64() * 1e3;
     let net = &built.net;
     let mut rng = SmallRng::seed_from_u64(cell.seed);
     let params = &cell_params(spec, cell);
 
+    // Fault-model sampling happens inside the per-algorithm arms;
+    // the TimedModel decorator accumulates it here so the `fault`
+    // phase can be carved out of the algorithm time.
+    FAULT_NS.with(|c| c.set(0));
+    let algo_started = Instant::now();
+    let algo_span = Span::enter(Target::Cell, "phase.algo");
     let mut metrics: Vec<(String, f64)> = match cell.algo {
         Algo::Prune => {
             let model = fault_model(&cell.fault, &built);
@@ -319,6 +375,9 @@ pub fn run_cell_cancelable(spec: &CampaignSpec, cell: &Cell, token: &CancelToken
         Algo::Embed => embed_metrics(&built, params, cell, &mut rng, token),
     };
     metrics.extend(scenario_metrics(&built));
+    drop(algo_span);
+    let fault_ms = FAULT_NS.with(std::cell::Cell::get) as f64 / 1e6;
+    let algo_ms = algo_started.elapsed().as_secs_f64() * 1e3 - fault_ms;
     if token.was_observed() {
         // a cancellation point reacted to the fired budget, so work
         // was actually truncated: journal the cell as timed out (any
@@ -327,6 +386,7 @@ pub fn run_cell_cancelable(spec: &CampaignSpec, cell: &Cell, token: &CancelToken
         // noticing ran to completion and is NOT marked.
         metrics.push(("timed_out".to_string(), 1.0));
     }
+    drop(cell_span);
 
     CellResult {
         key: cell.key(),
@@ -337,6 +397,11 @@ pub fn run_cell_cancelable(spec: &CampaignSpec, cell: &Cell, token: &CancelToken
         seed: cell.seed,
         metrics,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        phase_ms: vec![
+            ("build".to_string(), build_ms),
+            ("fault".to_string(), fault_ms),
+            ("algo".to_string(), algo_ms.max(0.0)),
+        ],
     }
 }
 

@@ -199,6 +199,7 @@ mod tests {
             seed: 1,
             metrics: vec![("x".into(), x)],
             wall_ms: 0.5,
+            phase_ms: vec![("build".into(), 0.1), ("algo".into(), 0.4)],
         }
     }
 
@@ -287,6 +288,62 @@ mod tests {
         .unwrap();
         assert_eq!(summary.unique, 3);
         assert_eq!(out.load().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn journals_without_phase_ms_still_load() {
+        // a journal written before phase_ms existed — resume must not
+        // orphan its cells
+        let j = temp_journal("pre-phase-ms");
+        std::fs::create_dir_all(j.path().parent().unwrap()).unwrap();
+        let mut line = fx_json::to_string(&result("a", 1.0));
+        let cut = line.find(",\"phase_ms\"").unwrap();
+        line.truncate(cut);
+        line.push('}');
+        std::fs::write(j.path(), format!("{line}\n")).unwrap();
+        let loaded = j.load().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].key, "a");
+        assert!(loaded[0].phase_ms.is_empty());
+    }
+
+    #[test]
+    fn resume_survives_truncation_at_every_byte_of_the_last_record() {
+        let j = temp_journal("exhaustive-trunc");
+        let w = j.appender().unwrap();
+        w.append(&result("a", 1.0)).unwrap();
+        w.append(&result("b", 2.0)).unwrap();
+        drop(w);
+        let full = std::fs::read(j.path()).unwrap();
+        let last_start = full[..full.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|i| i + 1)
+            .unwrap();
+        // a kill mid-write can cut the file anywhere: sweep every
+        // prefix from losing record b's preceding newline through
+        // losing only b's trailing newline
+        for cut in (last_start - 1)..full.len() {
+            std::fs::write(j.path(), &full[..cut]).unwrap();
+            // load skips the torn tail, keeps everything before it
+            let loaded = j.load().unwrap();
+            let expect = if cut == full.len() - 1 { 2 } else { 1 };
+            assert_eq!(loaded.len(), expect, "cut={cut}");
+            // resume: the appender drops the torn tail (a complete
+            // but unterminated line is conservatively dropped too —
+            // its cell simply re-runs), and the journal stays
+            // parseable after new appends
+            let w = j.appender().unwrap();
+            w.append(&result("c", 3.0)).unwrap();
+            drop(w);
+            let keys: Vec<String> = j.load().unwrap().into_iter().map(|r| r.key).collect();
+            let expect_keys: Vec<&str> = if cut == last_start - 1 {
+                vec!["c"]
+            } else {
+                vec!["a", "c"]
+            };
+            assert_eq!(keys, expect_keys, "cut={cut}");
+        }
     }
 
     #[test]

@@ -49,17 +49,24 @@ commands:
   span       --graph SPEC [--samples N]         span (exact ≤ 20 nodes, else sampled)
   theory     --graph SPEC [--sigma S]           the paper's bounds for this network
   campaign   run|resume --spec FILE [--threads N] [--limit N] [--out DIR]
-                        [--shard I/M] [--quiet]
-             report     --spec FILE [--out DIR]
-             check      --spec FILE             parse + validate + expand, run nothing
+                        [--shard I/M] [--quiet] [--timing]
+             report     --spec FILE [--out DIR] [--timing]
+             check      --spec FILE             parse + validate + expand + cost
+                                                estimate, run nothing
              merge      --out FILE JOURNAL...
                                                 declarative scenario campaigns
                                                 (journaled, resumable, parallel;
                                                  --shard partitions cells across
                                                  machines, merge recombines the
-                                                 shard journals)
+                                                 shard journals; --timing prints
+                                                 the per-phase breakdown of the
+                                                 journaled phase_ms records)
 
 global:     --threads N   worker threads (or FXNET_THREADS; default: cores, ≤ 16)
+tracing:    FXNET_TRACE=target[=level],...  structured telemetry (targets: par,
+            campaign, cell, overlay, percolation, faults; `all`; level 2 adds
+            hot-path histograms). Traced campaign runs write trace.jsonl +
+            trace.chrome.json next to the journal.
 
 graph SPEC: torus:16,16 | mesh:8,8,8 | hypercube:10 | butterfly:8 |
             debruijn:10 | shuffle-exchange:10 | margulis:32 |
@@ -72,6 +79,7 @@ fault SPEC: none | random:p | random-exact:f | adversarial:f | degree:f |
                                        (the fx-faults registry grammar)";
 
 fn main() -> ExitCode {
+    fx_trace::init_from_env();
     let parsed = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
@@ -154,15 +162,32 @@ fn run_campaign(args: &Args) -> Result<(), String> {
             cells.len(),
             spec.replicates
         );
-        for grid in &spec.grids {
+        // rough cost estimate: cells × effective per-cell samples
+        // (the grid's override, else the campaign default), so users
+        // can size --shard / --threads before paying for a run
+        let mut total_work: u64 = 0;
+        for (gi, grid) in spec.grids.iter().enumerate() {
+            let eff = spec.params.with_overrides(&grid.overrides);
+            let grid_cells = cells.iter().filter(|c| c.grid == gi).count();
+            let work = grid_cells as u64 * eff.samples as u64;
+            total_work += work;
             outln!(
-                "  [{}] {} scenario(s) × {} fault(s) × {} algorithm(s)",
+                "  [{}] {} scenario(s) × {} fault(s) × {} algorithm(s) — {} cells × {} samples ≈ {} work units",
                 grid.label,
                 grid.graphs.len(),
                 grid.faults.len(),
-                grid.algorithms.len()
+                grid.algorithms.len(),
+                grid_cells,
+                eff.samples,
+                work
             );
         }
+        outln!(
+            "cost estimate: {} cells, ≈ {} work units (cells × samples; \
+             split across shards with --shard I/M)",
+            cells.len(),
+            total_work
+        );
         return Ok(());
     }
     let opts = RunOptions {
@@ -174,6 +199,7 @@ fn run_campaign(args: &Args) -> Result<(), String> {
         quiet: args.has_flag("quiet"),
         output: args.get("out").map(std::path::PathBuf::from),
         shard: args.get("shard").map(parse_shard).transpose()?,
+        timing: args.has_flag("timing"),
     };
     let summary = match action {
         // `resume` IS `run` — a run that finds journaled cells skips

@@ -35,6 +35,18 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use fx_trace::{Counter, Histogram, Span, Target};
+
+// Executor telemetry (`FXNET_TRACE=par` / `par=2`). Each site costs
+// one relaxed atomic load while tracing is disabled.
+static TRACE_JOBS: Counter = Counter::new(Target::Par, "jobs");
+static TRACE_CHUNKS: Counter = Counter::new(Target::Par, "chunks");
+static TRACE_ITEMS: Counter = Counter::new(Target::Par, "items");
+static TRACE_WORKER_JOINS: Counter = Counter::new(Target::Par, "worker_joins");
+static TRACE_QUEUE_DEPTH: Histogram = Histogram::new(Target::Par, "queue_depth");
+static TRACE_PARK_NS: Histogram = Histogram::new(Target::Par, "park_ns");
+static TRACE_CANCEL_POLL_NS: Histogram = Histogram::new(Target::Par, "cancel_poll_ns");
+
 /// Default worker count: `FXNET_THREADS` when set (≥ 1), otherwise
 /// available parallelism capped at 16.
 ///
@@ -291,10 +303,18 @@ unsafe fn participate_erased<H: ParJob>(data: *const (), slot: &JobSlot) {
         // token that fires after the last item can never be
         // "observed" — was_observed() stays a truncation signal.
         if let Some(token) = &slot.cancel {
-            if token.is_cancelled() {
+            if fx_trace::level(Target::Par) >= 2 {
+                let t0 = Instant::now();
+                let cancelled = token.is_cancelled();
+                TRACE_CANCEL_POLL_NS.record_always(t0.elapsed().as_nanos() as u64);
+                if cancelled {
+                    slot.drain();
+                }
+            } else if token.is_cancelled() {
                 slot.drain();
             }
         }
+        TRACE_CHUNKS.incr();
         let end = (start + slot.batch).min(slot.len);
         // make_local runs inside the catch too: a panicking init must
         // still account for the claimed chunk (no deadlock) and must
@@ -307,6 +327,7 @@ unsafe fn participate_erased<H: ParJob>(data: *const (), slot: &JobSlot) {
             slot.store_panic(payload);
             slot.drain();
         }
+        TRACE_ITEMS.add((end - start) as u64);
         slot.complete(end - start);
     }
 }
@@ -351,6 +372,8 @@ impl Executor {
             state.workers += 1;
         }
         state.queue.push(slot);
+        TRACE_JOBS.incr();
+        TRACE_QUEUE_DEPTH.record(state.queue.len() as u64);
         drop(state);
         self.work_available.notify_all();
     }
@@ -379,14 +402,23 @@ impl Executor {
                     if let Some(job) = claim_slot(&state.queue) {
                         break job;
                     }
-                    state = self.work_available.wait(state).unwrap();
+                    if fx_trace::enabled(Target::Par) {
+                        let t0 = Instant::now();
+                        state = self.work_available.wait(state).unwrap();
+                        TRACE_PARK_NS.record(t0.elapsed().as_nanos() as u64);
+                    } else {
+                        state = self.work_available.wait(state).unwrap();
+                    }
                 }
             };
+            TRACE_WORKER_JOINS.incr();
+            let busy = Span::enter(Target::Par, "worker_participate");
             // Safety: claim_slot acquired a participation token for
             // this worker, so the submitter cannot return — and `data`
             // cannot dangle — until the token is released below, after
             // the participation (and its local state's drop) finished.
             unsafe { (job.participate)(job.data, &job) };
+            drop(busy);
             job.complete(1); // release the participation token
         }
     }
@@ -470,12 +502,14 @@ fn run_job<H: ParJob>(
         panic: Mutex::new(None),
     });
     executor.submit(slot.clone(), threads - 1);
+    let job_span = Span::enter(Target::Par, "job");
     // The submitter is participant 0: it always drives its own job to
     // completion even if every worker is busy elsewhere, so parallel
     // sections can never deadlock on pool starvation.
     unsafe { (slot.participate)(slot.data, &slot) };
     slot.complete(1); // release the submitter's participation token
     slot.wait_done();
+    drop(job_span);
     executor.retire(slot.id);
     let payload = slot.panic.lock().unwrap().take();
     if let Some(payload) = payload {

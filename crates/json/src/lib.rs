@@ -700,16 +700,26 @@ impl<T: ToJson + ?Sized> ToJson for &T {
 /// Implements [`ToJson`]/[`FromJson`] for a plain struct with named
 /// fields, in serde's default shape: `{"field": value, ...}`.
 ///
+/// Fields listed in an optional trailing `default { ... }` block fall
+/// back to `Default::default()` when the key is absent — the
+/// back-compat hook for fields added to a type whose serialized form
+/// already exists on disk (e.g. journal records from an older build).
+///
 /// ```ignore
 /// fx_json::impl_json_object!(Point { x, y });
+/// fx_json::impl_json_object!(Record { key, value } default { notes });
 /// ```
 #[macro_export]
 macro_rules! impl_json_object {
     ($ty:ident { $($field:ident),+ $(,)? }) => {
+        $crate::impl_json_object!($ty { $($field),+ } default {});
+    };
+    ($ty:ident { $($field:ident),+ $(,)? } default { $($dfield:ident),* $(,)? }) => {
         impl $crate::ToJson for $ty {
             fn to_json(&self) -> $crate::Json {
                 $crate::Json::Obj(vec![
                     $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                    $((stringify!($dfield).to_string(), $crate::ToJson::to_json(&self.$dfield)),)*
                 ])
             }
         }
@@ -725,6 +735,14 @@ macro_rules! impl_json_object {
                             format!("{}.{}: {}", stringify!($ty), stringify!($field), e)
                         })?
                     },)+
+                    $($dfield: {
+                        match v.get(stringify!($dfield)) {
+                            Some(f) => $crate::FromJson::from_json(f).map_err(|e| {
+                                format!("{}.{}: {}", stringify!($ty), stringify!($dfield), e)
+                            })?,
+                            None => Default::default(),
+                        }
+                    },)*
                 })
             }
         }
@@ -887,6 +905,32 @@ mod tests {
         assert!(text.contains("null"), "{text}");
         let back: Demo = from_str(&text).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[derive(Debug, PartialEq, Default)]
+    struct Versioned {
+        key: String,
+        notes: Vec<(String, f64)>,
+    }
+    impl_json_object!(Versioned { key } default { notes });
+
+    #[test]
+    fn object_default_fields_tolerate_absent_keys() {
+        // a document written before `notes` existed still loads
+        let old: Versioned = from_str(r#"{"key":"a"}"#).unwrap();
+        assert_eq!(old.key, "a");
+        assert!(old.notes.is_empty());
+        // round-trip serializes and restores the field normally
+        let full = Versioned {
+            key: "b".into(),
+            notes: vec![("n".into(), 1.5)],
+        };
+        let text = to_string(&full);
+        assert!(text.contains("\"notes\""), "{text}");
+        assert_eq!(from_str::<Versioned>(&text).unwrap(), full);
+        // present-but-wrong-type is still a loud error
+        let err = from_str::<Versioned>(r#"{"key":"c","notes":7}"#).unwrap_err();
+        assert!(err.contains("Versioned.notes"), "{err}");
     }
 
     #[test]

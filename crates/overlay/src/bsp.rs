@@ -20,6 +20,14 @@
 //! recompute-from-scratch path alive as the equivalence oracle the
 //! property tests check every incremental state against.
 
+use fx_trace::{Histogram, Target};
+
+// Per-operation link-update distributions (`FXNET_TRACE=overlay`):
+// how many adjacency links one split / one merge rewrites. One
+// relaxed atomic load per operation when tracing is off.
+static TRACE_SPLIT_LINKS: Histogram = Histogram::new(Target::Overlay, "split_links");
+static TRACE_MERGE_LINKS: Histogram = Histogram::new(Target::Overlay, "merge_links");
+
 /// Arena index of a tree node.
 pub type NodeIdx = usize;
 
@@ -412,6 +420,7 @@ impl Bsp {
         lo_n.push(hi_child);
         hi_n.push(lo_child);
         self.adj_updates += (lo_n.len() + hi_n.len()) as u64;
+        TRACE_SPLIT_LINKS.record((lo_n.len() + hi_n.len()) as u64);
         self.register_leaf(lo_child, lo_n);
         self.register_leaf(hi_child, hi_n);
         // `leaf` is now an internal node with two leaf children
@@ -505,6 +514,7 @@ impl Bsp {
             }
         }
         self.adj_updates += merged.len() as u64;
+        TRACE_MERGE_LINKS.record(merged.len() as u64);
         self.register_leaf(p, merged);
         // p turning into a leaf may complete a sibling-leaf pair one
         // level up

@@ -15,8 +15,14 @@ use crate::sample::{gamma_site_with, sample_alive_nodes_into};
 use fx_graph::par::{par_map_init, resolve_threads, CancelToken};
 use fx_graph::stats::Welford;
 use fx_graph::{CsrGraph, NodeSet, Scratch};
+use fx_trace::{Histogram, Target};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+// Per-trial duration of the direct-resampling estimator
+// (`FXNET_TRACE=percolation=2`; the sweep estimators are timed in
+// `newman_ziff`). One relaxed load per trial when off.
+static TRACE_TRIAL_NS: Histogram = Histogram::new(Target::Percolation, "mc_trial_ns");
 
 /// Mean/σ pair for a measured quantity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,9 +107,14 @@ impl MonteCarlo {
         let n = g.num_nodes();
         let base = self.base_seed;
         let samples = par_map_init(self.trials, self.threads(), TrialScratch::new, |ts, i| {
+            let t0 = (fx_trace::level(Target::Percolation) >= 2).then(std::time::Instant::now);
             let mut rng = SmallRng::seed_from_u64(trial_seed(base, i));
             sample_alive_nodes_into(n, keep, &mut rng, &mut ts.alive);
-            gamma_site_with(g, &ts.alive, &mut ts.scratch)
+            let gamma = gamma_site_with(g, &ts.alive, &mut ts.scratch);
+            if let Some(t0) = t0 {
+                TRACE_TRIAL_NS.record_always(t0.elapsed().as_nanos() as u64);
+            }
+            gamma
         });
         Stat::from_samples(&samples)
     }

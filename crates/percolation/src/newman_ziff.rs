@@ -11,8 +11,15 @@
 
 use fx_graph::unionfind::UnionFind;
 use fx_graph::{CsrGraph, NodeId};
+use fx_trace::{Histogram, Target};
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+// Sweep-duration distributions (`FXNET_TRACE=percolation`). One
+// relaxed atomic load per sweep when tracing is off; one clock pair
+// per sweep (amortized over an O(n α(n)) kernel) when on.
+static TRACE_SITE_SWEEP_NS: Histogram = Histogram::new(Target::Percolation, "site_sweep_ns");
+static TRACE_BOND_SWEEP_NS: Histogram = Histogram::new(Target::Percolation, "bond_sweep_ns");
 
 /// Reusable buffers for Newman–Ziff sweeps: one per Monte-Carlo
 /// worker, so a 10k-trial curve allocates O(threads) arenas instead
@@ -78,6 +85,7 @@ impl SweepScratch {
     /// The site-sweep kernel: inserts `self.order` one node at a
     /// time, maintaining the largest cluster with union–find.
     fn site_run(&mut self, g: &CsrGraph) -> &[u32] {
+        let t0 = fx_trace::enabled(Target::Percolation).then(std::time::Instant::now);
         let n = g.num_nodes();
         self.occupied.clear();
         self.occupied.resize(n, false);
@@ -98,6 +106,9 @@ impl SweepScratch {
             largest = largest.max(size);
             self.curve.push(largest);
         }
+        if let Some(t0) = t0 {
+            TRACE_SITE_SWEEP_NS.record_always(t0.elapsed().as_nanos() as u64);
+        }
         &self.curve
     }
 }
@@ -115,6 +126,7 @@ pub fn bond_sweep_with<'s, R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &'s mut SweepScratch,
 ) -> &'s [u32] {
+    let t0 = fx_trace::enabled(Target::Percolation).then(std::time::Instant::now);
     let n = g.num_nodes();
     scratch.edges.clear();
     scratch.edges.extend(g.edges().map(|e| (e.u, e.v)));
@@ -130,6 +142,9 @@ pub fn bond_sweep_with<'s, R: Rng + ?Sized>(
         let size = uf.component_size(u) as u32;
         largest = largest.max(size);
         scratch.curve.push(largest);
+    }
+    if let Some(t0) = t0 {
+        TRACE_BOND_SWEEP_NS.record_always(t0.elapsed().as_nanos() as u64);
     }
     &scratch.curve
 }

@@ -17,10 +17,17 @@
 //!   per-bench mean/median/σ/MAD into `results/BENCH_e2e.json` at the
 //!   workspace root (override with `FX_BENCH_JSON`), together with
 //!   the resolved thread count — the repo's perf-trajectory record;
-//! * **baseline regression detection**: the previous ledger contents
-//!   are the baseline, and with `FX_BENCH_FAIL_RATIO=R` set the run
-//!   exits non-zero when any bench's median regresses more than `R`×
-//!   (CI's bench-smoke gate).
+//! * **per-machine baselines** (schema `fx-bench-e2e/2`): results are
+//!   stored under a host fingerprint (hostname + CPU model + core
+//!   count), so a laptop run never poisons the CI runner's baseline
+//!   and vice versa; the top-level `benches`/`threads` fields mirror
+//!   the current machine's entries for v1 tooling;
+//! * **baseline regression detection**: the previous ledger entry for
+//!   *this machine* is the baseline (falling back to the top-level
+//!   mirror, cross-machine, when this machine has never recorded),
+//!   and with `FX_BENCH_FAIL_RATIO=R` set the run exits non-zero when
+//!   any bench's median regresses more than `R`× (CI's bench-smoke
+//!   gate).
 //!
 //! `FX_BENCH_FAST=1` shrinks the warm-up and measurement windows
 //! (~10× shorter run) for smoke jobs; statistics fields are computed
@@ -407,25 +414,120 @@ fn stats_to_json(s: &BenchStats) -> fx_json::Json {
     ])
 }
 
-/// Parsed previous ledger: baseline `(id, median_s)` pairs, the
-/// thread count it was recorded at, and the raw entries for merging.
-struct Ledger {
-    baseline: Vec<(String, f64)>,
+/// Identity of the machine the benches run on. Fingerprint = FNV-1a
+/// over hostname, CPU model, and core count — stable across runs on
+/// one box, distinct across boxes, meaningless across reinstalls
+/// (which is fine: a reinstalled machine *should* re-baseline).
+struct HostId {
+    fingerprint: String,
+    host: String,
+    cpu: String,
+}
+
+fn fnv1a64(data: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in data.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn host_id() -> &'static HostId {
+    static ID: OnceLock<HostId> = OnceLock::new();
+    ID.get_or_init(|| {
+        let host = std::fs::read_to_string("/proc/sys/kernel/hostname")
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .or_else(|| std::env::var("HOSTNAME").ok())
+            .unwrap_or_else(|| "unknown-host".to_string());
+        let cpu = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|text| {
+                text.lines().find_map(|l| {
+                    let (key, value) = l.split_once(':')?;
+                    (key.trim() == "model name").then(|| value.trim().to_string())
+                })
+            })
+            .unwrap_or_else(|| "unknown-cpu".to_string());
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let fingerprint = format!("{:016x}", fnv1a64(&format!("{host}\x1f{cpu}\x1f{cores}")));
+        HostId {
+            fingerprint,
+            host,
+            cpu,
+        }
+    })
+}
+
+/// One machine's slice of the ledger.
+#[derive(Clone)]
+struct MachineRecord {
+    host: String,
+    cpu: String,
     threads: Option<u64>,
     entries: Vec<(String, fx_json::Json)>,
+}
+
+/// Parsed previous ledger: per-machine records keyed by fingerprint,
+/// plus the v1-compatible top-level mirror (the whole ledger, for v1
+/// files; the last writer's slice, for v2 files).
+struct Ledger {
+    machines: Vec<(String, MachineRecord)>,
+    top_threads: Option<u64>,
+    top_entries: Vec<(String, fx_json::Json)>,
 }
 
 impl Ledger {
     fn empty() -> Ledger {
         Ledger {
-            baseline: Vec::new(),
-            threads: None,
-            entries: Vec::new(),
+            machines: Vec::new(),
+            top_threads: None,
+            top_entries: Vec::new(),
         }
+    }
+
+    fn machine(&self, fingerprint: &str) -> Option<&MachineRecord> {
+        self.machines
+            .iter()
+            .find(|(fp, _)| fp == fingerprint)
+            .map(|(_, m)| m)
     }
 }
 
+/// `(id, median_s)` baseline pairs from raw bench entries.
+fn medians(entries: &[(String, fx_json::Json)]) -> Vec<(String, f64)> {
+    use fx_json::Json;
+    entries
+        .iter()
+        .filter_map(|(id, b)| {
+            b.get("median_s")
+                .and_then(Json::as_f64)
+                .map(|m| (id.clone(), m))
+        })
+        .collect()
+}
+
+fn parse_benches(json: Option<&fx_json::Json>) -> Vec<(String, fx_json::Json)> {
+    use fx_json::Json;
+    let Some(Json::Arr(benches)) = json else {
+        return Vec::new();
+    };
+    benches
+        .iter()
+        .filter_map(|b| {
+            let id = b.get("id").and_then(Json::as_str)?;
+            Some((id.to_string(), b.clone()))
+        })
+        .collect()
+}
+
 /// Reads and parses the ledger once (empty on absence / parse error).
+/// Understands both v1 (flat `benches`) and v2 (`machines` map)
+/// documents.
 fn load_ledger(path: &std::path::Path) -> Ledger {
     use fx_json::Json;
     let Ok(text) = std::fs::read_to_string(path) else {
@@ -434,29 +536,32 @@ fn load_ledger(path: &std::path::Path) -> Ledger {
     let Ok(json) = Json::parse(&text) else {
         return Ledger::empty();
     };
-    let threads = json.get("threads").and_then(Json::as_u64);
-    let Some(Json::Arr(benches)) = json.get("benches") else {
-        return Ledger {
-            baseline: Vec::new(),
-            threads,
-            entries: Vec::new(),
-        };
-    };
-    let mut baseline = Vec::new();
-    let mut entries = Vec::new();
-    for b in benches {
-        let Some(id) = b.get("id").and_then(Json::as_str) else {
-            continue;
-        };
-        if let Some(median) = b.get("median_s").and_then(Json::as_f64) {
-            baseline.push((id.to_string(), median));
+    let mut machines = Vec::new();
+    if let Some(Json::Obj(map)) = json.get("machines") {
+        for (fp, m) in map {
+            machines.push((
+                fp.clone(),
+                MachineRecord {
+                    host: m
+                        .get("host")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    cpu: m
+                        .get("cpu")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    threads: m.get("threads").and_then(Json::as_u64),
+                    entries: parse_benches(m.get("benches")),
+                },
+            ));
         }
-        entries.push((id.to_string(), b.clone()));
     }
     Ledger {
-        baseline,
-        threads,
-        entries,
+        machines,
+        top_threads: json.get("threads").and_then(Json::as_u64),
+        top_entries: parse_benches(json.get("benches")),
     }
 }
 
@@ -475,37 +580,91 @@ pub fn finalize(manifest_dir: &str) {
     }
     let path = ledger_path(manifest_dir);
     let ledger = load_ledger(&path);
+    let hid = host_id();
 
-    // merge by id: this run's entries replace the previous ledger's,
-    // other binaries' entries survive
-    let mut merged = ledger.entries.clone();
+    // merge by id into *this machine's* record: this run's entries
+    // replace the previous ones, other binaries' entries survive. A
+    // v1 ledger (no machines map) migrates its flat benches under
+    // this machine's fingerprint.
+    let mut mine = match ledger.machine(&hid.fingerprint) {
+        Some(m) => m.entries.clone(),
+        None if ledger.machines.is_empty() => ledger.top_entries.clone(),
+        None => Vec::new(),
+    };
     for s in &results {
         let entry = stats_to_json(s);
-        match merged.iter_mut().find(|(id, _)| id == &s.id) {
+        match mine.iter_mut().find(|(id, _)| id == &s.id) {
             Some((_, slot)) => *slot = entry,
-            None => merged.push((s.id.clone(), entry)),
+            None => mine.push((s.id.clone(), entry)),
         }
     }
-    merged.sort_by(|a, b| a.0.cmp(&b.0));
-    write_ledger(&path, merged);
+    mine.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut machines: Vec<(String, MachineRecord)> = ledger
+        .machines
+        .iter()
+        .filter(|(fp, _)| fp != &hid.fingerprint)
+        .cloned()
+        .collect();
+    machines.push((
+        hid.fingerprint.clone(),
+        MachineRecord {
+            host: hid.host.clone(),
+            cpu: hid.cpu.clone(),
+            threads: Some(bench_threads() as u64),
+            entries: mine,
+        },
+    ));
+    machines.sort_by(|a, b| a.0.cmp(&b.0));
+    write_ledger(&path, machines);
     check_regressions(&results, &ledger);
 }
 
-fn write_ledger(path: &std::path::Path, merged: Vec<(String, fx_json::Json)>) {
+fn write_ledger(path: &std::path::Path, machines: Vec<(String, MachineRecord)>) {
     use fx_json::Json;
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
+    // top-level threads/benches mirror the current machine's record
+    // so v1 consumers (and quick `jq` queries) keep working
+    let fp = &host_id().fingerprint;
+    let (threads, benches) = machines
+        .iter()
+        .find(|(f, _)| f == fp)
+        .map(|(_, m)| {
+            (
+                m.threads.unwrap_or(bench_threads() as u64),
+                m.entries.iter().map(|(_, v)| v.clone()).collect(),
+            )
+        })
+        .unwrap_or((bench_threads() as u64, Vec::new()));
+    let machines_json = Json::Obj(
+        machines
+            .iter()
+            .map(|(f, m)| {
+                (
+                    f.clone(),
+                    Json::Obj(vec![
+                        ("host".to_string(), Json::Str(m.host.clone())),
+                        ("cpu".to_string(), Json::Str(m.cpu.clone())),
+                        ("threads".to_string(), Json::UInt(m.threads.unwrap_or(0))),
+                        (
+                            "benches".to_string(),
+                            Json::Arr(m.entries.iter().map(|(_, v)| v.clone()).collect()),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    );
     let doc = Json::Obj(vec![
         (
             "schema".to_string(),
-            Json::Str("fx-bench-e2e/1".to_string()),
+            Json::Str("fx-bench-e2e/2".to_string()),
         ),
-        ("threads".to_string(), Json::UInt(bench_threads() as u64)),
-        (
-            "benches".to_string(),
-            Json::Arr(merged.into_iter().map(|(_, v)| v).collect()),
-        ),
+        ("threads".to_string(), Json::UInt(threads)),
+        ("benches".to_string(), Json::Arr(benches)),
+        ("machines".to_string(), machines_json),
     ]);
     if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
         eprintln!("warning: could not write {}: {e}", path.display());
@@ -522,12 +681,30 @@ fn check_regressions(results: &[BenchStats], ledger: &Ledger) {
         eprintln!("warning: FX_BENCH_FAIL_RATIO {raw:?} is not a number; gate skipped");
         return;
     };
+    // baseline lookup is same-machine-first: medians from different
+    // hardware are not commensurable, so another box's record is only
+    // consulted (via the top-level mirror) when this machine has
+    // never benched — and that fallback is called out loudly
+    let hid = host_id();
+    let (baseline, base_threads) = match ledger.machine(&hid.fingerprint) {
+        Some(m) => (medians(&m.entries), m.threads),
+        None => {
+            if !ledger.machines.is_empty() {
+                eprintln!(
+                    "note: no baseline for this machine ({}, fingerprint {}); comparing \
+                     against the ledger's top-level (cross-machine) baseline",
+                    hid.host, hid.fingerprint
+                );
+            }
+            (medians(&ledger.top_entries), ledger.top_threads)
+        }
+    };
     // the ledger records the thread count it was measured at exactly
     // for this comparison: medians from different concurrency levels
     // are not commensurable, so the gate declines rather than flag
     // phantom regressions
     let threads = bench_threads() as u64;
-    if let Some(base_threads) = ledger.threads {
+    if let Some(base_threads) = base_threads {
         if base_threads != threads {
             eprintln!(
                 "warning: baseline ledger was recorded with threads={base_threads}, this run \
@@ -538,7 +715,7 @@ fn check_regressions(results: &[BenchStats], ledger: &Ledger) {
     }
     let mut regressions = Vec::new();
     for s in results {
-        if let Some((_, old)) = ledger.baseline.iter().find(|(id, _)| id == &s.id) {
+        if let Some((_, old)) = baseline.iter().find(|(id, _)| id == &s.id) {
             if *old > 1e-9 && s.median_s > ratio * old {
                 regressions.push(format!(
                     "  {}: median {} vs baseline {} ({:.2}× > {ratio}×)",
@@ -654,35 +831,91 @@ mod tests {
         assert_eq!(empty.median_s, 0.0);
     }
 
+    fn machine(stats: &[BenchStats], threads: u64) -> MachineRecord {
+        let hid = host_id();
+        MachineRecord {
+            host: hid.host.clone(),
+            cpu: hid.cpu.clone(),
+            threads: Some(threads),
+            entries: stats
+                .iter()
+                .map(|s| (s.id.clone(), stats_to_json(s)))
+                .collect(),
+        }
+    }
+
     #[test]
-    fn ledger_roundtrip_merge_and_baseline() {
+    fn host_fingerprint_is_stable_hex() {
+        let a = host_id();
+        assert_eq!(a.fingerprint.len(), 16);
+        assert!(a.fingerprint.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(a.fingerprint, host_id().fingerprint);
+        assert!(!a.host.is_empty() && !a.cpu.is_empty());
+    }
+
+    #[test]
+    fn ledger_v2_roundtrip_keeps_machines_separate() {
         let dir = std::env::temp_dir().join(format!("fx-criterion-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_e2e.json");
+        let hid = host_id();
         let a = bench_stats("alpha", &[1.0, 1.1, 0.9], 3);
-        write_ledger(&path, vec![("alpha".to_string(), stats_to_json(&a))]);
-        let ledger = load_ledger(&path);
-        assert_eq!(ledger.baseline.len(), 1);
-        assert_eq!(ledger.baseline[0].0, "alpha");
-        assert!((ledger.baseline[0].1 - 1.0).abs() < 1e-12);
-        assert_eq!(ledger.threads, Some(bench_threads() as u64));
-        assert_eq!(ledger.entries.len(), 1);
-        // merge: replace alpha, add beta, keep sorted
-        let b = bench_stats("beta", &[2.0], 1);
-        let a2 = bench_stats("alpha", &[3.0], 1);
+        let elsewhere = MachineRecord {
+            host: "elsewhere".to_string(),
+            cpu: "other-cpu".to_string(),
+            threads: Some(8),
+            entries: vec![(
+                "alpha".to_string(),
+                stats_to_json(&bench_stats("alpha", &[9.0], 1)),
+            )],
+        };
         write_ledger(
             &path,
             vec![
-                ("alpha".to_string(), stats_to_json(&a2)),
-                ("beta".to_string(), stats_to_json(&b)),
+                ("feedfacefeedface".to_string(), elsewhere),
+                (hid.fingerprint.clone(), machine(&[a], 4)),
             ],
         );
-        let reloaded = load_ledger(&path);
-        assert_eq!(reloaded.baseline.len(), 2);
-        assert!((reloaded.baseline[0].1 - 3.0).abs() < 1e-12);
+        let ledger = load_ledger(&path);
+        // this machine's record, with its own baseline
+        let mine = ledger.machine(&hid.fingerprint).unwrap();
+        assert_eq!(medians(&mine.entries), vec![("alpha".to_string(), 1.0)]);
+        assert_eq!(mine.threads, Some(4));
+        // the other machine's record survives untouched
+        let other = ledger.machine("feedfacefeedface").unwrap();
+        assert_eq!(other.host, "elsewhere");
+        assert!((medians(&other.entries)[0].1 - 9.0).abs() < 1e-12);
+        // top-level mirrors the current machine (v1 back-compat)
+        assert_eq!(
+            medians(&ledger.top_entries),
+            vec![("alpha".to_string(), 1.0)]
+        );
+        assert_eq!(ledger.top_threads, Some(4));
         // a missing ledger is empty, not an error
-        assert!(load_ledger(&dir.join("absent.json")).baseline.is_empty());
+        assert!(load_ledger(&dir.join("absent.json")).top_entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ledger_v1_documents_still_load() {
+        let dir = std::env::temp_dir().join(format!("fx-criterion-v1-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_e2e.json");
+        std::fs::write(
+            &path,
+            r#"{"schema":"fx-bench-e2e/1","threads":2,
+                "benches":[{"id":"alpha","median_s":1.5}]}"#,
+        )
+        .unwrap();
+        let ledger = load_ledger(&path);
+        assert!(ledger.machines.is_empty(), "v1 has no machines map");
+        assert_eq!(ledger.top_threads, Some(2));
+        assert_eq!(
+            medians(&ledger.top_entries),
+            vec![("alpha".to_string(), 1.5)]
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
