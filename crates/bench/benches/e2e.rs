@@ -4,18 +4,20 @@
 //!
 //! These are the headline rows of the `BENCH_e2e.json` perf ledger:
 //! `mc_percolation_e2e` is the percolation trial loop (direct
-//! resampling and Newman–Ziff curve inversion), `mc_random_fault_e2e`
-//! is the Theorem 3.4 random-fault sweep (`analyze_random`: sample →
-//! γ → Prune2 → certify, per trial).
+//! resampling and Newman–Ziff curve inversion), `mc_bitparallel_e2e`
+//! is the same cell on the 64-trials-per-word lane engine vs the
+//! scalar loop (with a `FX_BENCH_LANE_MIN_RATIO` speedup gate),
+//! `mc_random_fault_e2e` is the Theorem 3.4 random-fault sweep
+//! (`analyze_random`: sample → γ → Prune2 → certify, per trial).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fx_core::{analyze_random, AnalyzerConfig, Family};
 use fx_faults::{targeted_order, FaultModel, HeavyTailedFaults, TargetBy};
-use fx_graph::NodeSet;
+use fx_graph::{CsrGraph, NodeSet};
 use fx_overlay::{ChurnPolicy, Overlay};
 use fx_percolation::{
-    critical_removal_fraction, estimate_critical, gamma_removal_curve, Mode, MonteCarlo,
-    SweepScratch,
+    critical_removal_fraction, estimate_critical, gamma_removal_curve, gamma_trials_with,
+    sample_alive_nodes_into, trial_seed, LaneScratch, Mode, MonteCarlo, SweepScratch,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -38,6 +40,71 @@ fn bench_mc_percolation(c: &mut Criterion) {
         b.iter(|| estimate_critical(&g, Mode::Site, &mc, 0.1, 20))
     });
     group.finish();
+}
+
+/// The bit-parallel Monte-Carlo engine vs the scalar trial loop on
+/// the same `mc_percolation_e2e`-class cell (torus 48×48, keep 0.65),
+/// single-threaded so the ledger rows measure the engine, not the
+/// pool. 256 trials = 4 full lane batches, enough to amortize the
+/// one-off lane-CSR build the way campaign cells do.
+fn bench_mc_bitparallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_bitparallel_e2e");
+    group.sample_size(10);
+    let g = fx_graph::generators::torus(&[48, 48]);
+    let mut ls = LaneScratch::new();
+    group.bench_function("lane64_trials256_torus_2304", |b| {
+        b.iter(|| bitparallel_cell(&g, &mut ls, 64))
+    });
+    group.bench_function("scalar_trials256_torus_2304", |b| {
+        b.iter(|| bitparallel_cell(&g, &mut ls, 1))
+    });
+    group.finish();
+    bitparallel_speedup_gate(&g);
+}
+
+/// One 256-trial γ cell at the given lane width — per-trial RNG
+/// streams identical at every width, like the campaign executor.
+fn bitparallel_cell(g: &CsrGraph, ls: &mut LaneScratch, width: usize) -> f64 {
+    let n = g.num_nodes();
+    let (gammas, _) = gamma_trials_with(g, 256, width, ls, |i, mask| {
+        let mut rng = SmallRng::seed_from_u64(trial_seed(0xE2E, i));
+        sample_alive_nodes_into(n, 0.65, &mut rng, mask);
+    });
+    gammas.iter().sum::<f64>() / gammas.len() as f64
+}
+
+/// `FX_BENCH_FAIL_RATIO`-style speedup gate: times the same cell on
+/// both paths (best-of-3 — minima are the signal on shared runners)
+/// and fails the bench run when the lane/scalar speedup drops below
+/// `FX_BENCH_LANE_MIN_RATIO`. Unset = report only; CI pins a
+/// noise-tolerant floor, the committed ledger records the clean run.
+fn bitparallel_speedup_gate(g: &CsrGraph) {
+    let mut ls = LaneScratch::new();
+    let best = |width: usize, ls: &mut LaneScratch| {
+        (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                std::hint::black_box(bitparallel_cell(g, ls, width));
+                t0.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let lane = best(64, &mut ls);
+    let scalar = best(1, &mut ls);
+    let ratio = scalar.as_secs_f64() / lane.as_secs_f64().max(1e-12);
+    eprintln!("mc_bitparallel_e2e: lane {lane:?} vs scalar {scalar:?} — speedup {ratio:.2}x");
+    let Ok(raw) = std::env::var("FX_BENCH_LANE_MIN_RATIO") else {
+        return;
+    };
+    let Ok(min) = raw.trim().parse::<f64>() else {
+        eprintln!("warning: FX_BENCH_LANE_MIN_RATIO {raw:?} is not a number; gate skipped");
+        return;
+    };
+    if ratio < min {
+        eprintln!("FAIL: bit-parallel speedup {ratio:.2}x below the {min}x floor");
+        std::process::exit(1);
+    }
 }
 
 /// The random-fault sweep pipeline (E5): per trial, sample i.i.d.
@@ -137,7 +204,7 @@ fn fast_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast_config();
-    targets = bench_mc_percolation, bench_mc_random_faults, bench_targeted_sweep,
-        bench_overlay_churn
+    targets = bench_mc_percolation, bench_mc_bitparallel, bench_mc_random_faults,
+        bench_targeted_sweep, bench_overlay_churn
 }
 criterion_main!(benches);

@@ -29,8 +29,8 @@ use fx_graph::routing::{permutation_demands, route_demands};
 use fx_graph::traversal::bfs_ball;
 use fx_graph::{NodeSet, Scratch};
 use fx_percolation::{
-    crossing_fraction, estimate_critical_cancelable, gamma_removal_curve, Mode, MonteCarlo,
-    SweepScratch,
+    crossing_fraction, estimate_critical_cancelable, gamma_removal_curve, gamma_trials_with,
+    resolve_lanes, trial_seed, LaneScratch, Mode, MonteCarlo, SweepScratch,
 };
 use fx_prune::bounds::{theorem23_component_bound, theorem25_removal_bound};
 use fx_prune::{compactify, dissect, is_compact, prune, theorem34_max_epsilon, CutStrategy};
@@ -129,6 +129,9 @@ impl FaultModel for TimedModel<'_> {
     }
     fn name(&self) -> String {
         self.0.name()
+    }
+    fn vectorizable(&self) -> bool {
+        self.0.vectorizable()
     }
 }
 
@@ -251,6 +254,54 @@ pub fn run_cell_cancelable(spec: &CampaignSpec, cell: &Cell, token: &CancelToken
             ]
         }
         Algo::Percolation => match &cell.fault {
+            // multi-trial γ under independent-per-node dilution: the
+            // bit-parallel engine packs `trial_batch` trials per
+            // machine word (`FXNET_MC_LANES` overrides; width 1 =
+            // scalar loop). Both widths consume identical per-trial
+            // RNG streams, so the journaled aggregates are
+            // bit-identical — `trial_batch` is a speed knob, never a
+            // statistics knob.
+            FaultSpec::Random { .. } | FaultSpec::HeavyTailed { .. } if params.trials > 1 => {
+                let model = fault_model(&cell.fault, &built);
+                debug_assert!(model.vectorizable(), "lane path needs an i.i.d. model");
+                let n = net.n();
+                let mut ls = LaneScratch::new();
+                let mut alive_sum = 0usize;
+                // the batch count is deliberately NOT journaled: the
+                // lane width must never leave a fingerprint in the
+                // aggregates (they are byte-identical at any width);
+                // batch telemetry lives in the fx-trace counters
+                let (gammas, _lane_batches) = gamma_trials_with(
+                    &net.graph,
+                    params.trials,
+                    resolve_lanes(params.trial_batch),
+                    &mut ls,
+                    |i, mask| {
+                        let mut trng = SmallRng::seed_from_u64(trial_seed(cell.seed, i));
+                        model.sample_into(&net.graph, &mut trng, mask);
+                        mask.complement_in_place();
+                        alive_sum += mask.len();
+                    },
+                );
+                let t = params.trials as f64;
+                let mean = gammas.iter().sum::<f64>() / t;
+                let var = gammas.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / t;
+                let p = match &cell.fault {
+                    FaultSpec::Random { p } | FaultSpec::HeavyTailed { p, .. } => *p,
+                    _ => unreachable!(),
+                };
+                vec![
+                    ("n".to_string(), n as f64),
+                    ("p".to_string(), p),
+                    ("trials".to_string(), t),
+                    ("gamma".to_string(), mean),
+                    ("gamma_std".to_string(), var.sqrt()),
+                    (
+                        "alive_fraction".to_string(),
+                        alive_sum as f64 / (t * n.max(1) as f64),
+                    ),
+                ]
+            }
             FaultSpec::Random { p } => {
                 let alive = fx_percolation::sample_alive_nodes(net.n(), 1.0 - p, &mut rng);
                 let g_frac = fx_percolation::gamma_site(&net.graph, &alive);
@@ -1129,6 +1180,50 @@ grid = 20
         // under distinct keys)
         let keys: Vec<String> = cells.iter().map(Cell::key).collect();
         assert!(keys.iter().any(|k| k.contains("by=core")));
+    }
+
+    /// `trial_batch` is a speed knob only: percolation cells over
+    /// vectorizable models with `trials > 1` journal **bit-identical**
+    /// metrics at width 1 (scalar loop) and width 64 (bit-parallel
+    /// engine). The lane engine's execution is confirmed through the
+    /// fx-trace counters, never through the journal — the width must
+    /// leave no fingerprint in the aggregates.
+    #[test]
+    fn trial_batch_width_never_changes_metrics() {
+        let mk = |batch: usize| {
+            CampaignSpec::parse(&format!(
+                "name = \"lanes\"\ngraphs = [\"torus:8,8\"]\n\
+                 faults = [\"random:0.3\", \"heavy-tailed:0.3,1.5\"]\n\
+                 algorithms = [\"percolation\"]\n[params]\ntrials = 70\ntrial_batch = {batch}"
+            ))
+            .unwrap()
+        };
+        let (scalar, lanes) = (mk(1), mk(64));
+        fx_trace::set_filter("percolation=2");
+        let _ = fx_trace::take_snapshot(); // drop counts from earlier tests
+        for (a, b) in expand(&scalar)
+            .unwrap()
+            .iter()
+            .zip(expand(&lanes).unwrap().iter())
+        {
+            let ra = run_cell(&scalar, a);
+            let rb = run_cell(&lanes, b);
+            assert_eq!(ra.metric("trials"), Some(70.0));
+            assert!(ra.metric("gamma_std").unwrap() >= 0.0);
+            assert!(ra.metric("alive_fraction").unwrap() < 1.0);
+            assert_eq!(ra.metrics, rb.metrics, "{}", a.key());
+        }
+        let snap = fx_trace::take_snapshot();
+        fx_trace::set_filter("off");
+        let count = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        // 2 cells × ⌈70/64⌉ lane batches, 2 cells × 70 scalar trials
+        assert_eq!(count("mc_lane_batches"), 4, "lane path must have run");
+        assert_eq!(count("mc_scalar_trials"), 140, "scalar path must have run");
     }
 
     /// A `fault-sweep` axis expands into per-severity cells that run.

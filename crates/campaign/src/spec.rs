@@ -200,6 +200,12 @@ pub struct Params {
     pub grid: usize,
     /// Percolation mode: `site` or `bond` (critical estimation only).
     pub site_mode: bool,
+    /// Trials packed per bit-parallel Monte-Carlo batch (1–64).
+    /// Percolation cells whose fault model is vectorizable run
+    /// `trials` in ⌈trials/trial_batch⌉ lane batches; 1 forces the
+    /// scalar path. Aggregates are bit-identical either way — this is
+    /// a speed knob, never a statistics knob.
+    pub trial_batch: usize,
     /// Per-cell wall-clock budget in milliseconds. A cell that
     /// exceeds it is cooperatively cancelled (long kernels poll the
     /// deadline token), journaled with a `timed_out` metric, and the
@@ -219,6 +225,7 @@ impl Default for Params {
             gamma: 0.1,
             grid: 50,
             site_mode: true,
+            trial_batch: 64,
             timeout_ms: None,
         }
     }
@@ -433,6 +440,14 @@ impl CampaignSpec {
         if let Some(g) = pu("grid")? {
             params.grid = g.max(2);
         }
+        if let Some(b) = pu("trial_batch")? {
+            if !(1..=64).contains(&b) {
+                return Err(
+                    "params.trial_batch must be in 1..=64 (trials per machine word)".into(),
+                );
+            }
+            params.trial_batch = b;
+        }
         if let Some(t) = pu("timeout_ms")? {
             if t == 0 {
                 return Err("params.timeout_ms must be ≥ 1 (omit it for no timeout)".into());
@@ -456,6 +471,7 @@ impl CampaignSpec {
                 "gamma",
                 "grid",
                 "mode",
+                "trial_batch",
                 "timeout_ms",
             ];
             for key in table.keys() {
@@ -783,6 +799,11 @@ algorithms = ["span"]
                 r: 2,
                 centers: CenterBias::Degree,
             },
+            FaultSpec::Clustered {
+                f: 3,
+                r: 2,
+                centers: CenterBias::Core,
+            },
         ];
         const CHAIN_CENTERS: usize = 5; // index into `faults`
         let plain = Scenario::Plain(Family::Torus { dims: vec![6, 6] });
@@ -877,6 +898,25 @@ algorithms = ["span"]
             "name = \"d\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n[zebra]\na = 1"
         )
         .is_err());
+    }
+
+    #[test]
+    fn trial_batch_parses_and_validates() {
+        let spec = CampaignSpec::parse(
+            "name = \"b\"\ngraphs = [\"cycle:10\"]\nfaults = [\"random:0.1\"]\n\
+             algorithms = [\"percolation\"]\n[params]\ntrial_batch = 8",
+        )
+        .unwrap();
+        assert_eq!(spec.params.trial_batch, 8);
+        assert_eq!(Params::default().trial_batch, 64, "full word by default");
+        for bad in [0, 65, 1000] {
+            let err = CampaignSpec::parse(&format!(
+                "name = \"b\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n\
+                 [params]\ntrial_batch = {bad}"
+            ))
+            .unwrap_err();
+            assert!(err.contains("trial_batch"), "{err}");
+        }
     }
 
     #[test]

@@ -63,6 +63,9 @@ commands:
                                                  journaled phase_ms records)
 
 global:     --threads N   worker threads (or FXNET_THREADS; default: cores, ≤ 16)
+lanes:      FXNET_MC_LANES=1|..|64  Monte-Carlo trials packed per machine word
+            (overrides [params] trial_batch; 1 forces the scalar path; results
+             are bit-identical at every width — speed knob only)
 tracing:    FXNET_TRACE=target[=level],...  structured telemetry (targets: par,
             campaign, cell, overlay, percolation, faults; `all`; level 2 adds
             hot-path histograms). Traced campaign runs write trace.jsonl +
@@ -75,7 +78,7 @@ graph SPEC: torus:16,16 | mesh:8,8,8 | hypercube:10 | butterfly:8 |
             overlay:2,256,churn=400[,sessions=pareto:1.5][,depart=degree] (§4 CAN)
 fault SPEC: none | random:p | random-exact:f | adversarial:f | degree:f |
             chain-centers[:f] | targeted:frac[,by=degree|core|degree-adaptive] |
-            clustered:f,r[,centers=degree] | heavy-tailed:p,alpha
+            clustered:f,r[,centers=degree|core] | heavy-tailed:p,alpha
                                        (the fx-faults registry grammar)";
 
 fn main() -> ExitCode {
@@ -181,6 +184,20 @@ fn run_campaign(args: &Args) -> Result<(), String> {
                 eff.samples,
                 work
             );
+            // the bit-parallel Monte-Carlo engine packs trials of
+            // vectorizable (independent-per-node) fault models into
+            // machine words, so multi-trial percolation cells cost
+            // lane *batches*, not trials
+            if eff.trials > 1 && grid.faults.iter().all(FaultSpec::is_vectorizable) {
+                let batches = eff.trials.div_ceil(eff.trial_batch.max(1));
+                outln!(
+                    "      bit-parallel: every fault model is vectorizable — {} trials \
+                     run as {} lane batch(es) of ≤ {} per percolation cell",
+                    eff.trials,
+                    batches,
+                    eff.trial_batch
+                );
+            }
         }
         outln!(
             "cost estimate: {} cells, ≈ {} work units (cells × samples; \

@@ -14,9 +14,14 @@
 //! centers are the purely random regime, while degree-proportional
 //! centers (`centers=degree`) seed cascades where the network is
 //! densest — interpolating toward the targeted hub attacks without
-//! giving up the ball-local fault shape.
+//! giving up the ball-local fault shape. Degeneracy-ordered centers
+//! (`centers=core`) go all the way to the adversarial end of that
+//! axis: the `f` balls sit deterministically on the `f` innermost
+//! nodes of the degeneracy order, i.e. the clustered analogue of the
+//! `targeted:frac,core` attack.
 
 use crate::model::FaultModel;
+use crate::targeted::{targeted_order, TargetBy};
 use fx_graph::{CsrGraph, NodeId, NodeSet};
 use rand::{Rng, RngCore};
 
@@ -30,6 +35,11 @@ pub enum CenterBias {
     /// edge endpoint), so cascades start where the network is
     /// densest.
     Degree,
+    /// Degeneracy-ordered centers: the `f` balls are centered on the
+    /// first `f` nodes of the core attack order (innermost core
+    /// first, see [`targeted_order`]). Deterministic — the RNG is
+    /// ignored, like the targeted adversaries.
+    Core,
 }
 
 /// `f` faulted BFS balls of radius `r` around random centers (balls
@@ -48,10 +58,12 @@ impl ClusteredFaults {
     /// Draws one ball center under the placement model. Degree bias
     /// picks a uniform endpoint slot of the CSR adjacency (probability
     /// ∝ degree), falling back to uniform on edgeless graphs.
+    /// [`CenterBias::Core`] centers are not drawn here — they come
+    /// from the precomputed degeneracy order in `sample_into`.
     fn draw_center(&self, g: &CsrGraph, rng: &mut dyn RngCore) -> NodeId {
         let n = g.num_nodes();
         match self.centers {
-            CenterBias::Uniform => rng.gen_range(0..n as NodeId),
+            CenterBias::Uniform | CenterBias::Core => rng.gen_range(0..n as NodeId),
             CenterBias::Degree => {
                 let slots = 2 * g.num_edges();
                 if slots == 0 {
@@ -96,10 +108,20 @@ impl FaultModel for ClusteredFaults {
         // earlier ball must not block a later ball's expansion, so
         // each ball keeps its own frontier (word-parallel union at
         // the end of each ball)
+        // core placement is deterministic: ball b sits on the b-th
+        // node of the core attack order (balls beyond n wrap and add
+        // nothing new — the union already contains their ball)
+        let core_order = match self.centers {
+            CenterBias::Core => targeted_order(g, TargetBy::Core),
+            _ => Vec::new(),
+        };
         let mut ball = NodeSet::empty(n);
         let mut queue: Vec<(NodeId, u32)> = Vec::new();
-        for _ in 0..self.balls {
-            let center = self.draw_center(g, rng);
+        for b in 0..self.balls {
+            let center = match self.centers {
+                CenterBias::Core => core_order[b % n],
+                _ => self.draw_center(g, rng),
+            };
             ball.clear();
             queue.clear();
             ball.insert(center);
@@ -126,6 +148,10 @@ impl FaultModel for ClusteredFaults {
             CenterBias::Uniform => format!("clustered(f={}, r={})", self.balls, self.radius),
             CenterBias::Degree => format!(
                 "clustered(f={}, r={}, centers=degree)",
+                self.balls, self.radius
+            ),
+            CenterBias::Core => format!(
+                "clustered(f={}, r={}, centers=core)",
                 self.balls, self.radius
             ),
         }
@@ -229,6 +255,59 @@ mod tests {
         // P(hub among 6 degree-biased draws) = 1 − 2^−6 ≈ 0.98 per
         // trial; uniform placement would hit it w.p. ≈ 0.03
         assert!(hub_hits >= 15, "hub hit only {hub_hits}/20 times");
+    }
+
+    /// Core placement ignores the RNG entirely and seeds its balls on
+    /// the innermost nodes of the degeneracy order: on a clique with
+    /// a pendant path, every radius-0 center lands inside the clique.
+    #[test]
+    fn core_centers_are_deterministic_and_inner() {
+        // K6 on nodes 0..6 plus a path 6-7-8-9 hanging off node 0
+        let mut b = fx_graph::GraphBuilder::with_capacity(10, 19);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(0, 6);
+        b.add_edge(6, 7);
+        b.add_edge(7, 8);
+        b.add_edge(8, 9);
+        let g = b.build();
+        let model = ClusteredFaults {
+            balls: 3,
+            radius: 0,
+            centers: CenterBias::Core,
+        };
+        let a = model.sample(&g, &mut SmallRng::seed_from_u64(1));
+        let c = model.sample(&g, &mut SmallRng::seed_from_u64(2));
+        assert_eq!(a, c, "core centers must not depend on the seed");
+        assert_eq!(a.len(), 3, "radius-0 balls are the centers themselves");
+        assert!(
+            a.to_vec().iter().all(|&v| v < 6),
+            "centers must sit in the clique core: {:?}",
+            a.to_vec()
+        );
+    }
+
+    /// Core balls are still genuine BFS balls, and more balls than
+    /// nodes wraps without panicking.
+    #[test]
+    fn core_balls_expand_and_wrap() {
+        let g = generators::cycle(30);
+        let model = ClusteredFaults {
+            balls: 1,
+            radius: 2,
+            centers: CenterBias::Core,
+        };
+        let failed = model.sample(&g, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(failed.len(), 5, "radius-2 arc on a cycle");
+        let wrap = ClusteredFaults {
+            balls: 31,
+            radius: 0,
+            centers: CenterBias::Core,
+        };
+        assert_eq!(wrap.sample(&g, &mut SmallRng::seed_from_u64(7)).len(), 30);
     }
 
     /// Degree-biased centers on a regular graph are distribution-

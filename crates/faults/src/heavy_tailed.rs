@@ -48,11 +48,9 @@ impl FaultModel for HeavyTailedFaults {
         } else {
             out.clear();
         }
-        let unit_mean = (self.alpha - 1.0) / self.alpha;
         for v in 0..n as u32 {
             let weight = pareto_sample(self.alpha, rng);
-            let q = (self.p * weight * unit_mean).min(1.0);
-            if rng.gen_bool(q) {
+            if rng.gen_bool(self.fault_prob(weight)) {
                 out.insert(v);
             }
         }
@@ -60,6 +58,21 @@ impl FaultModel for HeavyTailedFaults {
 
     fn name(&self) -> String {
         format!("heavy-tailed(p={}, alpha={})", self.p, self.alpha)
+    }
+
+    fn vectorizable(&self) -> bool {
+        true // independent per node given its own Pareto weight draw
+    }
+}
+
+impl HeavyTailedFaults {
+    /// The per-node fault probability for a drawn Pareto weight:
+    /// `min(1, p · w · (α−1)/α)`. Exposed so the lane engine and the
+    /// scalar sampler share one formula (any drift would break the
+    /// bit-identical contract between the two paths).
+    pub fn fault_prob(&self, weight: f64) -> f64 {
+        let unit_mean = (self.alpha - 1.0) / self.alpha;
+        (self.p * weight * unit_mean).min(1.0)
     }
 }
 

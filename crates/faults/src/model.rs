@@ -24,6 +24,19 @@ pub trait FaultModel {
 
     /// Human-readable name for reports and tables.
     fn name(&self) -> String;
+
+    /// True when every node fails *independently* given per-node
+    /// probabilities — the property the bit-parallel Monte-Carlo
+    /// engine needs to batch 64 trials into lane-transposed masks
+    /// (each trial's mask is still sampled from its own scalar RNG
+    /// stream; independence is what makes the per-trial mask a pure
+    /// function of that stream, with no cross-trial or
+    /// graph-traversal coupling). Models with correlated or
+    /// deterministic fault sets keep the default `false` and take the
+    /// scalar path.
+    fn vectorizable(&self) -> bool {
+        false
+    }
 }
 
 /// Applies a fault set: the complement alive mask.

@@ -37,6 +37,10 @@ impl FaultModel for RandomNodeFaults {
     fn name(&self) -> String {
         format!("random-node(p={})", self.p)
     }
+
+    fn vectorizable(&self) -> bool {
+        true // i.i.d. per node by definition
+    }
 }
 
 /// Exactly `f` failed nodes, uniformly at random (the fixed-budget

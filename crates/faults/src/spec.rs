@@ -66,7 +66,7 @@ pub enum FaultSpec {
         by: TargetBy,
     },
     /// Correlated local faults: `f` BFS balls of radius `r`
-    /// (`clustered:f,r[,centers=uniform|degree]`).
+    /// (`clustered:f,r[,centers=uniform|degree|core]`).
     Clustered {
         /// Number of fault balls.
         f: usize,
@@ -223,21 +223,23 @@ pub const REGISTRY: &[FaultModelInfo] = &[
     FaultModelInfo {
         name: "clustered",
         aliases: &[],
-        grammar: "clustered:f,r[,centers=uniform|degree]",
-        summary: "f correlated fault balls of BFS radius r (optionally degree-biased centers)",
+        grammar: "clustered:f,r[,centers=uniform|degree|core]",
+        summary:
+            "f correlated fault balls of BFS radius r (degree-biased or degeneracy-ordered centers)",
         parse: |spec, param| {
             let parts: Vec<&str> = param.split(',').collect();
             if parts.len() < 2 || parts.len() > 3 {
                 return Err(format!(
-                    "fault spec {spec:?}: expected clustered:f,r[,centers=uniform|degree]"
+                    "fault spec {spec:?}: expected clustered:f,r[,centers=uniform|degree|core]"
                 ));
             }
             let centers = match parts.get(2).map(|s| s.trim()) {
                 None | Some("centers=uniform") => CenterBias::Uniform,
                 Some("centers=degree") => CenterBias::Degree,
+                Some("centers=core") => CenterBias::Core,
                 Some(other) => {
                     return Err(format!(
-                        "fault spec {spec:?}: expected centers=uniform|degree, got {other:?}"
+                        "fault spec {spec:?}: expected centers=uniform|degree|core, got {other:?}"
                     ))
                 }
             };
@@ -348,6 +350,19 @@ impl FaultSpec {
         matches!(self, FaultSpec::Random { .. })
     }
 
+    /// True when the per-trial fault mask is a product of independent
+    /// per-node Bernoulli draws, so the bit-parallel Monte-Carlo
+    /// engine can run 64 trials per machine word (each trial still
+    /// sampled from its own scalar RNG stream — lane and scalar paths
+    /// are bit-identical). Mirrors [`FaultModel::vectorizable`] at
+    /// the spec level, for cost estimates before a model is built.
+    pub fn is_vectorizable(&self) -> bool {
+        matches!(
+            self,
+            FaultSpec::Random { .. } | FaultSpec::HeavyTailed { .. }
+        )
+    }
+
     /// True for randomized *dilution* models — faults drawn from a
     /// distribution over node subsets, the regime percolation-style
     /// γ measurements are meaningful for. Deterministic/adversarial
@@ -400,6 +415,11 @@ impl fmt::Display for FaultSpec {
                 r,
                 centers: CenterBias::Degree,
             } => write!(f, "clustered:{n},{r},centers=degree"),
+            FaultSpec::Clustered {
+                f: n,
+                r,
+                centers: CenterBias::Core,
+            } => write!(f, "clustered:{n},{r},centers=core"),
             FaultSpec::HeavyTailed { p, alpha } => write!(f, "heavy-tailed:{p},{alpha}"),
         }
     }
@@ -503,6 +523,7 @@ mod tests {
             "targeted:0.1,by=degree-adaptive",
             "clustered:4,2",
             "clustered:4,2,centers=degree",
+            "clustered:4,2,centers=core",
             "heavy-tailed:0.05,1.5",
         ] {
             let f = FaultSpec::parse(s).unwrap();
@@ -546,7 +567,7 @@ mod tests {
             "targeted:0.1,by=adaptive",
             "clustered:4",
             "clustered:4,2,1",
-            "clustered:4,2,centers=core",
+            "clustered:4,2,centers=kcore",
             "clustered:4,2,centers=degree,extra",
             "clustered:x,2",
             "heavy-tailed:0.05",
@@ -583,6 +604,7 @@ mod tests {
             "targeted:0.1,by=degree-adaptive",
             "clustered:2,1",
             "clustered:2,1,centers=degree",
+            "clustered:2,1,centers=core",
             "heavy-tailed:0.1,1.5",
         ] {
             let model = FaultSpec::parse(s).unwrap().build(None).unwrap();
@@ -607,6 +629,29 @@ mod tests {
         );
     }
 
+    /// The spec-level vectorizable predicate must agree with the
+    /// model it builds — campaign cost estimates read the spec before
+    /// any model exists, the engine dispatch reads the model.
+    #[test]
+    fn vectorizable_agrees_with_built_models() {
+        for (s, expect) in [
+            ("none", false),
+            ("random:0.3", true),
+            ("heavy-tailed:0.2,1.5", true),
+            ("random-exact:5", false),
+            ("targeted:0.1", false),
+            ("clustered:2,1", false),
+            ("clustered:2,1,centers=core", false),
+            ("adversarial:2", false),
+            ("degree:2", false),
+        ] {
+            let spec = FaultSpec::parse(s).unwrap();
+            assert_eq!(spec.is_vectorizable(), expect, "{s}");
+            let model = spec.build(None).unwrap();
+            assert_eq!(model.vectorizable(), expect, "{s} (built model)");
+        }
+    }
+
     /// `sample_into` must be bit-identical to `sample`, including
     /// when the output mask is reused hot across models and graphs
     /// (the Monte-Carlo pool-reuse pattern).
@@ -621,6 +666,7 @@ mod tests {
             "targeted:0.15,by=degree-adaptive",
             "clustered:3,2",
             "clustered:3,2,centers=degree",
+            "clustered:3,2,centers=core",
             "heavy-tailed:0.2,1.5",
             "degree:5",
             "adversarial:3",

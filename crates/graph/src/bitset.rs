@@ -77,6 +77,16 @@ impl NodeSet {
         self.capacity
     }
 
+    /// The raw backing words, LSB-first within each word: bit
+    /// `v % 64` of word `v / 64` is node `v`. Bits at or above
+    /// `capacity` are always zero. The bit-parallel Monte-Carlo
+    /// engine reads these to transpose per-trial masks into
+    /// trial-lane-major words.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of members (O(1); maintained eagerly).
     #[inline]
     pub fn len(&self) -> usize {
@@ -290,6 +300,17 @@ impl NodeSet {
         out.len = self.capacity - self.len;
     }
 
+    /// Complement within the universe, in place (allocation-free).
+    /// The fault-driven lane path samples a *failed* set and flips it
+    /// into the alive mask without a second buffer.
+    pub fn complement_in_place(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        Self::clear_tail(&mut self.words, self.capacity);
+        self.len = self.capacity - self.len;
+    }
+
     /// Size of the intersection without materializing it.
     pub fn intersection_len(&self, other: &NodeSet) -> usize {
         self.assert_same_universe(other);
@@ -398,6 +419,34 @@ impl fx_json::FromJson for NodeSet {
             return Err(format!("NodeSet: node {bad} outside capacity {capacity}"));
         }
         Ok(NodeSet::from_iter(capacity, nodes))
+    }
+}
+
+/// Transposes a 64×64 bit matrix in place: after the call, bit `j` of
+/// `a[i]` is the old bit `i` of `a[j]` (LSB-first, matching
+/// [`NodeSet::as_words`]).
+///
+/// This is the kernel behind the lane-transposed Monte-Carlo engine:
+/// 64 per-trial masks (one `NodeSet` word each, node-major) become 64
+/// per-node lane words (bit `t` = alive in trial `t`) in
+/// 6·64 word operations instead of 64·64 bit probes.
+pub fn transpose64(a: &mut [u64; 64]) {
+    // Recursive block swap (Hacker's Delight 7-3, re-derived for
+    // LSB-first columns): at level j, swap the high-j-bit halves of
+    // rows without bit j against the low-j-bit halves of rows with
+    // bit j.
+    let mut j = 32usize;
+    while j != 0 {
+        // mask with the high j bits of each 2j-bit block set
+        let m = (!0u64 / ((1u64 << j) | 1)) << j;
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] ^ (a[k | j] << j)) & m;
+            a[k] ^= t;
+            a[k | j] ^= t >> j;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
     }
 }
 
@@ -559,5 +608,52 @@ mod tests {
         let mut a = NodeSet::empty(10);
         let b = NodeSet::empty(11);
         a.union_with(&b);
+    }
+
+    #[test]
+    fn complement_in_place_matches_complement() {
+        for cap in [0usize, 1, 63, 64, 65, 130] {
+            let mut s = NodeSet::empty(cap);
+            for v in (0..cap).step_by(3) {
+                s.insert(v as NodeId);
+            }
+            let expect = s.complement();
+            s.complement_in_place();
+            assert_eq!(s, expect, "cap {cap}");
+            assert_eq!(s.len(), expect.len(), "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn transpose64_moves_single_bits() {
+        let mut a = [0u64; 64];
+        a[3] = 1 << 17; // (row 3, col 17)
+        a[0] = 1; // (0, 0) stays on the diagonal
+        transpose64(&mut a);
+        let mut expect = [0u64; 64];
+        expect[17] = 1 << 3;
+        expect[0] = 1;
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn transpose64_is_an_involution_on_random_matrices() {
+        use rand::rngs::SmallRng;
+        use rand::{RngCore, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x7A75);
+        let mut a = [0u64; 64];
+        for w in &mut a {
+            *w = rng.next_u64();
+        }
+        let orig = a;
+        transpose64(&mut a);
+        // spot-check the transposition law on every bit
+        for (i, row) in orig.iter().enumerate() {
+            for (j, col) in a.iter().enumerate() {
+                assert_eq!((col >> i) & 1, (row >> j) & 1, "bit ({i},{j})");
+            }
+        }
+        transpose64(&mut a);
+        assert_eq!(a, orig, "transpose twice = identity");
     }
 }

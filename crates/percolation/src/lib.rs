@@ -7,6 +7,9 @@
 //!
 //! * [`sample`] — site/bond dilution and the `γ` measure;
 //! * [`newman_ziff`] — O(n·α(n)) whole-curve sweeps via union–find;
+//! * [`lanes`] — the bit-parallel engine: 64 trials per machine word
+//!   (lane-transposed masks + batched union-find), bit-identical to
+//!   the scalar path by construction;
 //! * [`montecarlo`] — deterministic, thread-parallel trial batches
 //!   (same results for any thread count);
 //! * [`critical`] — `p*` estimation by curve inversion, reproducing
@@ -26,13 +29,18 @@
 
 pub mod critical;
 pub mod dilution;
+pub mod lanes;
 pub mod montecarlo;
 pub mod newman_ziff;
 pub mod sample;
 
 pub use critical::{estimate_critical, estimate_critical_cancelable, CriticalEstimate, Mode};
 pub use dilution::{critical_removal_fraction, crossing_fraction, gamma_removal_curve};
-pub use montecarlo::{MonteCarlo, Stat};
+pub use lanes::{
+    gamma_batch_with, gamma_lanes_guarded, gamma_lanes_with, gamma_trials_with, lanes_from,
+    resolve_lanes, LaneCsr, LaneScratch, LaneSet, MAX_LANES,
+};
+pub use montecarlo::{trial_seed, MonteCarlo, Stat};
 pub use newman_ziff::{
     bond_sweep, bond_sweep_with, site_sweep, site_sweep_ordered_with, site_sweep_with, SweepScratch,
 };

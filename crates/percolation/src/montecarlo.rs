@@ -10,6 +10,9 @@
 //! graph performs O(threads) arena allocations instead of O(t·n)
 //! (the A3 ablation bench measures the harness itself).
 
+use crate::lanes::{
+    gamma_batch_with, resolve_lanes, LaneCsr, LaneScratch, MAX_LANES, TRACE_SCALAR_TRIALS,
+};
 use crate::newman_ziff::{bond_sweep_with, site_sweep_with, SweepScratch};
 use crate::sample::{gamma_site_with, sample_alive_nodes_into};
 use fx_graph::par::{par_map_init, resolve_threads, CancelToken};
@@ -88,8 +91,11 @@ impl Default for MonteCarlo {
     }
 }
 
-fn trial_seed(base: u64, i: usize) -> u64 {
-    // splitmix64 of (base + i) — decorrelates adjacent trial seeds
+/// The RNG seed of trial `i` under base seed `base`: splitmix64 of
+/// `base + i`, decorrelating adjacent trial seeds. Public because the
+/// campaign executor's lane dispatch must derive *exactly* these
+/// per-trial streams for the engine's bit-identical contract.
+pub fn trial_seed(base: u64, i: usize) -> u64 {
     let mut z = base.wrapping_add(i as u64).wrapping_add(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -103,20 +109,51 @@ impl MonteCarlo {
     }
 
     /// `γ(keep)` for **site** percolation by direct resampling.
+    ///
+    /// Bernoulli masks are vectorizable, so this dispatches to the
+    /// bit-parallel lane engine ([`crate::lanes`]) at the
+    /// [`resolve_lanes`]-resolved width (64 unless `FXNET_MC_LANES`
+    /// overrides) — bit-identical to the scalar path by the engine's
+    /// determinism contract.
     pub fn gamma_site_at(&self, g: &CsrGraph, keep: f64) -> Stat {
+        Stat::from_samples(&self.gamma_site_samples(g, keep, resolve_lanes(0)))
+    }
+
+    /// Per-trial γ samples of [`MonteCarlo::gamma_site_at`], in trial
+    /// order, at an explicit lane width (`1` = scalar path, `2..=64`
+    /// = lane engine; out-of-range widths clamp). The executor chunks
+    /// batches of `width` trials through
+    /// [`par_map_init`](fx_graph::par::par_map_init) instead of
+    /// single trials, with one [`LaneScratch`] arena per worker.
+    pub fn gamma_site_samples(&self, g: &CsrGraph, keep: f64, lane_width: usize) -> Vec<f64> {
         let n = g.num_nodes();
         let base = self.base_seed;
-        let samples = par_map_init(self.trials, self.threads(), TrialScratch::new, |ts, i| {
-            let t0 = (fx_trace::level(Target::Percolation) >= 2).then(std::time::Instant::now);
-            let mut rng = SmallRng::seed_from_u64(trial_seed(base, i));
-            sample_alive_nodes_into(n, keep, &mut rng, &mut ts.alive);
-            let gamma = gamma_site_with(g, &ts.alive, &mut ts.scratch);
-            if let Some(t0) = t0 {
-                TRACE_TRIAL_NS.record_always(t0.elapsed().as_nanos() as u64);
-            }
-            gamma
+        let width = lane_width.clamp(1, MAX_LANES);
+        if width == 1 || self.trials < 2 {
+            TRACE_SCALAR_TRIALS.add(self.trials as u64);
+            return par_map_init(self.trials, self.threads(), TrialScratch::new, |ts, i| {
+                let t0 = (fx_trace::level(Target::Percolation) >= 2).then(std::time::Instant::now);
+                let mut rng = SmallRng::seed_from_u64(trial_seed(base, i));
+                sample_alive_nodes_into(n, keep, &mut rng, &mut ts.alive);
+                let gamma = gamma_site_with(g, &ts.alive, &mut ts.scratch);
+                if let Some(t0) = t0 {
+                    TRACE_TRIAL_NS.record_always(t0.elapsed().as_nanos() as u64);
+                }
+                gamma
+            });
+        }
+        let trials = self.trials;
+        let batches = trials.div_ceil(width);
+        let csr = LaneCsr::for_graph(g);
+        let per_batch = par_map_init(batches, self.threads(), LaneScratch::new, |ls, b| {
+            let lo = b * width;
+            let count = width.min(trials - lo);
+            gamma_batch_with(g, &csr, ls, count, |t, alive| {
+                let mut rng = SmallRng::seed_from_u64(trial_seed(base, lo + t));
+                sample_alive_nodes_into(n, keep, &mut rng, alive);
+            })
         });
-        Stat::from_samples(&samples)
+        per_batch.into_iter().flatten().collect()
     }
 
     /// Whole `γ(keep)` **site** curve at the given keep-probabilities,
@@ -296,6 +333,38 @@ mod tests {
         let c = mc.gamma_bond_curve(&g, &[0.0, 1.0]);
         assert!((c[1].mean - 1.0).abs() < 1e-12);
         assert!(c[0].mean < 0.1);
+    }
+
+    /// The tentpole contract at the estimator level: per-trial
+    /// samples — not just aggregates — are bit-identical between the
+    /// scalar and lane paths, for full and ragged batches, at
+    /// several thread counts.
+    #[test]
+    fn lane_and_scalar_samples_bit_identical() {
+        let g = generators::torus(&[9, 9]); // 81 nodes: ragged words
+        for trials in [3usize, 64, 70] {
+            let reference = MonteCarlo {
+                trials,
+                threads: 1,
+                base_seed: 0xAB,
+            }
+            .gamma_site_samples(&g, 0.55, 1);
+            assert_eq!(reference.len(), trials);
+            for threads in [1usize, 2, 4] {
+                let mc = MonteCarlo {
+                    trials,
+                    threads,
+                    base_seed: 0xAB,
+                };
+                for width in [2usize, 64] {
+                    let lane = mc.gamma_site_samples(&g, 0.55, width);
+                    assert_eq!(
+                        reference, lane,
+                        "trials {trials}, threads {threads}, width {width}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

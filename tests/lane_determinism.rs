@@ -1,0 +1,57 @@
+//! The lane engine must be invisible in campaign artifacts: the same
+//! campaign run at `FXNET_MC_LANES=1` (scalar trial loop) and `=64`
+//! (bit-parallel engine), each at 1 and 2 worker threads, must write
+//! **byte-identical** `aggregates.json`. The lane width and the
+//! thread count are speed knobs; any fingerprint they left in the
+//! journaled statistics would make performance work change science.
+
+use fault_expansion::campaign::{run, CampaignSpec, RunOptions};
+
+const GRID: &str = r#"
+name = "lane-det"
+seed = 77
+replicates = 2
+graphs = ["torus:6,6", "hypercube:4"]
+faults = ["random:0.35", "heavy-tailed:0.35,1.5"]
+algorithms = ["percolation"]
+[params]
+trials = 70
+"#;
+
+fn run_with(tag: &str, lanes: &str, threads: usize) -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!("fx-lane-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut spec = CampaignSpec::parse(GRID).unwrap();
+    spec.output = dir.clone();
+    // safe: this file holds exactly one #[test], so no parallel test
+    // races the process-global environment
+    std::env::set_var("FXNET_MC_LANES", lanes);
+    let summary = run(
+        &spec,
+        &RunOptions {
+            quiet: true,
+            threads,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    std::env::remove_var("FXNET_MC_LANES");
+    assert!(summary.complete, "{tag}: campaign must complete");
+    let bytes = std::fs::read(dir.join("aggregates.json"))
+        .unwrap_or_else(|e| panic!("{tag}: aggregates.json: {e}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+#[test]
+fn aggregates_byte_identical_across_lane_width_and_threads() {
+    let baseline = run_with("scalar-t1", "1", 1);
+    assert!(!baseline.is_empty());
+    for (lanes, threads) in [("1", 2usize), ("64", 1), ("64", 2)] {
+        let got = run_with(&format!("l{lanes}-t{threads}"), lanes, threads);
+        assert_eq!(
+            baseline, got,
+            "aggregates diverge at FXNET_MC_LANES={lanes}, threads={threads}"
+        );
+    }
+}
