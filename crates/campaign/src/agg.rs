@@ -33,8 +33,15 @@ pub struct GroupAggregate {
 /// Results are first sorted by `(group, replicate, key)`; every call
 /// with the same result *set* therefore produces bit-identical
 /// statistics, regardless of the order cells completed in.
+///
+/// **Failed-cell rule:** quarantined records (`failed != 0`) are
+/// excluded entirely — they carry no metrics, only an error message,
+/// and must not contribute rows (or zero-count groups) to the
+/// aggregates. A campaign whose quarantined cells are later re-run to
+/// success therefore aggregates bit-identically to one that never
+/// failed.
 pub fn aggregate(results: &[CellResult]) -> Vec<GroupAggregate> {
-    let mut sorted: Vec<&CellResult> = results.iter().collect();
+    let mut sorted: Vec<&CellResult> = results.iter().filter(|r| r.failed == 0).collect();
     sorted.sort_by(|a, b| (a.group(), a.replicate, &a.key).cmp(&(b.group(), b.replicate, &b.key)));
     // BTreeMap keyed by (group, metric-insertion-rank, metric): keeps
     // the output grouped and sorted, with metrics in first-seen order
@@ -80,7 +87,25 @@ mod tests {
             metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             wall_ms: 1.0,
             phase_ms: Vec::new(),
+            failed: 0,
+            error: String::new(),
+            attempts: 1,
         }
+    }
+
+    #[test]
+    fn quarantined_results_are_excluded() {
+        let mut results = vec![
+            result("a|r0", "a", 0, &[("x", 1.0)]),
+            result("a|r1", "a", 1, &[("x", 3.0)]),
+        ];
+        results[1].failed = 1;
+        results[1].metrics.clear();
+        results[1].error = "chaos: injected pre-algo panic".into();
+        let aggs = aggregate(&results);
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].stats.count, 1, "failed cell contributes nothing");
+        assert_eq!(aggs[0].stats.mean(), 1.0);
     }
 
     #[test]

@@ -6,14 +6,14 @@
 //! spec with new axis values) only pays for missing cells.
 
 use crate::agg::{aggregate, GroupAggregate};
-use crate::exec::{run_cell, CellResult};
+use crate::exec::{run_cell_resilient, CellResult};
 use crate::grid::{expand, Cell};
 use crate::journal::Journal;
 use crate::spec::CampaignSpec;
 use fx_bench::{f as fmt_f, Table};
 use fx_graph::par::Pool;
 use fx_trace::{Span, Target};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -39,6 +39,9 @@ pub struct RunOptions {
     /// Print the per-phase timing breakdown (journaled `phase_ms`)
     /// after the aggregates table.
     pub timing: bool,
+    /// Print the health table (quarantined / retried / corrupt
+    /// tallies) after the aggregates.
+    pub health: bool,
 }
 
 /// What a `run`/`resume`/`report` invocation did.
@@ -50,8 +53,18 @@ pub struct RunSummary {
     pub skipped: usize,
     /// Cells executed by this invocation.
     pub executed: usize,
-    /// True when every grid cell is journaled after this invocation.
+    /// True when every grid cell has a **successful** journal record
+    /// after this invocation (quarantined cells keep a campaign
+    /// incomplete: they re-run on resume).
     pub complete: bool,
+    /// Quarantined cells in the journal (`failed = 1` records whose
+    /// key has no successful record).
+    pub failed: usize,
+    /// Total extra execution attempts recorded in the journal (the
+    /// sum of `attempts − 1`; 0 for a chaos-free history).
+    pub retried: u64,
+    /// Corrupt journal lines skipped on load (their cells re-run).
+    pub corrupt: usize,
     /// Aggregates over all journaled results.
     pub aggregates: Vec<GroupAggregate>,
     /// Files written (journal + artifacts).
@@ -90,12 +103,29 @@ pub fn journal_for(spec: &CampaignSpec, opts: &RunOptions) -> Journal {
 pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String> {
     let cells = shard_cells(expand(spec)?, opts)?;
     let journal = journal_for(spec, opts);
-    let existing = journal.load()?;
-    let done: HashSet<&str> = existing.iter().map(|r| r.key.as_str()).collect();
+    let loaded = journal.load_report()?;
+    let existing = loaded.results;
+    // only successful records count as done: quarantined cells re-run
+    // like unseen cells, with their cumulative attempt count carried
+    // forward so the deterministic chaos decisions keep advancing
+    let done: HashSet<&str> = existing
+        .iter()
+        .filter(|r| r.failed == 0)
+        .map(|r| r.key.as_str())
+        .collect();
+    let base_attempts: HashMap<&str, u64> = existing
+        .iter()
+        .filter(|r| r.failed != 0)
+        .map(|r| (r.key.as_str(), r.attempts))
+        .collect();
 
-    let mut pending: Vec<&Cell> = cells
+    let mut pending: Vec<(&Cell, u64)> = cells
         .iter()
         .filter(|c| !done.contains(c.key().as_str()))
+        .map(|c| {
+            let base = base_attempts.get(c.key().as_str()).copied().unwrap_or(0);
+            (c, base)
+        })
         .collect();
     let skipped = cells.len() - pending.len();
     if let Some(limit) = opts.limit {
@@ -115,7 +145,10 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
     let executed = pending.len();
     if executed > 0 {
         let run_span = Span::enter(Target::Campaign, "run");
-        let writer = journal.appender()?;
+        // salt the writer's io_error chaos decisions with the current
+        // journal population: a resume draws fresh decisions for the
+        // cells a previous run failed to append
+        let writer = journal.appender_with(spec.params.retries, existing.len() as u64)?;
         // one resolved thread count for the whole run (0 = the
         // FXNET_THREADS / core-count default)
         let threads = fx_graph::par::resolve_threads(opts.threads);
@@ -123,52 +156,57 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
         // so batching would only hurt balance and coarsen the
         // checkpoint granularity.
         let pool = Pool { threads, batch: 1 };
-        let errors = parking_lot::Mutex::new(Vec::<String>::new());
+        let append_failures = AtomicUsize::new(0);
         let heartbeat = Heartbeat::new(executed);
         pool.for_each(
             executed,
             (
-                |i: usize| run_cell(spec, pending[i]),
+                |i: usize| {
+                    let (cell, base) = pending[i];
+                    run_cell_resilient(spec, cell, base)
+                },
                 |_first: usize, batch: Vec<(usize, CellResult)>| {
                     for (_, result) in batch {
                         let timed_out = result.metric("timed_out").is_some();
+                        let failed = result.failed != 0;
                         if !opts.quiet {
-                            let timeout = if timed_out { " TIMEOUT" } else { "" };
-                            eprintln!(
-                                "  done {:<48} [{:.0} ms]{timeout}",
-                                result.key, result.wall_ms
-                            );
+                            let mark = match (failed, timed_out) {
+                                (true, _) => " FAILED",
+                                (false, true) => " TIMEOUT",
+                                (false, false) => "",
+                            };
+                            eprintln!("  done {:<48} [{:.0} ms]{mark}", result.key, result.wall_ms);
+                            if failed {
+                                eprintln!("       quarantined: {}", result.error);
+                            }
                         }
                         if let Err(e) = writer.append(&result) {
-                            errors.lock().push(e);
+                            // non-fatal: the cell's record is lost, so
+                            // it re-runs on resume — degrading one
+                            // cell must not kill the whole campaign
+                            append_failures.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("campaign: dropping result for {}: {e}", result.key);
                         }
-                        heartbeat.cell_done(timed_out, opts.quiet);
+                        heartbeat.cell_done(timed_out, failed, opts.quiet);
                     }
                 },
             ),
         );
         drop(run_span);
-        let errors = errors.into_inner();
-        if let Some(first) = errors.first() {
-            return Err(format!(
-                "{} journal append(s) failed; first: {first}",
-                errors.len()
-            ));
+        let append_failures = append_failures.into_inner();
+        if append_failures > 0 {
+            eprintln!(
+                "campaign {}: {append_failures} journal append(s) failed — those cells will \
+                 re-run on resume",
+                spec.name
+            );
         }
     }
 
     // reload so aggregation sees exactly what is durable on disk,
     // including the cells this invocation just appended
-    let results = journal.load()?;
-    let mut summary = finish(
-        spec,
-        opts,
-        &journal,
-        &results,
-        cells.len(),
-        skipped,
-        executed,
-    )?;
+    let reloaded = journal.load_report()?;
+    let mut summary = finish(spec, opts, &journal, &reloaded, &cells, skipped, executed)?;
     summary
         .artifacts
         .extend(write_trace_artifacts(&output_dir(spec, opts), opts.quiet)?);
@@ -181,6 +219,7 @@ struct Heartbeat {
     total: usize,
     done: AtomicUsize,
     timeouts: AtomicUsize,
+    failures: AtomicUsize,
     started: Instant,
     last_print: parking_lot::Mutex<Instant>,
 }
@@ -191,15 +230,19 @@ impl Heartbeat {
             total,
             done: AtomicUsize::new(0),
             timeouts: AtomicUsize::new(0),
+            failures: AtomicUsize::new(0),
             started: Instant::now(),
             last_print: parking_lot::Mutex::new(Instant::now()),
         }
     }
 
-    fn cell_done(&self, timed_out: bool, quiet: bool) {
+    fn cell_done(&self, timed_out: bool, failed: bool, quiet: bool) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if timed_out {
             self.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        if failed {
+            self.failures.fetch_add(1, Ordering::Relaxed);
         }
         if quiet || done == self.total {
             return; // the final state is reported by the summary table
@@ -213,8 +256,10 @@ impl Heartbeat {
         let rate = done as f64 / elapsed.max(1e-9);
         let eta = (self.total - done) as f64 / rate.max(1e-9);
         let timeouts = self.timeouts.load(Ordering::Relaxed);
+        let failed = self.failures.load(Ordering::Relaxed);
         eprintln!(
-            "  progress {done}/{} cells ({rate:.1} cells/s, ETA {eta:.0} s, {timeouts} timeouts)",
+            "  progress {done}/{} cells ({rate:.1} cells/s, ETA {eta:.0} s, {timeouts} timeouts, \
+             {failed} failed)",
             self.total
         );
     }
@@ -257,17 +302,22 @@ fn write_trace_artifacts(dir: &std::path::Path, quiet: bool) -> Result<Vec<PathB
 pub fn report(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String> {
     let cells = shard_cells(expand(spec)?, opts)?;
     let journal = journal_for(spec, opts);
-    let existing = journal.load()?;
-    let done: HashSet<&str> = existing.iter().map(|r| r.key.as_str()).collect();
+    let loaded = journal.load_report()?;
+    let done: HashSet<&str> = loaded
+        .results
+        .iter()
+        .filter(|r| r.failed == 0)
+        .map(|r| r.key.as_str())
+        .collect();
     let skipped = cells
         .iter()
         .filter(|c| done.contains(c.key().as_str()))
         .count();
-    finish(spec, opts, &journal, &existing, cells.len(), skipped, 0)
+    finish(spec, opts, &journal, &loaded, &cells, skipped, 0)
 }
 
 /// Shared tail of `run`/`report`: aggregate the journaled results
-/// deterministically and emit artifacts. `results` are the loaded
+/// deterministically and emit artifacts. `loaded` holds the loaded
 /// journal contents — always the durable on-disk records (never
 /// in-memory `CellResult`s that skipped the serialization round
 /// trip), which is what makes interrupted and uninterrupted histories
@@ -276,13 +326,25 @@ fn finish(
     spec: &CampaignSpec,
     opts: &RunOptions,
     journal: &Journal,
-    results: &[CellResult],
-    total_cells: usize,
+    loaded: &crate::journal::LoadReport,
+    cells: &[Cell],
     skipped: usize,
     executed: usize,
 ) -> Result<RunSummary, String> {
+    let results = &loaded.results;
+    let total_cells = cells.len();
     let aggregates = aggregate(results);
-    let complete = skipped + executed >= total_cells;
+    // health tallies come from the durable journal, so `run` and
+    // `report --health` agree by construction
+    let ok_keys: HashSet<&str> = results
+        .iter()
+        .filter(|r| r.failed == 0)
+        .map(|r| r.key.as_str())
+        .collect();
+    let complete = cells.iter().all(|c| ok_keys.contains(c.key().as_str()));
+    let failed = results.iter().filter(|r| r.failed != 0).count();
+    let retried: u64 = results.iter().map(|r| r.attempts.saturating_sub(1)).sum();
+    let corrupt = loaded.corrupt;
 
     let dir = output_dir(spec, opts);
     std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
@@ -299,14 +361,29 @@ fn finish(
     if opts.timing {
         timing_table(spec, results).print();
     }
+    if opts.health {
+        health_table(spec, results, corrupt).print();
+    }
+    let ok_cells = cells
+        .iter()
+        .filter(|c| ok_keys.contains(c.key().as_str()))
+        .count();
+    if opts.health || (!opts.quiet && (failed > 0 || retried > 0 || corrupt > 0)) {
+        // one greppable line — the chaos-soak CI job and operators
+        // watching a fleet both key off it
+        eprintln!(
+            "campaign {} health: ok={ok_cells} failed={failed} retried={retried} \
+             corrupt={corrupt}",
+            spec.name
+        );
+    }
     if !opts.quiet {
         aggregates_table(spec, &aggregates, true).print();
         if !complete {
             eprintln!(
-                "campaign {}: partial — {}/{} cells journaled (resume to finish)",
-                spec.name,
-                skipped + executed,
-                total_cells
+                "campaign {}: partial — {ok_cells}/{total_cells} cells journaled \
+                 (resume to finish)",
+                spec.name
             );
         }
     }
@@ -316,9 +393,51 @@ fn finish(
         skipped,
         executed,
         complete,
+        failed,
+        retried,
+        corrupt,
         aggregates,
         artifacts: vec![journal.path().to_path_buf(), csv_path, json_path],
     })
+}
+
+/// The `report --health` table: per-cell robustness accounting from
+/// the durable journal — quarantined cells with their error messages,
+/// retry totals, and the corrupt-line tally from the load.
+fn health_table(spec: &CampaignSpec, results: &[CellResult], corrupt: usize) -> Table {
+    let mut table = Table::new(
+        &format!("{}-health", spec.name),
+        "campaign health (quarantined / retried / corrupt)",
+        &["kind", "cell", "attempts", "detail"],
+    );
+    let mut sorted: Vec<&CellResult> = results.iter().collect();
+    sorted.sort_by(|a, b| a.key.cmp(&b.key));
+    for r in &sorted {
+        if r.failed != 0 {
+            table.row(vec![
+                "quarantined".to_string(),
+                r.key.clone(),
+                r.attempts.to_string(),
+                r.error.clone(),
+            ]);
+        } else if r.attempts > 1 {
+            table.row(vec![
+                "retried".to_string(),
+                r.key.clone(),
+                r.attempts.to_string(),
+                "succeeded after retry".to_string(),
+            ]);
+        }
+    }
+    if corrupt > 0 {
+        table.row(vec![
+            "corrupt".to_string(),
+            "(journal lines)".to_string(),
+            corrupt.to_string(),
+            "skipped on load; cells re-run on resume".to_string(),
+        ]);
+    }
+    table
 }
 
 /// Per-phase breakdown of the journaled `phase_ms` records: one row

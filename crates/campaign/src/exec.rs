@@ -65,10 +65,27 @@ pub struct CellResult {
     /// never aggregated, and recorded even with tracing disabled (the
     /// cost is three clock reads per cell).
     pub phase_ms: Vec<(String, f64)>,
+    /// `1` when the cell exhausted its retry budget and was
+    /// quarantined (no metrics; excluded from aggregates); `0` for a
+    /// successful cell. A non-metric field on purpose: quarantine
+    /// state must never add aggregate rows, or a chaos run would stop
+    /// being bit-identical to a clean run.
+    pub failed: u64,
+    /// The panic/error message of the last failed attempt (empty for
+    /// successful cells).
+    pub error: String,
+    /// Cumulative execution attempts for this cell across run +
+    /// resumes (1 = clean first-try success). Resume reads the value
+    /// off a quarantined record so retried attempts keep advancing —
+    /// a re-run never replays the exact chaos decisions that
+    /// quarantined it.
+    pub attempts: u64,
 }
 
-// `phase_ms` is in the `default` block so journals written before it
-// existed still load (resume must never orphan paid-for cells).
+// `phase_ms` and the quarantine fields are in the `default` block so
+// journals written before them existed still load (resume must never
+// orphan paid-for cells). Absent quarantine fields decode as a clean
+// first-try success (`failed = 0`, `attempts = 0`).
 fx_json::impl_json_object!(CellResult {
     key,
     graph,
@@ -79,7 +96,10 @@ fx_json::impl_json_object!(CellResult {
     metrics,
     wall_ms
 } default {
-    phase_ms
+    phase_ms,
+    failed,
+    error,
+    attempts
 });
 
 impl CellResult {
@@ -453,6 +473,116 @@ pub fn run_cell_cancelable(spec: &CampaignSpec, cell: &Cell, token: &CancelToken
             ("fault".to_string(), fault_ms),
             ("algo".to_string(), algo_ms.max(0.0)),
         ],
+        failed: 0,
+        error: String::new(),
+        attempts: 1,
+    }
+}
+
+std::thread_local! {
+    /// True while this thread is executing a cell attempt under
+    /// [`run_cell_resilient`]'s `catch_unwind`: the panic hook stays
+    /// silent for these panics (they are expected, isolated, and
+    /// reported through the quarantine record instead of stderr
+    /// backtraces).
+    static SUPPRESS_PANIC_OUTPUT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that suppresses output for
+/// panics caught by cell isolation and delegates everything else to
+/// the previous hook.
+fn install_quiet_panic_hook() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(std::cell::Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Renders a `catch_unwind` payload as a message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes one cell with panic isolation, chaos injection, and the
+/// `[params] retries` budget: each attempt runs under `catch_unwind`;
+/// a panicking attempt is retried after a deterministic bounded
+/// backoff (2^attempt ms, capped at 50 ms) up to `retries` extra
+/// times, then the cell is **quarantined** — returned as a
+/// metrics-free record with `failed = 1` and the panic message, which
+/// the journal keeps and the aggregates exclude.
+///
+/// `base_attempt` is the cumulative attempt count consumed by earlier
+/// invocations (read off a quarantined journal record on resume), so
+/// the deterministic chaos decision function sees fresh attempt
+/// indices on every resume and an injected-fault cell converges to
+/// success instead of replaying the same failures forever.
+///
+/// The successful attempt's result is exactly [`run_cell`]'s — the
+/// attempt number never leaks into metrics, which is what keeps
+/// chaos-run + retries + resume bit-identical to a clean run.
+pub fn run_cell_resilient(spec: &CampaignSpec, cell: &Cell, base_attempt: u64) -> CellResult {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let retries = cell_params(spec, cell).retries;
+    let identity = crate::grid::fnv1a(&cell.key());
+    let started = Instant::now();
+    install_quiet_panic_hook();
+    let mut last_error = String::new();
+    for attempt in 0..=(retries as u64) {
+        let attempt_id = base_attempt + attempt;
+        SUPPRESS_PANIC_OUTPUT.with(|c| c.set(true));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // The cell_panic chaos site: pre-algo (before any work) or
+            // post-algo (all work done, result discarded), picked by a
+            // second deterministic coin. Off path: one relaxed load.
+            let fire = fx_chaos::should_fire(fx_chaos::Site::CellPanic, identity, attempt_id);
+            if fire && fx_chaos::aux_bit(fx_chaos::Site::CellPanic, identity, attempt_id) {
+                panic!("chaos: injected pre-algo panic (attempt {attempt_id})");
+            }
+            let result = run_cell(spec, cell);
+            if fire {
+                panic!("chaos: injected post-algo panic (attempt {attempt_id})");
+            }
+            result
+        }));
+        SUPPRESS_PANIC_OUTPUT.with(|c| c.set(false));
+        match outcome {
+            Ok(mut result) => {
+                result.attempts = base_attempt + attempt + 1;
+                return result;
+            }
+            Err(payload) => {
+                last_error = panic_message(payload.as_ref());
+                if attempt < retries as u64 {
+                    // deterministic bounded backoff before the retry
+                    std::thread::sleep(Duration::from_millis((1u64 << attempt.min(6)).min(50)));
+                }
+            }
+        }
+    }
+    CellResult {
+        key: cell.key(),
+        graph: cell.graph.clone(),
+        fault: cell.fault.to_string(),
+        algo: cell.algo.to_string(),
+        replicate: cell.replicate,
+        seed: cell.seed,
+        metrics: Vec::new(),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        phase_ms: Vec::new(),
+        failed: 1,
+        error: last_error,
+        attempts: base_attempt + retries as u64 + 1,
     }
 }
 
@@ -922,6 +1052,27 @@ algorithms = ["prune", "expansion-cert"]
             assert_eq!(a.key, cell.key());
             assert!(a.metric("n").unwrap() > 0.0);
         }
+    }
+
+    #[test]
+    fn resilient_wrapper_is_transparent_with_chaos_off() {
+        // with no chaos configured, run_cell_resilient must produce the
+        // exact metrics of run_cell, succeed first try, and record a
+        // single attempt — the wrapper is invisible in clean runs
+        let spec = small_spec();
+        let cells = expand(&spec).unwrap();
+        for cell in cells.iter().take(4) {
+            let plain = run_cell(&spec, cell);
+            let resilient = run_cell_resilient(&spec, cell, 0);
+            assert_eq!(plain.metrics, resilient.metrics, "{}", cell.key());
+            assert_eq!(resilient.failed, 0);
+            assert!(resilient.error.is_empty());
+            assert_eq!(resilient.attempts, 1);
+        }
+        // a prior resume's attempts are carried forward even on success
+        let carried = run_cell_resilient(&spec, &cells[0], 3);
+        assert_eq!(carried.attempts, 4);
+        assert_eq!(carried.failed, 0);
     }
 
     #[test]

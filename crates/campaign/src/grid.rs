@@ -49,7 +49,9 @@ impl Cell {
 }
 
 /// FNV-1a over a string — stable, dependency-free identity hash.
-fn fnv1a(text: &str) -> u64 {
+/// Crate-visible: chaos injection sites and the journal checksum use
+/// the same hash as cell identity.
+pub(crate) fn fnv1a(text: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in text.bytes() {
         h ^= b as u64;

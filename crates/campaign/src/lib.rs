@@ -79,9 +79,30 @@
 //! | `[params] grid` | `p*` search resolution | 50 |
 //! | `[params] mode` | percolation `site`/`bond` | `site` |
 //! | `[params] timeout_ms` | per-cell wall-clock budget (cells past it are cancelled cooperatively and journaled `timed_out`) | unbounded |
+//! | `[params] retries` | per-cell retry budget: a panicking cell is re-attempted this many times before being quarantined | 2 |
 //!
 //! ¹ root-level axes may be omitted when at least one `[grid-…]`
 //! table declares a grid.
+//!
+//! ## Fault tolerance
+//!
+//! Campaigns are **chaos-hardened**: a cell that panics is caught
+//! ([`run_cell_resilient`]), retried up to `[params] retries` times
+//! with deterministic bounded backoff, then *quarantined* — journaled
+//! with `failed=1` and the panic message, excluded from aggregates by
+//! the failed-cell rule ([`aggregate`]), and re-attempted on the next
+//! `resume` with its retry clock advanced past every attempt already
+//! paid for. The run itself always completes; `--strict` turns
+//! residual failures into a non-zero exit.
+//!
+//! Journal records carry an FNV-1a checksum
+//! (`{"crc":"…","cell":{…}}`); corrupt or torn records are skipped and
+//! counted on resume, and their cells re-execute like unseen ones.
+//! `fxnet campaign report --health` surfaces the
+//! failed/retried/corrupt tallies. Fault *injection* for testing all
+//! of this is driven by the `FXNET_CHAOS` environment variable (see
+//! `fx_chaos`); with it unset the injection sites cost one relaxed
+//! atomic load each.
 //!
 //! ## Distributed execution
 //!
@@ -104,7 +125,10 @@ pub mod toml;
 
 pub use agg::{aggregate, GroupAggregate, Welford};
 pub use engine::{journal_for, report, run, RunOptions, RunSummary};
-pub use exec::{run_cell, run_cell_cancelable, CellResult};
+pub use exec::{run_cell, run_cell_cancelable, run_cell_resilient, CellResult};
 pub use grid::{cell_seed, expand, shard_of, Cell};
-pub use journal::{merge_journals, Journal, JournalWriter, MergeSummary};
+pub use journal::{
+    merge_journals, merge_journals_checked, Journal, JournalWriter, LoadReport, MergeSummary,
+    DEFAULT_SYNC_EVERY,
+};
 pub use spec::{Algo, CampaignSpec, FaultSpec, GridOverrides, GridSpec, Params, TargetBy};

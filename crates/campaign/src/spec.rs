@@ -212,6 +212,12 @@ pub struct Params {
     /// campaign moves on instead of blocking a worker forever.
     /// `None` = unbounded.
     pub timeout_ms: Option<u64>,
+    /// Retry budget for failed cells: a cell whose execution panics
+    /// (or is killed by injected chaos) is re-run up to this many
+    /// extra times with deterministic bounded backoff before being
+    /// quarantined (journaled as `failed = 1`, excluded from
+    /// aggregates, re-executed on resume).
+    pub retries: usize,
 }
 
 impl Default for Params {
@@ -227,6 +233,7 @@ impl Default for Params {
             site_mode: true,
             trial_batch: 64,
             timeout_ms: None,
+            retries: 2,
         }
     }
 }
@@ -454,6 +461,9 @@ impl CampaignSpec {
             }
             params.timeout_ms = Some(t as u64);
         }
+        if let Some(r) = pu("retries")? {
+            params.retries = r;
+        }
         if let Some(mode) = doc.get_in("params", "mode") {
             match mode.as_str() {
                 Some("site") => params.site_mode = true,
@@ -473,6 +483,7 @@ impl CampaignSpec {
                 "mode",
                 "trial_batch",
                 "timeout_ms",
+                "retries",
             ];
             for key in table.keys() {
                 if !KNOWN.contains(&key.as_str()) {

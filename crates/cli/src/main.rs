@@ -49,26 +49,45 @@ commands:
   span       --graph SPEC [--samples N]         span (exact ≤ 20 nodes, else sampled)
   theory     --graph SPEC [--sigma S]           the paper's bounds for this network
   campaign   run|resume --spec FILE [--threads N] [--limit N] [--out DIR]
-                        [--shard I/M] [--quiet] [--timing]
-             report     --spec FILE [--out DIR] [--timing]
+                        [--shard I/M] [--quiet] [--timing] [--strict] [--health]
+             report     --spec FILE [--out DIR] [--timing] [--health]
              check      --spec FILE             parse + validate + expand + cost
                                                 estimate, run nothing
-             merge      --out FILE JOURNAL...
+             merge      --out FILE [--require-complete] JOURNAL...
                                                 declarative scenario campaigns
                                                 (journaled, resumable, parallel;
                                                  --shard partitions cells across
                                                  machines, merge recombines the
-                                                 shard journals; --timing prints
-                                                 the per-phase breakdown of the
-                                                 journaled phase_ms records)
+                                                 shard journals — missing shard
+                                                 files warn unless
+                                                 --require-complete; --timing
+                                                 prints the per-phase breakdown
+                                                 of the journaled phase_ms
+                                                 records; --strict exits
+                                                 non-zero if any cell stayed
+                                                 quarantined or any journal
+                                                 record was corrupt; --health
+                                                 prints the failed/retried/
+                                                 corrupt-cell table)
 
 global:     --threads N   worker threads (or FXNET_THREADS; default: cores, ≤ 16)
+resilience: panicking cells retry up to [params] retries times (default 2),
+            then are quarantined: journaled failed=1, excluded from aggregates,
+            re-attempted on the next resume. Journal records are checksummed;
+            corrupt records are skipped on resume and those cells re-run.
+            FXNET_JOURNAL_SYNC=N  fsync the journal every N records (default 64;
+            0 disables periodic sync — faster, but a power loss can lose up to
+            one OS write-back window of finished cells; they simply re-run)
+chaos:      FXNET_CHAOS=site:p,...  deterministic fault injection for testing
+            the resilience path (sites: cell_panic, io_error, slow[:p,ms];
+            seed:N reseeds decisions). Example:
+            FXNET_CHAOS=cell_panic:0.2,io_error:0.05,slow:0.1,5,seed:7
 lanes:      FXNET_MC_LANES=1|..|64  Monte-Carlo trials packed per machine word
             (overrides [params] trial_batch; 1 forces the scalar path; results
              are bit-identical at every width — speed knob only)
 tracing:    FXNET_TRACE=target[=level],...  structured telemetry (targets: par,
-            campaign, cell, overlay, percolation, faults; `all`; level 2 adds
-            hot-path histograms). Traced campaign runs write trace.jsonl +
+            campaign, cell, overlay, percolation, faults, chaos; `all`; level 2
+            adds hot-path histograms). Traced campaign runs write trace.jsonl +
             trace.chrome.json next to the journal.
 
 graph SPEC: torus:16,16 | mesh:8,8,8 | hypercube:10 | butterfly:8 |
@@ -83,6 +102,7 @@ fault SPEC: none | random:p | random-exact:f | adversarial:f | degree:f |
 
 fn main() -> ExitCode {
     fx_trace::init_from_env();
+    fx_chaos::init_from_env();
     let parsed = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
@@ -93,7 +113,13 @@ fn main() -> ExitCode {
     match run(&parsed) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            // a --strict campaign failure is an operational outcome,
+            // not a usage mistake — don't bury it under the help text
+            if e.starts_with("--strict:") {
+                eprintln!("error: {e}");
+            } else {
+                eprintln!("error: {e}\n\n{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -117,23 +143,35 @@ fn threads_option(args: &Args) -> Result<usize, String> {
 }
 
 fn merge_campaign_journals(args: &Args) -> Result<(), String> {
-    let inputs: Vec<std::path::PathBuf> = args
+    let mut inputs: Vec<std::path::PathBuf> = args
         .positionals
         .iter()
         .skip(1)
         .map(std::path::PathBuf::from)
         .collect();
+    // `--require-complete JOURNAL…` greedily captures the first path
+    // as the flag's "value" in the bare-bones parser; reclaim it.
+    let require_complete =
+        args.has_flag("require-complete") || args.get("require-complete").is_some();
+    if let Some(captured) = args.get("require-complete") {
+        inputs.insert(0, std::path::PathBuf::from(captured));
+    }
     if inputs.is_empty() {
         return Err("campaign merge requires at least one journal path".into());
     }
     let out = std::path::PathBuf::from(args.get("out").ok_or("missing --out FILE")?);
-    let summary = fx_campaign::merge_journals(&inputs, &out)?;
+    let summary = fx_campaign::merge_journals_checked(&inputs, &out, require_complete)?;
     outln!(
-        "merged {} journal(s): {} result lines, {} unique cells → {}",
-        inputs.len(),
+        "merged {} journal(s): {} result lines, {} unique cells → {}{}",
+        inputs.len() - summary.missing.len(),
         summary.read,
         summary.unique,
-        out.display()
+        out.display(),
+        if summary.missing.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} shard journal(s) missing)", summary.missing.len())
+        }
     );
     Ok(())
 }
@@ -217,7 +255,9 @@ fn run_campaign(args: &Args) -> Result<(), String> {
         output: args.get("out").map(std::path::PathBuf::from),
         shard: args.get("shard").map(parse_shard).transpose()?,
         timing: args.has_flag("timing"),
+        health: args.has_flag("health"),
     };
+    let strict = args.has_flag("strict");
     let summary = match action {
         // `resume` IS `run` — a run that finds journaled cells skips
         // them; the alias exists so intent reads clearly in scripts.
@@ -245,6 +285,24 @@ fn run_campaign(args: &Args) -> Result<(), String> {
     );
     for artifact in &summary.artifacts {
         let _ = writeln!(out, "  artifact: {}", artifact.display());
+    }
+    // --strict: a campaign that *completed* but left quarantined cells
+    // or skipped corrupt journal records is a failure for CI purposes,
+    // even though the engine degraded gracefully and produced
+    // aggregates over everything that did succeed.
+    if strict && (summary.failed > 0 || summary.corrupt > 0 || !summary.complete) {
+        return Err(format!(
+            "--strict: campaign {} left {} quarantined cell(s), {} corrupt \
+             journal record(s){}",
+            spec.name,
+            summary.failed,
+            summary.corrupt,
+            if summary.complete {
+                ""
+            } else {
+                "; grid is incomplete"
+            }
+        ));
     }
     Ok(())
 }

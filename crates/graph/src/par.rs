@@ -47,6 +47,21 @@ static TRACE_QUEUE_DEPTH: Histogram = Histogram::new(Target::Par, "queue_depth")
 static TRACE_PARK_NS: Histogram = Histogram::new(Target::Par, "park_ns");
 static TRACE_CANCEL_POLL_NS: Histogram = Histogram::new(Target::Par, "cancel_poll_ns");
 
+/// The `slow` chaos site: with `FXNET_CHAOS=slow:p[,ms]` a claimed
+/// chunk is delayed by the configured latency before it executes —
+/// straggler injection that perturbs the steal schedule without
+/// touching any result (the determinism contract makes schedules
+/// result-invariant, which is exactly what chaos runs verify). Off
+/// path: one relaxed atomic load.
+#[inline]
+fn chaos_slow(chunk_start: usize) {
+    if fx_chaos::enabled(fx_chaos::Site::Slow)
+        && fx_chaos::should_fire(fx_chaos::Site::Slow, chunk_start as u64, 0)
+    {
+        std::thread::sleep(Duration::from_millis(fx_chaos::slow_ms()));
+    }
+}
+
 /// Default worker count: `FXNET_THREADS` when set (≥ 1), otherwise
 /// available parallelism capped at 16.
 ///
@@ -315,6 +330,7 @@ unsafe fn participate_erased<H: ParJob>(data: *const (), slot: &JobSlot) {
             }
         }
         TRACE_CHUNKS.incr();
+        chaos_slow(start);
         let end = (start + slot.batch).min(slot.len);
         // make_local runs inside the catch too: a panicking init must
         // still account for the claimed chunk (no deadlock) and must
@@ -480,6 +496,7 @@ fn run_job<H: ParJob>(
                 return;
             }
             let end = (start + batch).min(len);
+            chaos_slow(start);
             job.chunk(&mut local, start, end, cancel);
             start = end;
         }

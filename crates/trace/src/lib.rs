@@ -48,10 +48,12 @@ pub enum Target {
     Percolation = 4,
     /// Fault-model sampling.
     Faults = 5,
+    /// Chaos fault injection (`fx-chaos` sites firing).
+    Chaos = 6,
 }
 
 /// Number of distinct [`Target`]s.
-pub const NUM_TARGETS: usize = 6;
+pub const NUM_TARGETS: usize = 7;
 
 impl Target {
     /// All targets, in discriminant order.
@@ -62,6 +64,7 @@ impl Target {
         Target::Overlay,
         Target::Percolation,
         Target::Faults,
+        Target::Chaos,
     ];
 
     /// The filter-grammar name of this target.
@@ -73,6 +76,7 @@ impl Target {
             Target::Overlay => "overlay",
             Target::Percolation => "percolation",
             Target::Faults => "faults",
+            Target::Chaos => "chaos",
         }
     }
 

@@ -1,0 +1,238 @@
+//! The chaos-hardening headline invariant: a campaign bombarded with
+//! injected faults (cell panics, journal I/O errors, straggler
+//! delays), retried, quarantined, and resumed until complete must
+//! produce **bit-identical** aggregate artifacts to a clean run — at
+//! any thread count. Fault tolerance that changed the science would be
+//! worse than a crash.
+//!
+//! Chaos configuration is process-global (like the trace filter), so
+//! every test here serializes on one mutex and restores the
+//! all-off configuration before releasing it.
+
+use fault_expansion::campaign::{run, CampaignSpec, RunOptions};
+use fx_chaos::Site;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes chaos-config mutation across tests (poison-tolerant: a
+/// failed assertion elsewhere must not cascade).
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+const GRID: &str = r#"
+name = "chaos-inv"
+seed = 77
+replicates = 2
+graphs = ["torus:6,6", "hypercube:3"]
+faults = ["none", "random:0.1"]
+algorithms = ["prune", "expansion-cert"]
+"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fx-chaos-inv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(threads: usize) -> RunOptions {
+    RunOptions {
+        quiet: true,
+        threads,
+        ..Default::default()
+    }
+}
+
+fn spec_in(grid: &str, dir: &Path) -> CampaignSpec {
+    let mut spec = CampaignSpec::parse(grid).unwrap();
+    spec.output = dir.to_path_buf();
+    spec
+}
+
+/// Runs `spec` under the given chaos filter, resuming until every
+/// cell has a successful journal record (quarantined and dropped
+/// cells re-run), then turns chaos off and returns the final
+/// `aggregates.json` bytes. Panics if the campaign cannot converge —
+/// with a finite retry budget and p < 1 every resume draws fresh
+/// deterministic decisions, so convergence failure is a bug.
+fn run_under_chaos_until_complete(spec: &CampaignSpec, chaos: &str, threads: usize) -> Vec<u8> {
+    fx_chaos::set_config(chaos);
+    let mut complete = false;
+    for _ in 0..30 {
+        let summary = run(spec, &opts(threads)).unwrap();
+        if summary.complete {
+            complete = true;
+            break;
+        }
+    }
+    fx_chaos::set_config("");
+    assert!(
+        complete,
+        "campaign failed to converge under chaos {chaos:?}"
+    );
+    std::fs::read(spec.output.join("aggregates.json")).unwrap()
+}
+
+#[test]
+fn chaos_run_with_resume_matches_clean_run_bit_identically() {
+    let _guard = lock();
+    fx_chaos::set_config("");
+    let baseline_dir = temp_dir("baseline");
+    let baseline_spec = spec_in(GRID, &baseline_dir);
+    let summary = run(&baseline_spec, &opts(2)).unwrap();
+    assert!(summary.complete);
+    assert_eq!(summary.failed, 0);
+    let baseline = std::fs::read(baseline_dir.join("aggregates.json")).unwrap();
+
+    let fired_before = fx_chaos::fired(Site::CellPanic);
+    for threads in [1usize, 2] {
+        let dir = temp_dir(&format!("chaos-t{threads}"));
+        let spec = spec_in(GRID, &dir);
+        let chaotic = run_under_chaos_until_complete(
+            &spec,
+            "cell_panic:0.4,io_error:0.3,slow:0.3,1,seed:9",
+            threads,
+        );
+        assert_eq!(
+            baseline, chaotic,
+            "aggregates diverge after chaos + resume at threads={threads}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        fx_chaos::fired(Site::CellPanic) > fired_before,
+        "chaos config never actually injected a panic — the invariant was vacuous"
+    );
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+}
+
+#[test]
+fn quarantine_excludes_cells_until_a_resume_recovers_them() {
+    let _guard = lock();
+    let dir = temp_dir("quarantine");
+    // retries = 0: the first injected panic quarantines immediately
+    let grid = r#"
+name = "chaos-quarantine"
+seed = 5
+graphs = ["torus:5,5"]
+faults = ["none", "random:0.1"]
+algorithms = ["prune"]
+
+[params]
+retries = 0
+"#;
+    let spec = spec_in(grid, &dir);
+
+    fx_chaos::set_config("cell_panic:1,seed:2");
+    let poisoned = run(&spec, &opts(2)).unwrap();
+    fx_chaos::set_config("");
+    assert!(!poisoned.complete, "every cell must have been quarantined");
+    assert_eq!(poisoned.failed, poisoned.total_cells);
+    assert!(
+        poisoned.aggregates.is_empty(),
+        "quarantined cells must contribute no aggregate rows"
+    );
+
+    // the journal carries the quarantine evidence
+    let journal = fault_expansion::campaign::journal_for(&spec, &opts(2));
+    let records = journal.load().unwrap();
+    assert_eq!(records.len(), poisoned.total_cells);
+    assert!(records
+        .iter()
+        .all(|r| r.failed == 1 && r.error.contains("chaos: injected")));
+
+    // chaos off → resume re-runs the quarantined cells to success,
+    // carrying the attempt clock forward
+    let recovered = run(&spec, &opts(2)).unwrap();
+    assert!(recovered.complete);
+    assert_eq!(recovered.failed, 0);
+    assert_eq!(
+        recovered.retried, recovered.total_cells as u64,
+        "each recovered cell records its earlier quarantined attempt"
+    );
+    assert!(!recovered.aggregates.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn total_journal_io_failure_degrades_to_a_resumable_run() {
+    let _guard = lock();
+    let dir = temp_dir("io-failure");
+    let grid = r#"
+name = "chaos-io"
+seed = 8
+graphs = ["torus:5,5"]
+faults = ["none"]
+algorithms = ["prune", "expansion-cert"]
+"#;
+    let spec = spec_in(grid, &dir);
+
+    // every journal append fails after exhausting its write retries:
+    // the run must still finish (dropping results, warning on stderr),
+    // leaving everything to re-run on resume
+    fx_chaos::set_config("io_error:1,seed:3");
+    let starved = run(&spec, &opts(1)).unwrap();
+    fx_chaos::set_config("");
+    assert_eq!(starved.executed, starved.total_cells);
+    assert!(!starved.complete, "no result can have survived the append");
+    assert!(fx_chaos::fired(Site::IoError) > 0);
+    let journal = fault_expansion::campaign::journal_for(&spec, &opts(1));
+    assert!(journal.load().unwrap().is_empty());
+
+    let recovered = run(&spec, &opts(1)).unwrap();
+    assert!(recovered.complete);
+    assert_eq!(recovered.executed, recovered.total_cells);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random chaos schedules — injection probabilities × retry
+    /// budgets × thread counts — never change what a converged
+    /// campaign aggregates to.
+    #[test]
+    fn random_chaos_schedules_preserve_aggregates(
+        p_panic in 0.05f64..0.5,
+        p_io in 0.0f64..0.3,
+        retries in 0usize..4,
+        chaos_seed in 1u64..10_000,
+        threads in 1usize..3,
+    ) {
+        let _guard = lock();
+        fx_chaos::set_config("");
+        let tag = format!("prop-{chaos_seed}-{retries}-{threads}");
+        let grid = format!(
+            r#"
+name = "chaos-prop"
+seed = 21
+graphs = ["torus:5,5", "hypercube:3"]
+faults = ["none", "random:0.1"]
+algorithms = ["prune"]
+
+[params]
+retries = {retries}
+"#
+        );
+
+        let clean_dir = temp_dir(&format!("{tag}-clean"));
+        let clean_spec = spec_in(&grid, &clean_dir);
+        let summary = run(&clean_spec, &opts(2)).unwrap();
+        prop_assert!(summary.complete);
+        let baseline = std::fs::read(clean_dir.join("aggregates.json")).unwrap();
+
+        let chaos_dir = temp_dir(&format!("{tag}-chaos"));
+        let chaos_spec = spec_in(&grid, &chaos_dir);
+        let chaotic = run_under_chaos_until_complete(
+            &chaos_spec,
+            &format!("cell_panic:{p_panic},io_error:{p_io},seed:{chaos_seed}"),
+            threads,
+        );
+        prop_assert_eq!(&baseline, &chaotic);
+        let _ = std::fs::remove_dir_all(&clean_dir);
+        let _ = std::fs::remove_dir_all(&chaos_dir);
+    }
+}
