@@ -8,12 +8,16 @@
 //! is the same cell on the 64-trials-per-word lane engine vs the
 //! scalar loop (with a `FX_BENCH_LANE_MIN_RATIO` speedup gate),
 //! `mc_random_fault_e2e` is the Theorem 3.4 random-fault sweep
-//! (`analyze_random`: sample → γ → Prune2 → certify, per trial).
+//! (`analyze_random`: sample → γ → Prune2 → certify, per trial), and
+//! `dyncon_e2e` is the offline dynamic-connectivity solve of a
+//! 10k-peer/2000-op churn trace vs the per-snapshot re-sweep oracle
+//! (with a `FX_BENCH_DYNCON_MIN_RATIO` speedup gate).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fx_core::{analyze_random, AnalyzerConfig, Family};
 use fx_faults::{targeted_order, FaultModel, HeavyTailedFaults, TargetBy};
-use fx_graph::{CsrGraph, NodeSet};
+use fx_graph::dyncon::{resweep_curve, solve_curve, IntervalTrace};
+use fx_graph::{CsrGraph, NodeSet, Scratch};
 use fx_overlay::{ChurnPolicy, Overlay};
 use fx_percolation::{
     critical_removal_fraction, estimate_critical, gamma_removal_curve, gamma_trials_with,
@@ -194,6 +198,85 @@ fn bench_overlay_churn(c: &mut Criterion) {
     group.finish();
 }
 
+/// The offline dynamic-connectivity engine vs the per-snapshot
+/// re-sweep oracle on the same recorded churn trace: a 2-D CAN grown
+/// to 10k peers, then 2000 degree-targeted churn ops with trace
+/// recording on. `dyncon_solve` answers exact connectivity at all
+/// 2001 timesteps in one segment-tree + rollback-union-find pass;
+/// `resweep_oracle` rebuilds the alive adjacency and re-runs the BFS
+/// component sweep per timestep — O(T·(V+E)), what churn cells paid
+/// before the offline engine.
+fn bench_dyncon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dyncon_e2e");
+    group.sample_size(10);
+    let trace = churn_trace_10k();
+    let mut scratch = Scratch::new();
+    group.bench_function("dyncon_solve_10k_2000ops", |b| {
+        b.iter(|| solve_curve(&trace).survival_metrics())
+    });
+    group.bench_function("resweep_oracle_10k_2000ops", |b| {
+        b.iter(|| resweep_curve(&trace, &mut scratch).survival_metrics())
+    });
+    group.finish();
+    dyncon_speedup_gate(&trace);
+}
+
+/// The `dyncon_e2e` workload: 10k-peer CAN, 2000 recorded churn ops.
+fn churn_trace_10k() -> IntervalTrace {
+    let policy = ChurnPolicy {
+        join_bias: 0.5,
+        session_alpha: None,
+        degree_targeted: true,
+    };
+    let mut rng = SmallRng::seed_from_u64(0xE2E);
+    let mut ov = Overlay::with_peers_policy(2, 10_000, &policy, &mut rng);
+    ov.start_trace();
+    ov.churn_with(2000, &policy, &mut rng);
+    ov.take_trace().expect("recording was on").finalize()
+}
+
+/// Speedup gate, same discipline as the bit-parallel one: best-of-3
+/// minima per engine, fail the bench run when the offline/oracle
+/// speedup drops below `FX_BENCH_DYNCON_MIN_RATIO` (unset = report
+/// only; the acceptance floor is 10x, CI pins a noise-tolerant 4x).
+/// Both engines must produce identical curves — the equality check
+/// rides inside the gate so the timed comparison is also a
+/// correctness cross-validation.
+fn dyncon_speedup_gate(trace: &IntervalTrace) {
+    let mut scratch = Scratch::new();
+    let best = |run: &mut dyn FnMut() -> fx_graph::dyncon::ConnCurve| {
+        let mut curve = None;
+        let elapsed = (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                curve = Some(std::hint::black_box(run()));
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+        (elapsed, curve.unwrap())
+    };
+    let (dyncon, curve) = best(&mut || solve_curve(trace));
+    let (oracle, oracle_curve) = best(&mut || resweep_curve(trace, &mut scratch));
+    assert_eq!(
+        curve, oracle_curve,
+        "dyncon and the re-sweep oracle must produce identical curves"
+    );
+    let ratio = oracle.as_secs_f64() / dyncon.as_secs_f64().max(1e-12);
+    eprintln!("dyncon_e2e: dyncon {dyncon:?} vs oracle {oracle:?} — speedup {ratio:.2}x");
+    let Ok(raw) = std::env::var("FX_BENCH_DYNCON_MIN_RATIO") else {
+        return;
+    };
+    let Ok(min) = raw.trim().parse::<f64>() else {
+        eprintln!("warning: FX_BENCH_DYNCON_MIN_RATIO {raw:?} is not a number; gate skipped");
+        return;
+    };
+    if ratio < min {
+        eprintln!("FAIL: dyncon speedup {ratio:.2}x below the {min}x floor");
+        std::process::exit(1);
+    }
+}
+
 /// Shortened criterion cycle, matching the other suites.
 fn fast_config() -> Criterion {
     Criterion::default()
@@ -205,6 +288,6 @@ criterion_group! {
     name = benches;
     config = fast_config();
     targets = bench_mc_percolation, bench_mc_bitparallel, bench_mc_random_faults,
-        bench_targeted_sweep, bench_overlay_churn
+        bench_targeted_sweep, bench_overlay_churn, bench_dyncon
 }
 criterion_main!(benches);

@@ -591,6 +591,65 @@ algorithms = ["expansion-cert"]
         assert_eq!(again.aggregates, summary.aggregates);
     }
 
+    /// Churn-trace recording and the offline curve solve are part of
+    /// the determinism contract: the same campaign run at 1 and 2
+    /// threads aggregates bit-identically, curve metrics included.
+    #[test]
+    fn churn_trace_curves_are_thread_count_deterministic() {
+        let spec_in = |dir: &std::path::Path| {
+            let mut spec = CampaignSpec::parse(
+                r#"
+name = "trace-det"
+seed = 9
+replicates = 2
+graphs = [
+    "overlay:2,40,churn=60,sessions=pareto:1.5",
+    "overlay:3,32,churn=40,depart=degree",
+]
+faults = ["random:0.1"]
+algorithms = ["expansion-cert"]
+"#,
+            )
+            .unwrap();
+            spec.output = dir.to_path_buf();
+            spec
+        };
+        let dirs = [temp_dir("trace-det-1"), temp_dir("trace-det-2")];
+        let runs: Vec<_> = dirs
+            .iter()
+            .zip([1usize, 2])
+            .map(|(dir, threads)| {
+                run(
+                    &spec_in(dir),
+                    &RunOptions {
+                        threads,
+                        quiet: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(
+            runs[0].aggregates, runs[1].aggregates,
+            "trace curves must not depend on the thread count"
+        );
+        for metric in [
+            "gamma_half_life",
+            "min_gamma_t",
+            "gamma_auc_t",
+            "trace_events",
+        ] {
+            assert!(
+                runs[0].aggregates.iter().any(|a| a.metric == metric),
+                "{metric} aggregated"
+            );
+        }
+        for d in &dirs {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
     #[test]
     fn sharded_runs_partition_and_merge_to_the_full_campaign() {
         let dir_full = temp_dir("shard-full");

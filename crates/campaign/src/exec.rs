@@ -13,7 +13,7 @@
 //! bookkeeping, and overlay cells report churn-survival statistics.
 
 use crate::grid::Cell;
-use crate::spec::{Algo, CampaignSpec, FaultSpec, Params};
+use crate::spec::{Algo, CampaignSpec, ChurnCurves, FaultSpec, Params};
 use fx_core::{
     analyze_adversarial, analyze_random, diffuse, embed_nearest, point_load, AnalyzerConfig,
     BuiltScenario, Scenario,
@@ -24,6 +24,7 @@ use fx_faults::{apply_faults, targeted_order, FaultModel};
 use fx_graph::boundary::edge_cut_size;
 use fx_graph::components::{component_stats_with, gamma, largest_component};
 use fx_graph::distance::diameter_two_sweep;
+use fx_graph::dyncon::{resweep_curve, solve_curve};
 use fx_graph::par::CancelToken;
 use fx_graph::routing::{permutation_demands, route_demands};
 use fx_graph::traversal::bfs_ball;
@@ -445,7 +446,7 @@ pub fn run_cell_cancelable(spec: &CampaignSpec, cell: &Cell, token: &CancelToken
         Algo::LoadBalance => load_balance_metrics(&built, params, cell, &mut rng, token),
         Algo::Embed => embed_metrics(&built, params, cell, &mut rng, token),
     };
-    metrics.extend(scenario_metrics(&built));
+    metrics.extend(scenario_metrics(&built, params));
     drop(algo_span);
     let fault_ms = FAULT_NS.with(std::cell::Cell::get) as f64 / 1e6;
     let algo_ms = algo_started.elapsed().as_secs_f64() * 1e3 - fault_ms;
@@ -587,9 +588,11 @@ pub fn run_cell_resilient(spec: &CampaignSpec, cell: &Cell, base_attempt: u64) -
 }
 
 /// Construction-level metrics every cell of a derived scenario
-/// reports, independent of the algorithm: subdivided bookkeeping, and
-/// overlay churn/load statistics (§4's CAN steady state).
-fn scenario_metrics(built: &BuiltScenario) -> Vec<(String, f64)> {
+/// reports, independent of the algorithm: subdivided bookkeeping,
+/// overlay churn/load statistics (§4's CAN steady state), and — for
+/// churn cells — whole-trace survival-curve metrics from the
+/// configured [`ChurnCurves`] engine.
+fn scenario_metrics(built: &BuiltScenario, params: &Params) -> Vec<(String, f64)> {
     let mut m = Vec::new();
     if let Some(sub) = &built.sub {
         m.push(("base_n".to_string(), sub.original_n as f64));
@@ -615,6 +618,30 @@ fn scenario_metrics(built: &BuiltScenario) -> Vec<(String, f64)> {
             // heavy-tailed churn: session survivorship of the alive
             // population (grows past 1 as short sessions wash out)
             m.push(("mean_session".to_string(), ov.mean_session));
+        }
+    }
+    if let Some(trace) = &built.churn_trace {
+        if params.churn_curves != ChurnCurves::Off {
+            // whole-trace survival curve: one exact connectivity
+            // answer per churn timestep, from the recorded zone
+            // adjacency event log. `dyncon` (the offline segment-tree
+            // pass) and `oracle` (per-snapshot BFS re-sweeps) journal
+            // bit-identical metrics — the oracle arm exists so CI can
+            // cross-validate the fast engine on every spec.
+            let span = Span::enter(Target::Dyncon, "cell.churn_curve");
+            let interval = trace.clone().finalize();
+            let curve = match params.churn_curves {
+                ChurnCurves::Dyncon => solve_curve(&interval),
+                ChurnCurves::Oracle => resweep_curve(&interval, &mut Scratch::new()),
+                ChurnCurves::Off => unreachable!("gated above"),
+            };
+            let cm = curve.survival_metrics();
+            drop(span);
+            m.push(("trace_events".to_string(), interval.events as f64));
+            m.push(("trace_horizon".to_string(), interval.horizon as f64));
+            m.push(("gamma_half_life".to_string(), cm.gamma_half_life));
+            m.push(("min_gamma_t".to_string(), cm.min_gamma_t));
+            m.push(("gamma_auc_t".to_string(), cm.gamma_auc_t));
         }
     }
     m
@@ -1161,6 +1188,73 @@ algorithms = ["expansion-cert", "percolation"]
                 r.metrics
             );
             assert!(r.metric("adj_updates").unwrap() > 0.0);
+            // the default engine (dyncon) journals whole-trace
+            // survival-curve metrics for every churn cell
+            assert!(r.metric("gamma_half_life").is_some(), "{}", cell.key());
+            assert!(r.metric("min_gamma_t").unwrap() >= 0.0);
+            assert!(r.metric("gamma_auc_t").unwrap() > 0.0);
+            assert!(r.metric("trace_events").unwrap() > 0.0);
+            assert_eq!(r.metric("trace_horizon"), Some(51.0), "ops + 1");
+            assert_eq!(r.metrics, run_cell(&spec, &cell).metrics, "{}", cell.key());
+        }
+    }
+
+    /// The offline dyncon engine and the per-snapshot re-sweep oracle
+    /// must journal bit-identical curve metrics; `off` restores the
+    /// pre-curve journal shape.
+    #[test]
+    fn churn_curve_engines_agree_bit_for_bit() {
+        let spec_for = |engine: &str| {
+            CampaignSpec::parse(&format!(
+                "name = \"curves\"\nseed = 11\n\
+                 graphs = [\"overlay:2,40,churn=60,sessions=pareto:1.5\"]\n\
+                 algorithms = [\"expansion-cert\"]\n\
+                 [params]\nchurn_curves = \"{engine}\""
+            ))
+            .unwrap()
+        };
+        let dyncon_spec = spec_for("dyncon");
+        let cell = &expand(&dyncon_spec).unwrap()[0];
+        let d = run_cell(&dyncon_spec, cell);
+        let o = run_cell(&spec_for("oracle"), cell);
+        for key in [
+            "gamma_half_life",
+            "min_gamma_t",
+            "gamma_auc_t",
+            "trace_events",
+            "trace_horizon",
+        ] {
+            assert!(d.metric(key).is_some(), "{key} journaled");
+            assert_eq!(d.metric(key), o.metric(key), "{key} dyncon ≡ oracle");
+        }
+        assert_eq!(d.metric("trace_horizon"), Some(61.0), "ops + 1 query times");
+        assert!(d.metric("min_gamma_t").unwrap() <= 1.0);
+        let off = run_cell(&spec_for("off"), cell);
+        assert_eq!(off.metric("gamma_half_life"), None, "off skips the curve");
+        assert_eq!(off.metric("trace_events"), None);
+        // the engine knob never touches non-curve metrics
+        for (k, v) in &off.metrics {
+            assert_eq!(d.metric(k), Some(*v), "{k} engine-independent");
+        }
+    }
+
+    /// Small-world scenarios run end to end through the executor.
+    #[test]
+    fn smallworld_cells_execute_deterministically() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "sw"
+graphs = ["smallworld:200,6,0.1"]
+faults = ["targeted:0.2,by=degree"]
+algorithms = ["percolation", "shatter"]
+"#,
+        )
+        .unwrap();
+        for cell in expand(&spec).unwrap() {
+            let r = run_cell(&spec, &cell);
+            assert_eq!(r.metric("n"), Some(200.0), "{}", cell.key());
+            let g_frac = r.metric("gamma").unwrap();
+            assert!((0.0..=1.0).contains(&g_frac), "{}", cell.key());
             assert_eq!(r.metrics, run_cell(&spec, &cell).metrics, "{}", cell.key());
         }
     }

@@ -80,6 +80,7 @@
 //! | `[params] mode` | percolation `site`/`bond` | `site` |
 //! | `[params] timeout_ms` | per-cell wall-clock budget (cells past it are cancelled cooperatively and journaled `timed_out`) | unbounded |
 //! | `[params] retries` | per-cell retry budget: a panicking cell is re-attempted this many times before being quarantined | 2 |
+//! | `[params] churn_curves` | survival-curve engine for churn traces: `dyncon` (offline segment-tree + rollback-union-find solve), `oracle` (per-snapshot re-sweeps, bit-identical metrics), `off` | `dyncon` |
 //!
 //! ¹ root-level axes may be omitted when at least one `[grid-…]`
 //! table declares a grid.
@@ -131,4 +132,6 @@ pub use journal::{
     merge_journals, merge_journals_checked, Journal, JournalWriter, LoadReport, MergeSummary,
     DEFAULT_SYNC_EVERY,
 };
-pub use spec::{Algo, CampaignSpec, FaultSpec, GridOverrides, GridSpec, Params, TargetBy};
+pub use spec::{
+    Algo, CampaignSpec, ChurnCurves, FaultSpec, GridOverrides, GridSpec, Params, TargetBy,
+};

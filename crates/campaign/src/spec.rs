@@ -177,6 +177,33 @@ impl fmt::Display for Algo {
     }
 }
 
+/// Which engine computes the whole-trace survival curve of overlay
+/// churn cells (`params.churn_curves`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChurnCurves {
+    /// Offline fully-dynamic connectivity (`fx_graph::dyncon`): one
+    /// O((E+T)·log T·α) segment-tree pass over the recorded
+    /// [`ChurnTrace`](fx_graph::dyncon::ChurnTrace).
+    #[default]
+    Dyncon,
+    /// Per-snapshot re-sweep: rebuild the alive adjacency and re-run
+    /// the BFS component sweep at every timestep — O(T·(V+E)), the
+    /// ground truth the dyncon engine is validated against.
+    Oracle,
+    /// Skip curve metrics entirely (pre-PR-9 behavior).
+    Off,
+}
+
+impl fmt::Display for ChurnCurves {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ChurnCurves::Dyncon => "dyncon",
+            ChurnCurves::Oracle => "oracle",
+            ChurnCurves::Off => "off",
+        })
+    }
+}
+
 /// Tunable parameters shared by all cells (the `[params]` table).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Params {
@@ -218,6 +245,12 @@ pub struct Params {
     /// quarantined (journaled as `failed = 1`, excluded from
     /// aggregates, re-executed on resume).
     pub retries: usize,
+    /// Survival-curve engine for overlay churn cells (`dyncon` |
+    /// `oracle` | `off`). Both engines journal bit-identical
+    /// `gamma_half_life` / `min_gamma_t` / `gamma_auc_t` metrics —
+    /// this is a speed (and cross-validation) knob, never a
+    /// statistics knob.
+    pub churn_curves: ChurnCurves,
 }
 
 impl Default for Params {
@@ -234,6 +267,7 @@ impl Default for Params {
             trial_batch: 64,
             timeout_ms: None,
             retries: 2,
+            churn_curves: ChurnCurves::Dyncon,
         }
     }
 }
@@ -471,6 +505,18 @@ impl CampaignSpec {
                 _ => return Err("params.mode must be \"site\" or \"bond\"".into()),
             }
         }
+        if let Some(engine) = doc.get_in("params", "churn_curves") {
+            match engine.as_str() {
+                Some("dyncon") => params.churn_curves = ChurnCurves::Dyncon,
+                Some("oracle") => params.churn_curves = ChurnCurves::Oracle,
+                Some("off") => params.churn_curves = ChurnCurves::Off,
+                _ => {
+                    return Err(
+                        "params.churn_curves must be \"dyncon\", \"oracle\", or \"off\"".into(),
+                    )
+                }
+            }
+        }
         if let Some(table) = doc.tables.get("params") {
             const KNOWN: &[&str] = &[
                 "k",
@@ -484,6 +530,7 @@ impl CampaignSpec {
                 "trial_batch",
                 "timeout_ms",
                 "retries",
+                "churn_curves",
             ];
             for key in table.keys() {
                 if !KNOWN.contains(&key.as_str()) {
@@ -570,14 +617,23 @@ fn parse_grid<'a>(
         .iter()
         .map(|s| FaultSpec::parse(s).map_err(|e| format!("[{label}] faults entry: {e}")))
         .collect::<Result<_, _>>()?;
+    // provenance of each fault axis entry: explicit entries stand on
+    // their own; sweep-expanded points remember the sweep string, so a
+    // grid-point rejection can point at the spec line the user wrote
+    // (an expanded point like `random:0.2` appears nowhere in the
+    // file — churn grids hit this with every swept severity)
+    let mut origin: Vec<Option<String>> = vec![None; faults.len()];
     // the severity axis: each fault-sweep entry expands its
     // `lo..hi/steps` range into one fault model per step
     for sweep in string_list("fault-sweep")? {
-        faults
-            .extend(expand_sweep(&sweep).map_err(|e| format!("[{label}] fault-sweep entry: {e}"))?);
+        let expanded =
+            expand_sweep(&sweep).map_err(|e| format!("[{label}] fault-sweep entry: {e}"))?;
+        origin.extend(std::iter::repeat_n(Some(sweep.clone()), expanded.len()));
+        faults.extend(expanded);
     }
     if faults.is_empty() {
         faults.push(FaultSpec::None);
+        origin.push(None);
     }
 
     let mut overrides = GridOverrides::default();
@@ -627,9 +683,16 @@ fn parse_grid<'a>(
     // the whole grid must be well-formed before anything runs
     for scenario in &scenarios {
         for algo in &algorithms {
-            for fault in &faults {
+            for (fault, from) in faults.iter().zip(&origin) {
                 algo.accepts(fault, scenario).map_err(|e| {
-                    format!("[{label}] invalid grid point ({scenario} × {fault} × {algo}): {e}")
+                    let provenance = match from {
+                        Some(sweep) => format!(" (expanded from fault-sweep {sweep:?})"),
+                        None => String::new(),
+                    };
+                    format!(
+                        "[{label}] invalid grid point ({scenario} × {fault} × \
+                         {algo}){provenance}: {e}"
+                    )
                 })?;
             }
         }
@@ -826,6 +889,11 @@ algorithms = ["span"]
             sessions: None,
             depart_degree: false,
         };
+        let smallworld = Scenario::SmallWorld {
+            n: 64,
+            k: 4,
+            p: 0.1,
+        };
         let algos = [
             Algo::Prune,
             Algo::Prune2,
@@ -858,9 +926,10 @@ algorithms = ["span"]
         };
         for algo in algos {
             for (fi, fault) in faults.iter().enumerate() {
-                // on plain and overlay scenarios, chain-centers is
-                // always rejected; everything else matches the table
-                for scenario in [&plain, &overlay] {
+                // on plain, overlay, and smallworld scenarios,
+                // chain-centers is always rejected; everything else
+                // matches the table
+                for scenario in [&plain, &overlay, &smallworld] {
                     let expect = ok_on_subdivided(algo, fi) && fi != CHAIN_CENTERS;
                     assert_eq!(
                         algo.accepts(fault, scenario).is_ok(),
@@ -928,6 +997,50 @@ algorithms = ["span"]
             .unwrap_err();
             assert!(err.contains("trial_batch"), "{err}");
         }
+    }
+
+    #[test]
+    fn churn_curves_parses_and_validates() {
+        assert_eq!(
+            Params::default().churn_curves,
+            ChurnCurves::Dyncon,
+            "offline engine by default"
+        );
+        for (value, expect) in [
+            ("dyncon", ChurnCurves::Dyncon),
+            ("oracle", ChurnCurves::Oracle),
+            ("off", ChurnCurves::Off),
+        ] {
+            let spec = CampaignSpec::parse(&format!(
+                "name = \"c\"\ngraphs = [\"overlay:2,32,churn=40\"]\n\
+                 algorithms = [\"expansion-cert\"]\n[params]\nchurn_curves = \"{value}\""
+            ))
+            .unwrap();
+            assert_eq!(spec.params.churn_curves, expect, "{value}");
+        }
+        let err = CampaignSpec::parse(
+            "name = \"c\"\ngraphs = [\"cycle:10\"]\nalgorithms = [\"span\"]\n\
+             [params]\nchurn_curves = \"incremental\"",
+        )
+        .unwrap_err();
+        assert!(err.contains("churn_curves"), "{err}");
+    }
+
+    #[test]
+    fn smallworld_scenarios_parse_in_the_graph_axis() {
+        let spec = CampaignSpec::parse(
+            "name = \"sw\"\ngraphs = [\"smallworld:256,6,0.1\"]\nfaults = [\"random:0.1\"]\n\
+             algorithms = [\"expansion-cert\", \"percolation\"]",
+        )
+        .unwrap();
+        assert_eq!(spec.grids[0].graphs, vec!["smallworld:256,6,0.1"]);
+        // chain-centers has no chains to aim at on a rewired lattice
+        let err = CampaignSpec::parse(
+            "name = \"sw\"\ngraphs = [\"smallworld:256,6,0.1\"]\nfaults = [\"chain-centers\"]\n\
+             algorithms = [\"shatter\"]",
+        )
+        .unwrap_err();
+        assert!(err.contains("subdivided"), "{err}");
     }
 
     #[test]
@@ -1026,13 +1139,29 @@ algorithms = ["expansion-cert"]
                 "random:0.1"
             ]
         );
-        // sweep points are grid points: invalid ones reject at parse
+        // sweep points are grid points: invalid ones reject at parse,
+        // naming BOTH the declaring grid table and the sweep string
+        // the user actually wrote (the expanded point `random:0.1`
+        // appears nowhere in the spec — churn grids hit this with
+        // every swept severity)
         let err = CampaignSpec::parse(
-            "name = \"d\"\ngraphs = [\"cycle:10\"]\nfault-sweep = [\"random:0.1..0.3/3\"]\n\
+            "name = \"d\"\n[grid-churn]\ngraphs = [\"overlay:2,32,churn=40\"]\n\
+             fault-sweep = [\"random:0.1..0.3/3\"]\nalgorithms = [\"span\"]",
+        )
+        .unwrap_err();
+        assert!(err.contains("[grid-churn]"), "grid table named: {err}");
+        assert!(
+            err.contains("expanded from fault-sweep \"random:0.1..0.3/3\""),
+            "sweep provenance: {err}"
+        );
+        assert!(err.contains("span"), "{err}");
+        // explicit (non-swept) fault entries carry no sweep provenance
+        let err = CampaignSpec::parse(
+            "name = \"d\"\ngraphs = [\"cycle:10\"]\nfaults = [\"random:0.1\"]\n\
              algorithms = [\"span\"]",
         )
         .unwrap_err();
-        assert!(err.contains("span"), "{err}");
+        assert!(!err.contains("expanded from"), "{err}");
         // malformed sweeps reject with the grid label
         let err = CampaignSpec::parse(
             "name = \"d\"\n[grid-a]\ngraphs = [\"cycle:10\"]\nfault-sweep = [\"random:0.1\"]\n\

@@ -85,14 +85,19 @@ chaos:      FXNET_CHAOS=site:p,...  deterministic fault injection for testing
 lanes:      FXNET_MC_LANES=1|..|64  Monte-Carlo trials packed per machine word
             (overrides [params] trial_batch; 1 forces the scalar path; results
              are bit-identical at every width — speed knob only)
+curves:     [params] churn_curves = dyncon|oracle|off  survival-curve engine for
+            churn cells (dyncon: offline segment-tree + rollback-union-find
+            solve of the recorded trace; oracle: per-snapshot re-sweeps, same
+            bits, O(ops·(V+E)); off skips curves — speed knob, never science)
 tracing:    FXNET_TRACE=target[=level],...  structured telemetry (targets: par,
-            campaign, cell, overlay, percolation, faults, chaos; `all`; level 2
-            adds hot-path histograms). Traced campaign runs write trace.jsonl +
-            trace.chrome.json next to the journal.
+            campaign, cell, overlay, percolation, faults, chaos, dyncon; `all`;
+            level 2 adds hot-path histograms). Traced campaign runs write
+            trace.jsonl + trace.chrome.json next to the journal.
 
 graph SPEC: torus:16,16 | mesh:8,8,8 | hypercube:10 | butterfly:8 |
             debruijn:10 | shuffle-exchange:10 | margulis:32 |
-            random-regular:1024,4 | cycle:100 | complete:64
+            random-regular:1024,4 | cycle:100 | complete:64 |
+            smallworld:1024,6,0.1 (Watts–Strogatz)
    derived: subdivided:200,4,8 (Thm 2.3 H_k) |
             overlay:2,256,churn=400[,sessions=pareto:1.5][,depart=degree] (§4 CAN)
 fault SPEC: none | random:p | random-exact:f | adversarial:f | degree:f |
@@ -235,6 +240,27 @@ fn run_campaign(args: &Args) -> Result<(), String> {
                     batches,
                     eff.trial_batch
                 );
+            }
+            // churn cells additionally record a zone-adjacency event
+            // trace and pay one offline survival-curve pass over it:
+            // a join/depart touches the new/departing owner plus its
+            // ≈ 2·dim zone neighbors twice (off + retarget), so
+            // ≈ 4·dim + 2 events per op
+            for graph in &grid.graphs {
+                if let Ok(fx_core::Scenario::Overlay { dim, churn, .. }) =
+                    fx_core::Scenario::from_spec(graph)
+                {
+                    if churn > 0 {
+                        let per_op = 4 * dim as u64 + 2;
+                        outln!(
+                            "      churn trace: {graph} ≈ {} events per cell \
+                             ({churn} ops × ≈{per_op} events/op) for the \
+                             survival-curve engine (churn_curves = \"{}\")",
+                            churn as u64 * per_op,
+                            eff.churn_curves
+                        );
+                    }
+                }
             }
         }
         outln!(

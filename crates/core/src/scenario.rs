@@ -22,11 +22,16 @@
 //!   `sessions=pareto:alpha` draws heavy-tailed per-peer session
 //!   weights (short sessions leave first); `depart=degree` makes
 //!   every departure remove the best-connected zone — churn as an
-//!   adversary.
+//!   adversary;
+//! * `smallworld:<n>,<k>,<p>` — a Watts–Strogatz small world: the
+//!   `k`-nearest-neighbor ring lattice (a rewired 1-D torus) on `n`
+//!   nodes with each lattice edge rewired with probability `p` — the
+//!   Demichev et al. fault-tolerance testbed.
 
 use crate::families::{subdivided_expander, Family};
 use crate::network::Network;
-use fx_graph::generators::SubdividedGraph;
+use fx_graph::dyncon::ChurnTrace;
+use fx_graph::generators::{small_world, SubdividedGraph};
 use fx_overlay::{ChurnPolicy, Overlay};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -62,6 +67,17 @@ pub enum Scenario {
         /// leaves) instead of uniformly random ones.
         depart_degree: bool,
     },
+    /// A Watts–Strogatz small world: `k`-nearest-neighbor ring
+    /// lattice on `n` nodes, each lattice edge rewired with
+    /// probability `p`.
+    SmallWorld {
+        /// Node count.
+        n: usize,
+        /// Nearest neighbors per node (even, `k/2` per side).
+        k: usize,
+        /// Per-edge rewiring probability.
+        p: f64,
+    },
 }
 
 /// What kind of scenario — the axis [`crate::scenario`]-aware
@@ -74,6 +90,8 @@ pub enum ScenarioKind {
     Subdivided,
     /// CAN overlay snapshot.
     Overlay,
+    /// Watts–Strogatz small world.
+    SmallWorld,
 }
 
 /// A built scenario: the network plus whatever derived structure the
@@ -87,6 +105,11 @@ pub struct BuiltScenario {
     pub sub: Option<SubdividedGraph>,
     /// Overlay statistics for CAN scenarios.
     pub overlay: Option<OverlayInfo>,
+    /// The peer-level churn event log recorded while an overlay
+    /// scenario with `churn > 0` was built — the input of the offline
+    /// dynamic-connectivity engine (`fx_graph::dyncon`). `None` for
+    /// every other scenario kind.
+    pub churn_trace: Option<ChurnTrace>,
 }
 
 /// Deterministic summary of a built overlay snapshot.
@@ -241,8 +264,45 @@ impl Scenario {
                     depart_degree: depart.unwrap_or(false),
                 })
             }
+            "smallworld" => {
+                let pieces: Vec<&str> = params.split(',').map(str::trim).collect();
+                if pieces.len() != 3 {
+                    return Err(format!(
+                        "smallworld expects 3 parameters (n,k,p), got {} \
+                         (try smallworld:1024,6,0.1)",
+                        if params.is_empty() { 0 } else { pieces.len() }
+                    ));
+                }
+                let n: usize = pieces[0].parse().map_err(|_| {
+                    format!("scenario {spec:?}: bad integer parameter {:?}", pieces[0])
+                })?;
+                let k: usize = pieces[1].parse().map_err(|_| {
+                    format!("scenario {spec:?}: bad integer parameter {:?}", pieces[1])
+                })?;
+                let p: f64 = pieces[2].parse().map_err(|_| {
+                    format!(
+                        "scenario {spec:?}: bad rewiring probability {:?}",
+                        pieces[2]
+                    )
+                })?;
+                if k < 2 || !k.is_multiple_of(2) || k >= n {
+                    return Err(format!(
+                        "smallworld:{n},{k},{p}: need an even 2 ≤ k < n \
+                         (each node links to k/2 ring neighbors per side)"
+                    ));
+                }
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    return Err(format!(
+                        "smallworld:{n},{k},{p}: rewiring probability must be in [0, 1]"
+                    ));
+                }
+                Ok(Scenario::SmallWorld { n, k, p })
+            }
             _ => Family::from_spec(spec).map(Scenario::Plain).map_err(|e| {
-                format!("{e} | derived sources: subdivided:n,d,k | overlay:dim,n[,churn=ops]")
+                format!(
+                    "{e} | derived sources: subdivided:n,d,k | overlay:dim,n[,churn=ops] | \
+                     smallworld:n,k,p"
+                )
             }),
         }
     }
@@ -253,6 +313,7 @@ impl Scenario {
             Scenario::Plain(_) => ScenarioKind::Plain,
             Scenario::Subdivided { .. } => ScenarioKind::Subdivided,
             Scenario::Overlay { .. } => ScenarioKind::Overlay,
+            Scenario::SmallWorld { .. } => ScenarioKind::SmallWorld,
         }
     }
 
@@ -265,6 +326,7 @@ impl Scenario {
                 net: family.build(seed),
                 sub: None,
                 overlay: None,
+                churn_trace: None,
             },
             Scenario::Subdivided { n, d, k } => {
                 let (net, sub) = subdivided_expander(*n, *d, *k, seed);
@@ -272,6 +334,17 @@ impl Scenario {
                     net,
                     sub: Some(sub),
                     overlay: None,
+                    churn_trace: None,
+                }
+            }
+            Scenario::SmallWorld { n, k, p } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = small_world(*n, *k, *p, &mut rng);
+                BuiltScenario {
+                    net: Network::new(format!("smallworld(n={n},k={k},p={p})"), g),
+                    sub: None,
+                    overlay: None,
+                    churn_trace: None,
                 }
             }
             Scenario::Overlay {
@@ -288,6 +361,12 @@ impl Scenario {
                     degree_targeted: *depart_degree,
                 };
                 let mut ov = Overlay::with_peers_policy(*dim, *peers, &policy, &mut rng);
+                // record churn at peer level so the offline dyncon
+                // engine can answer every intermediate timestep; the
+                // grown pre-churn overlay is the t = 0 baseline
+                if *churn > 0 {
+                    ov.start_trace();
+                }
                 ov.churn_with(*churn, &policy, &mut rng);
                 let (graph, _owners) = ov.graph();
                 let (vol_min, vol_max, vol_mean) = ov.volume_stats();
@@ -309,6 +388,7 @@ impl Scenario {
                     net: Network::new(format!("can(d={dim},n={peers},churn={churn})"), graph),
                     sub: None,
                     overlay: Some(info),
+                    churn_trace: ov.take_trace(),
                 }
             }
         }
@@ -355,6 +435,7 @@ impl fmt::Display for Scenario {
                 }
                 Ok(())
             }
+            Scenario::SmallWorld { n, k, p } => write!(f, "smallworld:{n},{k},{p}"),
         }
     }
 }
@@ -407,11 +488,36 @@ mod tests {
     }
 
     #[test]
+    fn smallworld_builds_rewired_lattice() {
+        let s = Scenario::from_spec("smallworld:120,6,0.1").unwrap();
+        assert_eq!(s.kind(), ScenarioKind::SmallWorld);
+        let built = s.build(4);
+        assert_eq!(built.net.n(), 120);
+        assert_eq!(built.net.graph.num_edges(), 360, "rewiring keeps n·k/2");
+        assert!(built.sub.is_none() && built.overlay.is_none());
+        assert!(built.churn_trace.is_none());
+        assert!(is_connected(&built.net.graph, &built.net.full_mask()));
+    }
+
+    #[test]
+    fn overlay_churn_build_carries_a_trace() {
+        let churned = Scenario::from_spec("overlay:2,48,churn=60")
+            .unwrap()
+            .build(9);
+        let trace = churned.churn_trace.expect("churn > 0 records a trace");
+        assert_eq!(trace.now(), 60, "one tick per churn op");
+        assert!(trace.events() > 0);
+        let quiet = Scenario::from_spec("overlay:2,48").unwrap().build(9);
+        assert!(quiet.churn_trace.is_none(), "no churn, no trace");
+    }
+
+    #[test]
     fn builds_are_seed_deterministic() {
         for spec in [
             "subdivided:16,4,2",
             "overlay:3,40,churn=50",
             "random-regular:30,4",
+            "smallworld:80,4,0.2",
         ] {
             let s = Scenario::from_spec(spec).unwrap();
             let a = s.build(7);
@@ -467,6 +573,9 @@ mod tests {
             "overlay:2,48,churn=60,sessions=pareto:1.5",
             "overlay:2,48,sessions=pareto:2.5,depart=degree",
             "overlay:2,48,churn=60,sessions=pareto:1.5,depart=degree",
+            "smallworld:1024,6,0.1",
+            "smallworld:64,4,0",
+            "smallworld:64,4,1",
         ] {
             let s = Scenario::from_spec(spec).unwrap();
             assert_eq!(s.to_string(), spec);
@@ -499,6 +608,14 @@ mod tests {
             "overlay:2,64,depart=degree,depart=random",
             "overlay:2,64,ttl=5",
             "klein-bottle:3",
+            "smallworld",
+            "smallworld:64,4",
+            "smallworld:64,3,0.1", // odd k
+            "smallworld:64,0,0.1", // k < 2
+            "smallworld:4,4,0.1",  // k ≥ n
+            "smallworld:64,4,1.5", // p out of range
+            "smallworld:64,4,nan", // p not finite
+            "smallworld:64,x,0.1",
         ] {
             assert!(
                 Scenario::from_spec(bad).is_err(),

@@ -44,4 +44,4 @@ pub use heavy_tailed::HeavyTailedFaults;
 pub use model::{apply_faults, FaultModel};
 pub use random::{random_edge_faults, ExactRandomFaults, RandomNodeFaults};
 pub use spec::{expand_sweep, FaultModelInfo, FaultSpec, REGISTRY};
-pub use targeted::{targeted_order, TargetBy, TargetedFaults};
+pub use targeted::{removal_trace, targeted_order, TargetBy, TargetedFaults};

@@ -16,6 +16,7 @@
 //! resampling per severity.
 
 use crate::model::FaultModel;
+use fx_graph::dyncon::{self, IntervalTrace};
 use fx_graph::{CsrGraph, NodeId, NodeSet};
 use rand::RngCore;
 
@@ -64,6 +65,17 @@ pub fn targeted_order(g: &CsrGraph, by: TargetBy) -> Vec<NodeId> {
         }
         TargetBy::DegreeAdaptive => adaptive_degree_order(g),
     }
+}
+
+/// The targeted attack as an offline-connectivity event log: node
+/// `order[k]` (from [`targeted_order`]) dies at time `k + 1`, so
+/// timestep `t` of the trace is the graph with the top `t` targets
+/// removed. Solving it with [`fx_graph::dyncon::solve_curve`] yields
+/// the WHOLE targeted dilution curve — γ, component count, isolated
+/// nodes at every severity — in one O((E + T)·log T·α) pass instead
+/// of T per-prefix BFS re-sweeps.
+pub fn removal_trace(g: &CsrGraph, by: TargetBy) -> IntervalTrace {
+    dyncon::from_node_removals(g, &targeted_order(g, by))
 }
 
 /// Maximum-residual-degree elimination: repeatedly remove the node of
@@ -269,6 +281,39 @@ mod tests {
         // adaptive: removing A drops B to residual degree 3, so C's
         // intact 4 overtakes it
         assert_eq!(&adaptive[..3], &[0, 2, 1]);
+    }
+
+    /// The ordered-removal trace solved offline must agree, at every
+    /// prefix length, with killing that prefix and re-running the
+    /// component sweep from scratch.
+    #[test]
+    fn removal_trace_matches_prefix_recompute() {
+        use fx_graph::components::component_stats_with;
+        use fx_graph::dyncon::solve_curve;
+        use fx_graph::Scratch;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::gnm(30, 55, &mut rng);
+        let mut scratch = Scratch::new();
+        for by in [TargetBy::Degree, TargetBy::Core, TargetBy::DegreeAdaptive] {
+            let order = targeted_order(&g, by);
+            let curve = solve_curve(&removal_trace(&g, by));
+            assert_eq!(curve.len(), g.num_nodes() + 1, "{by}");
+            for t in 0..curve.len() {
+                let mut alive = NodeSet::full(g.num_nodes());
+                for &v in &order[..t] {
+                    alive.remove(v);
+                }
+                let stats = component_stats_with(&g, &alive, &mut scratch);
+                assert_eq!(curve.alive[t] as usize, alive.len(), "{by} t={t}");
+                assert_eq!(curve.largest[t] as usize, stats.largest, "{by} t={t}");
+                assert_eq!(curve.components[t] as usize, stats.count, "{by} t={t}");
+                let iso = alive
+                    .iter()
+                    .filter(|&v| !g.neighbors(v).iter().any(|&w| alive.contains(w)))
+                    .count();
+                assert_eq!(curve.isolated[t] as usize, iso, "{by} t={t}");
+            }
+        }
     }
 
     #[test]

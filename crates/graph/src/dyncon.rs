@@ -1,0 +1,798 @@
+//! Offline fully-dynamic connectivity over churn traces.
+//!
+//! The paper's §4 overlay story is temporal: peers join and depart,
+//! and the question is how connectivity degrades *along the trace*.
+//! Recomputing components from scratch at every timestep costs
+//! O(T·(V+E)); this module answers every timestep in one pass.
+//!
+//! The classic offline trick (Eppstein et al.'s sparsification era;
+//! folklore form due to Overmars/van Leeuwen descendants): every edge
+//! in the trace has a known lifetime `[birth, death)`, so hang each
+//! edge on the O(log T) segment-tree nodes covering its lifetime,
+//! then DFS the tree with a **rollback union-find** — union by size,
+//! *no* path compression, an undo stack — applying a node's edges on
+//! entry and undoing them on exit. Each leaf `t` then sees exactly the
+//! edges alive at time `t`, and the DSU state yields the component
+//! count, the largest component, and (via a separate linear degree
+//! sweep) the isolated-node count. Total work O((E+T)·log T·α).
+//!
+//! Three layers:
+//!
+//! * [`ChurnTrace`] — an event recorder with open-interval dedup that
+//!   `fx_overlay` drives during churn (and fault models drive for
+//!   ordered removals via [`from_node_removals`]);
+//! * [`IntervalTrace`] — the finalized, sorted interval set;
+//! * [`DynconSolver`] — the reusable segment-tree + rollback-DSU
+//!   engine producing a [`ConnCurve`], with [`resweep_curve`] as the
+//!   per-snapshot oracle (the PR 5 `naive_adjacency` playbook).
+
+use crate::builder::GraphBuilder;
+use crate::components::component_stats_with;
+use crate::csr::CsrGraph;
+use crate::scratch::Scratch;
+use fx_trace::{Counter, Histogram, Target};
+use std::collections::HashMap;
+
+static TRACE_SOLVES: Counter = Counter::new(Target::Dyncon, "solves");
+static TRACE_SEG_EDGES: Counter = Counter::new(Target::Dyncon, "seg_edges");
+static TRACE_UNIONS: Counter = Counter::new(Target::Dyncon, "unions");
+static TRACE_ROLLBACKS: Counter = Counter::new(Target::Dyncon, "rollbacks");
+static TRACE_EVENTS: Histogram = Histogram::new(Target::Dyncon, "trace_events");
+
+/// An append-only churn event log.
+///
+/// Time is discrete: the recorder starts at `t = 0` (the post-growth
+/// baseline), and each churn operation calls [`tick`](Self::tick)
+/// *before* emitting its events, so op `k`'s events land at time `k`.
+/// An entity turned on at time `t` is present at query time `t`; one
+/// turned off at time `t` is absent at query time `t` (lifetime
+/// `[on, off)`).
+///
+/// Events are idempotent — `edge_on` for an already-open edge and
+/// `edge_off` for a closed one are no-ops — so emitters can replay
+/// zone-level adjacency updates without tracking peer-pair
+/// multiplicity. External ids (peer ids) are remapped to dense ids in
+/// first-`node_on` order, which is deterministic because emission
+/// order is.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnTrace {
+    now: u32,
+    remap: HashMap<u32, u32>,
+    open_nodes: HashMap<u32, u32>,
+    open_edges: HashMap<(u32, u32), u32>,
+    nodes: Vec<(u32, u32, u32)>,
+    edges: Vec<(u32, u32, u32, u32)>,
+    events: u64,
+}
+
+impl ChurnTrace {
+    /// A fresh recorder at `t = 0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current timestep.
+    pub fn now(&self) -> u32 {
+        self.now
+    }
+
+    /// Number of raw events recorded so far (including idempotent
+    /// no-ops — the cost an emitter actually paid).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Advances the clock; call once per churn operation, before the
+    /// operation's events.
+    pub fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    fn dense(&mut self, ext: u32) -> u32 {
+        let next = self.remap.len() as u32;
+        *self.remap.entry(ext).or_insert(next)
+    }
+
+    /// Node `ext` becomes present at the current timestep.
+    pub fn node_on(&mut self, ext: u32) {
+        self.events += 1;
+        let v = self.dense(ext);
+        let now = self.now;
+        self.open_nodes.entry(v).or_insert(now);
+    }
+
+    /// Node `ext` becomes absent at the current timestep.
+    pub fn node_off(&mut self, ext: u32) {
+        self.events += 1;
+        let Some(&v) = self.remap.get(&ext) else {
+            return;
+        };
+        if let Some(birth) = self.open_nodes.remove(&v) {
+            if birth < self.now {
+                self.nodes.push((v, birth, self.now));
+            }
+        }
+    }
+
+    /// Edge `{a, b}` becomes present at the current timestep.
+    pub fn edge_on(&mut self, a: u32, b: u32) {
+        self.events += 1;
+        if a == b {
+            return;
+        }
+        let (u, v) = (self.dense(a), self.dense(b));
+        let key = if u < v { (u, v) } else { (v, u) };
+        let now = self.now;
+        self.open_edges.entry(key).or_insert(now);
+    }
+
+    /// Edge `{a, b}` becomes absent at the current timestep.
+    pub fn edge_off(&mut self, a: u32, b: u32) {
+        self.events += 1;
+        let (Some(&u), Some(&v)) = (self.remap.get(&a), self.remap.get(&b)) else {
+            return;
+        };
+        let key = if u < v { (u, v) } else { (v, u) };
+        if let Some(birth) = self.open_edges.remove(&key) {
+            if birth < self.now {
+                self.edges.push((key.0, key.1, birth, self.now));
+            }
+        }
+    }
+
+    /// Closes every open interval at `horizon = now + 1` and returns
+    /// the sorted interval set. Query times are `0..horizon`, so
+    /// entities still open at finalize are present at every remaining
+    /// timestep.
+    pub fn finalize(mut self) -> IntervalTrace {
+        let horizon = self.now + 1;
+        for (v, birth) in self.open_nodes.drain() {
+            self.nodes.push((v, birth, horizon));
+        }
+        for ((u, v), birth) in self.open_edges.drain() {
+            self.edges.push((u, v, birth, horizon));
+        }
+        self.nodes.sort_unstable();
+        self.edges.sort_unstable();
+        TRACE_EVENTS.record(self.events);
+        IntervalTrace {
+            num_nodes: self.remap.len() as u32,
+            horizon,
+            nodes: self.nodes,
+            edges: self.edges,
+            events: self.events,
+        }
+    }
+}
+
+/// A finalized churn trace: dense node ids `0..num_nodes`, closed
+/// lifetime intervals, and `horizon` query timesteps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalTrace {
+    /// Number of distinct nodes ever present (dense id universe).
+    pub num_nodes: u32,
+    /// Query times are `0..horizon`.
+    pub horizon: u32,
+    /// `(node, birth, death)` — present at `t` iff `birth ≤ t < death`.
+    pub nodes: Vec<(u32, u32, u32)>,
+    /// `(u, v, birth, death)` with `u < v` — same semantics.
+    pub edges: Vec<(u32, u32, u32, u32)>,
+    /// Raw event count paid to record the trace.
+    pub events: u64,
+}
+
+/// Builds the interval trace of an ordered node-removal schedule:
+/// at `t = 0` the full graph is present; at `t = k` the first `k`
+/// nodes of `order` (and every incident edge) are gone. Nodes absent
+/// from `order` survive to the horizon `order.len() + 1`.
+pub fn from_node_removals(g: &CsrGraph, order: &[u32]) -> IntervalTrace {
+    let n = g.num_nodes();
+    let horizon = order.len() as u32 + 1;
+    let mut death = vec![horizon; n];
+    for (i, &v) in order.iter().enumerate() {
+        death[v as usize] = death[v as usize].min(i as u32 + 1);
+    }
+    let nodes: Vec<_> = (0..n as u32).map(|v| (v, 0, death[v as usize])).collect();
+    let mut edges = Vec::with_capacity(g.num_edges());
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            if u < v {
+                edges.push((u, v, 0, death[u as usize].min(death[v as usize])));
+            }
+        }
+    }
+    let events = (nodes.len() + 2 * edges.len()) as u64;
+    IntervalTrace {
+        num_nodes: n as u32,
+        horizon,
+        nodes,
+        edges,
+        events,
+    }
+}
+
+/// Exact per-timestep connectivity answers for a trace: index `t`
+/// describes the graph at query time `t` (`0 ≤ t < horizon`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConnCurve {
+    /// Nodes present at `t`.
+    pub alive: Vec<u32>,
+    /// Size of the largest connected component at `t`.
+    pub largest: Vec<u32>,
+    /// Number of connected components among present nodes at `t`.
+    pub components: Vec<u32>,
+    /// Present nodes with no present incident edge at `t`.
+    pub isolated: Vec<u32>,
+}
+
+/// The whole-curve survival metrics campaign cells journal. All three
+/// are pure functions of the integer [`ConnCurve`], so the dyncon
+/// engine and the per-snapshot oracle produce bit-identical values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveMetrics {
+    /// First `t` where `γ_t` drops strictly below `½·γ_0`; censored
+    /// at `horizon` when the curve never crosses.
+    pub gamma_half_life: f64,
+    /// Minimum of `γ_t` over the trace.
+    pub min_gamma_t: f64,
+    /// Area under the `γ_t` curve: `Σ_t γ_t` (unit timesteps).
+    pub gamma_auc_t: f64,
+}
+
+impl ConnCurve {
+    /// Number of timesteps covered.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// True when the curve covers no timesteps.
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// `γ_t`: fraction of the nodes present at `t` that sit in the
+    /// largest component (0 when nothing is present).
+    pub fn gamma_at(&self, t: usize) -> f64 {
+        if self.alive[t] == 0 {
+            0.0
+        } else {
+            self.largest[t] as f64 / self.alive[t] as f64
+        }
+    }
+
+    /// Computes the [`CurveMetrics`] triple.
+    pub fn survival_metrics(&self) -> CurveMetrics {
+        let horizon = self.len();
+        let gamma0 = if horizon == 0 { 0.0 } else { self.gamma_at(0) };
+        let mut half_life = horizon as f64;
+        let mut min_gamma = f64::INFINITY;
+        let mut auc = 0.0;
+        for t in 0..horizon {
+            let g = self.gamma_at(t);
+            if g < 0.5 * gamma0 && half_life == horizon as f64 {
+                half_life = t as f64;
+            }
+            min_gamma = min_gamma.min(g);
+            auc += g;
+        }
+        if horizon == 0 {
+            min_gamma = 0.0;
+        }
+        CurveMetrics {
+            gamma_half_life: half_life,
+            min_gamma_t: min_gamma,
+            gamma_auc_t: auc,
+        }
+    }
+}
+
+/// Census sweep shared by both engines: per-timestep alive and
+/// isolated counts from one linear pass over interval endpoints. At
+/// each timestep deaths are applied before births (edge deaths, node
+/// deaths, node births, edge births), matching the `[on, off)`
+/// lifetime convention.
+fn census(trace: &IntervalTrace) -> (Vec<u32>, Vec<u32>) {
+    let horizon = trace.horizon as usize;
+    let n = trace.num_nodes as usize;
+    let mut node_births = vec![Vec::new(); horizon];
+    let mut node_deaths = vec![Vec::new(); horizon];
+    let mut edge_births = vec![Vec::new(); horizon];
+    let mut edge_deaths = vec![Vec::new(); horizon];
+    for &(v, b, d) in &trace.nodes {
+        node_births[b as usize].push(v);
+        if (d as usize) < horizon {
+            node_deaths[d as usize].push(v);
+        }
+    }
+    for &(u, v, b, d) in &trace.edges {
+        edge_births[b as usize].push((u, v));
+        if (d as usize) < horizon {
+            edge_deaths[d as usize].push((u, v));
+        }
+    }
+    let mut deg = vec![0u32; n];
+    let mut present = vec![false; n];
+    let mut alive_now = 0u32;
+    let mut isolated_now = 0u32;
+    let mut alive = Vec::with_capacity(horizon);
+    let mut isolated = Vec::with_capacity(horizon);
+    for t in 0..horizon {
+        for &(u, v) in &edge_deaths[t] {
+            for w in [u as usize, v as usize] {
+                deg[w] -= 1;
+                if present[w] && deg[w] == 0 {
+                    isolated_now += 1;
+                }
+            }
+        }
+        for &v in &node_deaths[t] {
+            let v = v as usize;
+            if present[v] && deg[v] == 0 {
+                isolated_now -= 1;
+            }
+            present[v] = false;
+            alive_now -= 1;
+        }
+        for &v in &node_births[t] {
+            let v = v as usize;
+            present[v] = true;
+            alive_now += 1;
+            if deg[v] == 0 {
+                isolated_now += 1;
+            }
+        }
+        for &(u, v) in &edge_births[t] {
+            for w in [u as usize, v as usize] {
+                if present[w] && deg[w] == 0 {
+                    isolated_now -= 1;
+                }
+                deg[w] += 1;
+            }
+        }
+        alive.push(alive_now);
+        isolated.push(isolated_now);
+    }
+    (alive, isolated)
+}
+
+/// Per-union undo record: the root that was attached, and the running
+/// largest-component size before the union.
+type UndoRec = (u32, u32);
+
+/// The reusable offline dynamic-connectivity engine.
+///
+/// Owns the segment-tree buckets, the rollback union-find arrays, and
+/// the undo stack, so repeated [`solve`](Self::solve) calls (one per
+/// campaign cell) reuse allocations the way [`Scratch`] does for BFS
+/// kernels. Reuse is invisible: every solve fully re-initializes the
+/// state it reads.
+#[derive(Debug, Clone, Default)]
+pub struct DynconSolver {
+    seg: Vec<Vec<(u32, u32)>>,
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    undo: Vec<UndoRec>,
+    merges: u32,
+    max_size: u32,
+    unions: u64,
+    rollbacks: u64,
+}
+
+impl DynconSolver {
+    /// A fresh solver; buffers are sized on first solve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn find(&self, mut v: u32) -> u32 {
+        // No path compression: rollback must see the exact forest.
+        while self.parent[v as usize] != v {
+            v = self.parent[v as usize];
+        }
+        v
+    }
+
+    /// Union by size; pushes an undo record only on success.
+    fn union(&mut self, a: u32, b: u32) {
+        self.unions += 1;
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.undo.push((small, self.max_size));
+        self.max_size = self.max_size.max(self.size[big as usize]);
+        self.merges += 1;
+    }
+
+    /// Pops undo records down to `mark`, restoring forest, running
+    /// max, and merge count.
+    fn rollback(&mut self, mark: usize) {
+        while self.undo.len() > mark {
+            let (small, prev_max) = self.undo.pop().expect("undo stack underflow");
+            self.rollbacks += 1;
+            let big = self.parent[small as usize];
+            self.size[big as usize] -= self.size[small as usize];
+            self.parent[small as usize] = small;
+            self.max_size = prev_max;
+            self.merges -= 1;
+        }
+    }
+
+    fn seg_insert(&mut self, node: usize, nlo: u32, nhi: u32, lo: u32, hi: u32, e: (u32, u32)) {
+        if lo <= nlo && nhi <= hi {
+            self.seg[node].push(e);
+            return;
+        }
+        let mid = nlo + (nhi - nlo) / 2;
+        if lo < mid {
+            self.seg_insert(2 * node, nlo, mid, lo, hi, e);
+        }
+        if hi > mid {
+            self.seg_insert(2 * node + 1, mid, nhi, lo, hi, e);
+        }
+    }
+
+    fn dfs(&mut self, node: usize, nlo: u32, nhi: u32, out: &mut ConnCurve) {
+        let mark = self.undo.len();
+        let edges = std::mem::take(&mut self.seg[node]);
+        for &(u, v) in &edges {
+            self.union(u, v);
+        }
+        self.seg[node] = edges;
+        if nhi - nlo == 1 {
+            let t = nlo as usize;
+            let alive = out.alive[t];
+            out.largest.push(if alive == 0 {
+                0
+            } else {
+                self.max_size.min(alive)
+            });
+            out.components.push(alive.saturating_sub(self.merges));
+        } else {
+            let mid = nlo + (nhi - nlo) / 2;
+            self.dfs(2 * node, nlo, mid, out);
+            self.dfs(2 * node + 1, mid, nhi, out);
+        }
+        self.rollback(mark);
+    }
+
+    /// Runs the offline pass and returns the full per-timestep curve.
+    pub fn solve(&mut self, trace: &IntervalTrace) -> ConnCurve {
+        let horizon = trace.horizon;
+        let n = trace.num_nodes as usize;
+        if horizon == 0 {
+            return ConnCurve::default();
+        }
+        let seg_len = 4 * horizon as usize;
+        self.seg.iter_mut().for_each(Vec::clear);
+        self.seg.resize_with(seg_len, Vec::new);
+        let mut hung = 0u64;
+        for &(u, v, b, d) in &trace.edges {
+            let (lo, hi) = (b, d.min(horizon));
+            if lo < hi {
+                self.seg_insert(1, 0, horizon, lo, hi, (u, v));
+                hung += 1;
+            }
+        }
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.size.clear();
+        self.size.resize(n, 1);
+        self.undo.clear();
+        self.merges = 0;
+        self.max_size = if n == 0 { 0 } else { 1 };
+        self.unions = 0;
+        self.rollbacks = 0;
+
+        let (alive, isolated) = census(trace);
+        let mut out = ConnCurve {
+            alive,
+            isolated,
+            largest: Vec::with_capacity(horizon as usize),
+            components: Vec::with_capacity(horizon as usize),
+        };
+        self.dfs(1, 0, horizon, &mut out);
+        debug_assert!(self.undo.is_empty() && self.merges == 0);
+        TRACE_SOLVES.incr();
+        TRACE_SEG_EDGES.add(hung);
+        TRACE_UNIONS.add(self.unions);
+        TRACE_ROLLBACKS.add(self.rollbacks);
+        out
+    }
+}
+
+/// One-shot convenience wrapper over [`DynconSolver::solve`].
+pub fn solve_curve(trace: &IntervalTrace) -> ConnCurve {
+    DynconSolver::new().solve(trace)
+}
+
+/// The per-snapshot oracle: for every timestep, rebuild the alive
+/// adjacency from scratch and re-run the [`component_stats_with`]
+/// BFS sweep — O(T·(V+E)), exactly what overlay churn cells paid
+/// before the offline engine. Retained (the PR 5 `naive_adjacency`
+/// playbook) as the ground truth dyncon is validated against.
+pub fn resweep_curve(trace: &IntervalTrace, scratch: &mut Scratch) -> ConnCurve {
+    let horizon = trace.horizon as usize;
+    let n = trace.num_nodes as usize;
+    let (alive, _) = census(trace);
+    let mut out = ConnCurve {
+        alive,
+        largest: Vec::with_capacity(horizon),
+        components: Vec::with_capacity(horizon),
+        isolated: Vec::with_capacity(horizon),
+    };
+    for t in 0..horizon {
+        let t = t as u32;
+        let mut b = GraphBuilder::new(n);
+        for &(u, v, birth, death) in &trace.edges {
+            if birth <= t && t < death {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let mut present = crate::bitset::NodeSet::empty(n);
+        for &(v, birth, death) in &trace.nodes {
+            if birth <= t && t < death {
+                present.insert(v);
+            }
+        }
+        let stats = component_stats_with(&g, &present, scratch);
+        let isolated = present
+            .iter()
+            .filter(|&v| g.neighbors(v).is_empty())
+            .count();
+        out.largest.push(stats.largest as u32);
+        out.components.push(stats.count as u32);
+        out.isolated.push(isolated as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random trace: nodes/edges toggled arbitrarily across time.
+    fn random_trace(seed: u64, n: u32, ops: u32) -> IntervalTrace {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut tr = ChurnTrace::new();
+        for v in 0..n {
+            if rng.gen_bool(0.8) {
+                tr.node_on(v);
+            }
+        }
+        let present = |tr: &ChurnTrace, x: u32| {
+            tr.remap
+                .get(&x)
+                .is_some_and(|d| tr.open_nodes.contains_key(d))
+        };
+        for _ in 0..n {
+            let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if present(&tr, a) && present(&tr, b) {
+                tr.edge_on(a, b);
+            }
+        }
+        for _ in 0..ops {
+            tr.tick();
+            for _ in 0..rng.gen_range(0..5u32) {
+                let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                match rng.gen_range(0..4u32) {
+                    0 => tr.node_on(a),
+                    1 => {
+                        // A departing node takes its edges with it:
+                        // close every open edge at `a` first.
+                        let dead: Vec<_> = tr
+                            .open_edges
+                            .keys()
+                            .copied()
+                            .filter(|&(u, v)| {
+                                tr.remap.get(&a) == Some(&u) || tr.remap.get(&a) == Some(&v)
+                            })
+                            .collect();
+                        let back: HashMap<u32, u32> =
+                            tr.remap.iter().map(|(&e, &d)| (d, e)).collect();
+                        for (u, v) in dead {
+                            tr.edge_off(back[&u], back[&v]);
+                        }
+                        tr.node_off(a);
+                    }
+                    2 => {
+                        // only wire present nodes
+                        let both = [a, b].iter().all(|x| {
+                            tr.remap
+                                .get(x)
+                                .is_some_and(|d| tr.open_nodes.contains_key(d))
+                        });
+                        if both {
+                            tr.edge_on(a, b);
+                        }
+                    }
+                    _ => tr.edge_off(a, b),
+                }
+            }
+        }
+        tr.finalize()
+    }
+
+    #[test]
+    fn open_interval_dedup_is_idempotent() {
+        let mut tr = ChurnTrace::new();
+        tr.node_on(7);
+        tr.node_on(7);
+        tr.node_on(9);
+        tr.edge_on(7, 9);
+        tr.edge_on(9, 7); // same edge, either orientation
+        tr.tick();
+        tr.edge_off(7, 9);
+        tr.edge_off(7, 9);
+        tr.node_off(9);
+        let t = tr.finalize();
+        assert_eq!(t.num_nodes, 2);
+        assert_eq!(t.horizon, 2);
+        assert_eq!(t.nodes, vec![(0, 0, 2), (1, 0, 1)]);
+        assert_eq!(t.edges, vec![(0, 1, 0, 1)]);
+    }
+
+    #[test]
+    fn same_tick_intervals_are_dropped() {
+        let mut tr = ChurnTrace::new();
+        tr.node_on(1);
+        tr.node_on(2);
+        tr.tick();
+        tr.edge_on(1, 2);
+        tr.edge_off(1, 2); // [1,1): never observable
+        tr.node_on(3);
+        tr.node_off(3);
+        let t = tr.finalize();
+        assert!(t.edges.is_empty());
+        assert_eq!(t.nodes.len(), 2);
+    }
+
+    #[test]
+    fn unknown_ids_in_off_events_are_noops() {
+        let mut tr = ChurnTrace::new();
+        tr.node_off(42);
+        tr.edge_off(1, 2);
+        tr.edge_on(5, 5); // self loop ignored
+        let t = tr.finalize();
+        assert_eq!(t.nodes.len(), 0);
+        assert_eq!(t.edges.len(), 0);
+    }
+
+    #[test]
+    fn handcrafted_curve_matches_by_hand() {
+        // t=0: 0-1-2 path + isolated 3 → 2 comps, largest 3, iso 1
+        // t=1: node 1 departs (edges close) → {0},{2},{3}
+        // t=2: edge 0-2 appears → {0,2},{3}
+        let mut tr = ChurnTrace::new();
+        for v in 0..4 {
+            tr.node_on(v);
+        }
+        tr.edge_on(0, 1);
+        tr.edge_on(1, 2);
+        tr.tick();
+        tr.edge_off(0, 1);
+        tr.edge_off(1, 2);
+        tr.node_off(1);
+        tr.tick();
+        tr.edge_on(0, 2);
+        let t = tr.finalize();
+        let curve = solve_curve(&t);
+        assert_eq!(curve.alive, vec![4, 3, 3]);
+        assert_eq!(curve.largest, vec![3, 1, 2]);
+        assert_eq!(curve.components, vec![2, 3, 2]);
+        assert_eq!(curve.isolated, vec![1, 3, 1]);
+    }
+
+    #[test]
+    fn dyncon_matches_resweep_oracle_on_random_traces() {
+        let mut scratch = Scratch::new();
+        let mut solver = DynconSolver::new();
+        for seed in 0..20 {
+            let t = random_trace(seed, 24, 40);
+            let fast = solver.solve(&t);
+            let slow = resweep_curve(&t, &mut scratch);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn solver_reuse_is_invisible() {
+        let a = random_trace(3, 16, 30);
+        let b = random_trace(4, 30, 10);
+        let mut solver = DynconSolver::new();
+        let first = solver.solve(&a);
+        solver.solve(&b); // dirty the buffers at a different size
+        assert_eq!(solver.solve(&a), first);
+    }
+
+    #[test]
+    fn node_removal_trace_matches_prefix_recompute() {
+        let g = generators::torus(&[5, 5]);
+        let order: Vec<u32> = vec![12, 0, 6, 18, 24, 7];
+        let t = from_node_removals(&g, &order);
+        assert_eq!(t.horizon, 7);
+        let curve = solve_curve(&t);
+        let mut scratch = Scratch::new();
+        let mut alive = crate::bitset::NodeSet::full(25);
+        for (k, step) in (0..=order.len()).enumerate() {
+            if step > 0 {
+                alive.remove(order[step - 1]);
+            }
+            let stats = component_stats_with(&g, &alive, &mut scratch);
+            assert_eq!(curve.alive[k] as usize, alive.len());
+            assert_eq!(curve.largest[k] as usize, stats.largest);
+            assert_eq!(curve.components[k] as usize, stats.count);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_timestep_traces() {
+        let t = ChurnTrace::new().finalize();
+        assert_eq!(t.horizon, 1);
+        let curve = solve_curve(&t);
+        assert_eq!(curve.alive, vec![0]);
+        assert_eq!(curve.largest, vec![0]);
+        assert_eq!(curve.components, vec![0]);
+        assert_eq!(curve.isolated, vec![0]);
+
+        let empty = IntervalTrace {
+            num_nodes: 0,
+            horizon: 0,
+            nodes: vec![],
+            edges: vec![],
+            events: 0,
+        };
+        assert!(solve_curve(&empty).is_empty());
+    }
+
+    #[test]
+    fn survival_metrics_by_hand() {
+        // γ: 1.0, 1.0, 0.4, 0.6 → half-life at t=2, min 0.4, auc 3.0
+        let curve = ConnCurve {
+            alive: vec![10, 10, 10, 10],
+            largest: vec![10, 10, 4, 6],
+            components: vec![1, 1, 4, 3],
+            isolated: vec![0, 0, 2, 1],
+        };
+        let m = curve.survival_metrics();
+        assert_eq!(m.gamma_half_life, 2.0);
+        assert_eq!(m.min_gamma_t, 0.4);
+        assert!((m.gamma_auc_t - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_metrics_censored_half_life() {
+        let curve = ConnCurve {
+            alive: vec![4, 4],
+            largest: vec![4, 3],
+            components: vec![1, 2],
+            isolated: vec![0, 1],
+        };
+        let m = curve.survival_metrics();
+        assert_eq!(m.gamma_half_life, 2.0, "never crossed: censored at T");
+    }
+
+    #[test]
+    fn dense_remap_is_first_seen_order() {
+        let mut tr = ChurnTrace::new();
+        tr.node_on(900);
+        tr.node_on(3);
+        tr.node_on(900);
+        tr.node_on(77);
+        let t = tr.finalize();
+        assert_eq!(t.num_nodes, 3);
+        // 900→0, 3→1, 77→2: all alive the whole horizon
+        assert_eq!(t.nodes, vec![(0, 0, 1), (1, 0, 1), (2, 0, 1)]);
+    }
+}

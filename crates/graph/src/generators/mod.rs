@@ -26,5 +26,5 @@ pub use expander::margulis;
 pub use geometric::random_geometric;
 pub use hypercube::hypercube;
 pub use mesh::{mesh, torus, MeshShape};
-pub use random::{gnm, gnp, random_regular};
+pub use random::{gnm, gnp, random_regular, small_world};
 pub use subdivide::{subdivide, SubdividedGraph};

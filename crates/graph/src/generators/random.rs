@@ -83,6 +83,65 @@ pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
     b.build()
 }
 
+/// Watts–Strogatz small world: a ring lattice on `n` nodes where each
+/// node links to its `k` nearest neighbors (`k/2` per side — a
+/// 1-dimensional torus with a fattened neighborhood), then every
+/// lattice edge is rewired with probability `p` to a uniformly random
+/// endpoint (rejecting self-loops and duplicates). `p = 0` is the
+/// pure lattice, `p = 1` approaches `G(n, m)`; small intermediate `p`
+/// gives the short-path/high-clustering regime whose fault tolerance
+/// the Demichev et al. line of work measures. Requires `k` even with
+/// `2 ≤ k < n`.
+pub fn small_world<R: Rng>(n: usize, k: usize, p: f64, rng: &mut R) -> CsrGraph {
+    assert!(k >= 2 && k < n, "need 2 ≤ k < n, got k={k} n={n}");
+    assert!(k.is_multiple_of(2), "k must be even, got {k}");
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    // edge → slot in `edges`, so a rewire is an O(1) swap
+    let mut slot = std::collections::HashMap::with_capacity(n * k);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
+    let key = |u: NodeId, v: NodeId| if u < v { (u, v) } else { (v, u) };
+    // seed the lattice first so rewiring sees the full edge set
+    for j in 1..=k / 2 {
+        for u in 0..n {
+            let e = key(u as NodeId, ((u + j) % n) as NodeId);
+            if let std::collections::hash_map::Entry::Vacant(v) = slot.entry(e) {
+                v.insert(edges.len());
+                edges.push(e);
+            }
+        }
+    }
+    // Watts–Strogatz pass: revisit each lattice edge in order, keep
+    // the near endpoint, re-draw the far one with probability p
+    for j in 1..=k / 2 {
+        for u in 0..n {
+            let old = key(u as NodeId, ((u + j) % n) as NodeId);
+            if !rng.gen_bool(p) || !slot.contains_key(&old) {
+                continue;
+            }
+            // a node wired to everyone has nowhere to rewire to
+            let mut rewired = None;
+            for _ in 0..64 {
+                let w = rng.gen_range(0..n as u64) as NodeId;
+                let cand = key(u as NodeId, w);
+                if w as usize != u && !slot.contains_key(&cand) {
+                    rewired = Some(cand);
+                    break;
+                }
+            }
+            if let Some(cand) = rewired {
+                let pos = slot.remove(&old).expect("edge present");
+                slot.insert(cand, pos);
+                edges[pos] = cand;
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
 /// Random `d`-regular graph by the Steger–Wormald incremental pairing
 /// algorithm: repeatedly match two random *compatible* half-edges
 /// (distinct endpoints, edge not yet present); restart the attempt only
@@ -213,6 +272,52 @@ mod tests {
         let g = gnm(50, 100, &mut rng);
         assert_eq!(g.num_edges(), 100);
         assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn small_world_p0_is_the_ring_lattice() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = small_world(20, 4, 0.0, &mut rng);
+        assert_eq!(g.num_nodes(), 20);
+        assert_eq!(g.num_edges(), 40, "n·k/2 lattice edges");
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.max_degree(), 4);
+        // ring structure: 0 touches ±1, ±2
+        let mut nb: Vec<_> = g.neighbors(0).to_vec();
+        nb.sort_unstable();
+        assert_eq!(nb, vec![1, 2, 18, 19]);
+    }
+
+    #[test]
+    fn small_world_rewiring_preserves_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for p in [0.1, 0.5, 1.0] {
+            let g = small_world(60, 6, p, &mut rng);
+            assert_eq!(g.num_edges(), 180, "p={p}: rewiring never adds/drops");
+            assert!(g.validate().is_ok());
+            assert!(g.min_degree() >= 1, "p={p}: near endpoints keep degree");
+        }
+        // some rewiring must actually have happened at p=0.5
+        let g = small_world(60, 4, 0.5, &mut rng);
+        let lattice: Vec<bool> = (0..60u32)
+            .map(|u| {
+                let mut nb: Vec<_> = g.neighbors(u).to_vec();
+                nb.sort_unstable();
+                nb == vec![(u + 59) % 60, (u + 58) % 60, (u + 1) % 60, (u + 2) % 60]
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert!(lattice.iter().any(|&x| !x), "p=0.5 moved at least one edge");
+    }
+
+    #[test]
+    fn small_world_stays_connected_at_moderate_p() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = small_world(200, 6, 0.1, &mut rng);
+        assert!(is_connected(&g, &NodeSet::full(200)));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   shuffle-exchange, Margulis expanders, random (regular) graphs,
 //!   geometric graphs, and the Theorem 2.3 chain-subdivision operator;
 //! * traversal / components / union-find / distance machinery;
+//! * [`dyncon`] — offline fully-dynamic connectivity: segment tree
+//!   over time + rollback union-find, one pass per churn trace
+//!   instead of one sweep per snapshot;
 //! * [`tree`] — BFS spanning trees, Mehlhorn 2-approximate and
 //!   Dreyfus–Wagner exact Steiner trees (the span's `P(U)`);
 //! * [`boundary`] — `Γ(U)` and edge cuts, the atoms of expansion;
@@ -40,6 +43,7 @@ pub mod builder;
 pub mod components;
 pub mod csr;
 pub mod distance;
+pub mod dyncon;
 pub mod generators;
 pub mod io;
 pub mod node;

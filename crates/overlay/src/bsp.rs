@@ -20,6 +20,7 @@
 //! recompute-from-scratch path alive as the equivalence oracle the
 //! property tests check every incremental state against.
 
+use fx_graph::dyncon::ChurnTrace;
 use fx_trace::{Histogram, Target};
 
 // Per-operation link-update distributions (`FXNET_TRACE=overlay`):
@@ -147,6 +148,10 @@ pub struct Bsp {
     /// created or retargeted by splits and merges) — the maintenance
     /// cost the campaign layer journals.
     adj_updates: u64,
+    /// Optional peer-level churn event recorder (see
+    /// [`Bsp::start_recording`]). Boxed: recording is opt-in and the
+    /// common no-trace path should stay one pointer wide.
+    recorder: Option<Box<ChurnTrace>>,
 }
 
 /// A materialized zone: owner + box + leaf index.
@@ -203,6 +208,7 @@ impl Bsp {
             pair_stack: vec![Vec::new()],
             max_pair_depth: 0,
             adj_updates: 0,
+            recorder: None,
         };
         bsp.register_leaf(0, Vec::new());
         bsp
@@ -320,6 +326,51 @@ impl Bsp {
         self.adj_updates
     }
 
+    /// Starts recording peer-level churn events into a
+    /// [`ChurnTrace`], seeding `t = 0` with the current partition as
+    /// the baseline: every live owner and every adjacency pair is
+    /// turned on. Subsequent splits/merges/handovers emit the exact
+    /// peer-edge deltas; call [`Bsp::trace_tick`] once per churn
+    /// operation and [`Bsp::take_trace`] to collect the log.
+    pub fn start_recording(&mut self) {
+        let mut tr = ChurnTrace::new();
+        for &leaf in &self.leaves {
+            let ZNode::Leaf { owner } = self.nodes[leaf] else {
+                unreachable!("registered leaf is a leaf")
+            };
+            tr.node_on(owner);
+        }
+        for &leaf in &self.leaves {
+            let ZNode::Leaf { owner } = self.nodes[leaf] else {
+                unreachable!()
+            };
+            for &nb in &self.neighbors[leaf] {
+                let ZNode::Leaf { owner: other } = self.nodes[nb] else {
+                    unreachable!()
+                };
+                tr.edge_on(owner, other);
+            }
+        }
+        self.recorder = Some(Box::new(tr));
+    }
+
+    /// Advances the recorder's clock (no-op when not recording).
+    pub fn trace_tick(&mut self) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.tick();
+        }
+    }
+
+    /// True while a churn recorder is attached.
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Detaches and returns the recorder (if any).
+    pub fn take_trace(&mut self) -> Option<ChurnTrace> {
+        self.recorder.take().map(|b| *b)
+    }
+
     /// Finds the leaf containing `point`, returning `(leaf, depth)`.
     pub fn locate(&self, point: &[f64]) -> (NodeIdx, usize) {
         assert_eq!(point.len(), self.d);
@@ -364,6 +415,12 @@ impl Bsp {
         let mut hi_box = parent_box;
         hi_box.lo[dim] = mid;
 
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            // the joiner appears, wired to the old owner across the
+            // fresh split plane; per-neighbor deltas follow below
+            rec.node_on(new_owner);
+            rec.edge_on(owner, new_owner);
+        }
         let old_nbrs = std::mem::take(&mut self.neighbors[leaf]);
         self.unregister_leaf(leaf, old_nbrs.len());
         let lo_child = self.push_node(ZNode::Leaf { owner }, leaf, depth + 1, lo_box);
@@ -409,6 +466,22 @@ impl Bsp {
                     list.swap_remove(pos);
                 }
             }
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                let ZNode::Leaf { owner: nbr_owner } = self.nodes[nbr] else {
+                    unreachable!("neighbors of a leaf are leaves")
+                };
+                match (t_lo, t_hi) {
+                    // (true, false): the old owner's edge survives on
+                    // the low half — nothing changes at peer level
+                    (true, true) => rec.edge_on(new_owner, nbr_owner),
+                    (true, false) => {}
+                    (false, true) => {
+                        rec.edge_off(owner, nbr_owner);
+                        rec.edge_on(new_owner, nbr_owner);
+                    }
+                    (false, false) => rec.edge_off(owner, nbr_owner),
+                }
+            }
             let new_deg = self.neighbors[nbr].len();
             if new_deg != old_deg {
                 self.bucket_remove(nbr, old_deg);
@@ -449,9 +522,15 @@ impl Bsp {
         } else {
             children[0]
         };
+        let ZNode::Leaf { owner: depart } = self.nodes[leaf] else {
+            unreachable!("asserted leaf above")
+        };
         if let ZNode::Leaf { owner: sib_owner } = self.nodes[sibling] {
-            // direct merge
+            // direct merge (closes the departing owner's edges)
             self.merge_pair(parent, sib_owner);
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                rec.node_off(depart);
+            }
             return;
         }
         // handover: merge the deepest leaf pair, reassign the freed
@@ -472,6 +551,19 @@ impl Bsp {
         };
         self.merge_pair(pair, keep);
         self.nodes[leaf] = ZNode::Leaf { owner: freed };
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            // owner reassignment: the zone's adjacency is untouched,
+            // but at peer level every link retargets from the
+            // departing owner to the freed one
+            for &x in &self.neighbors[leaf] {
+                let ZNode::Leaf { owner: ox } = self.nodes[x] else {
+                    unreachable!("neighbors of a leaf are leaves")
+                };
+                rec.edge_off(depart, ox);
+                rec.edge_on(freed, ox);
+            }
+            rec.node_off(depart);
+        }
     }
 
     /// Merges the two leaf children of `p` into `p` itself, owned by
@@ -483,6 +575,12 @@ impl Bsp {
             unreachable!("merge target must be internal")
         };
         let [a, b] = children;
+        let ZNode::Leaf { owner: owner_a } = self.nodes[a] else {
+            unreachable!("merge children are leaves")
+        };
+        let ZNode::Leaf { owner: owner_b } = self.nodes[b] else {
+            unreachable!("merge children are leaves")
+        };
         let na = std::mem::take(&mut self.neighbors[a]);
         let nb = std::mem::take(&mut self.neighbors[b]);
         self.unregister_leaf(a, na.len());
@@ -500,6 +598,30 @@ impl Bsp {
         for &x in nb.iter().filter(|&&x| x != a) {
             if !merged.contains(&x) {
                 merged.push(x);
+            }
+        }
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            // Peer-level deltas: the sibling edge and every edge of
+            // the losing owner close; the surviving owner inherits the
+            // union (re-opens of already-open edges are no-ops).
+            let lose = if owner_a == keep_owner {
+                owner_b
+            } else {
+                owner_a
+            };
+            let lose_nbrs = if owner_a == keep_owner { &nb } else { &na };
+            rec.edge_off(owner_a, owner_b);
+            for &x in lose_nbrs.iter().filter(|&&x| x != a && x != b) {
+                let ZNode::Leaf { owner: ox } = self.nodes[x] else {
+                    unreachable!("neighbors of a leaf are leaves")
+                };
+                rec.edge_off(lose, ox);
+            }
+            for &x in &merged {
+                let ZNode::Leaf { owner: ox } = self.nodes[x] else {
+                    unreachable!("merged neighbors are leaves")
+                };
+                rec.edge_on(keep_owner, ox);
             }
         }
         for &x in &merged {
@@ -773,6 +895,81 @@ mod tests {
             .min()
             .unwrap();
         assert_eq!(bsp.leaf_owner(leaf), best);
+    }
+
+    /// Peer-graph snapshot (each peer owns exactly one zone, so the
+    /// peer graph equals the zone-adjacency graph): alive, largest
+    /// component, component count, isolated count.
+    fn snapshot(bsp: &Bsp) -> (u32, u32, u32, u32) {
+        let adj = bsp.adjacency();
+        let n = adj.len();
+        let mut seen = vec![false; n];
+        let (mut comps, mut largest) = (0u32, 0u32);
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            comps += 1;
+            let mut stack = vec![s];
+            seen[s] = true;
+            let mut size = 0u32;
+            while let Some(v) = stack.pop() {
+                size += 1;
+                for &w in &adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            largest = largest.max(size);
+        }
+        let isolated = adj.iter().filter(|row| row.is_empty()).count() as u32;
+        (n as u32, largest, comps, isolated)
+    }
+
+    /// The recorded churn trace, fed through the offline dyncon
+    /// engine, must reproduce the stepwise peer-graph connectivity —
+    /// through splits, direct merges, and handover reassignments.
+    #[test]
+    fn recorded_trace_replays_connectivity() {
+        let mut bsp = Bsp::new(2, 0);
+        // pre-grow (outside the trace), then record from this baseline
+        for (i, p) in [[0.7, 0.7], [0.2, 0.2], [0.9, 0.9]].iter().enumerate() {
+            bsp.split_at(p, i as PeerId + 1);
+        }
+        bsp.start_recording();
+        let mut expect = vec![snapshot(&bsp)];
+
+        let script: &[(&str, [f64; 2], PeerId)] = &[
+            ("split", [0.1, 0.8], 4),
+            ("split", [0.6, 0.3], 5),
+            ("remove", [0.9, 0.9], 0), // deep zone: direct merge
+            ("split", [0.8, 0.1], 6),
+            ("remove", [0.2, 0.2], 0), // shallow zone: handover path
+            ("remove", [0.1, 0.8], 0),
+        ];
+        for &(op, p, id) in script {
+            bsp.trace_tick();
+            match op {
+                "split" => bsp.split_at(&p, id),
+                _ => {
+                    let (leaf, _) = bsp.locate(&p);
+                    bsp.remove_leaf(leaf);
+                }
+            }
+            expect.push(snapshot(&bsp));
+        }
+
+        let trace = bsp.take_trace().expect("recording was on").finalize();
+        let curve = fx_graph::dyncon::solve_curve(&trace);
+        assert_eq!(curve.len(), expect.len());
+        for (t, &(alive, largest, comps, isolated)) in expect.iter().enumerate() {
+            assert_eq!(curve.alive[t], alive, "alive at t={t}");
+            assert_eq!(curve.largest[t], largest, "largest at t={t}");
+            assert_eq!(curve.components[t], comps, "components at t={t}");
+            assert_eq!(curve.isolated[t], isolated, "isolated at t={t}");
+        }
     }
 
     #[test]

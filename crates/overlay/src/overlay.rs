@@ -14,6 +14,7 @@
 //! instead of recomputing all O(zones²) box pairs per departure.
 
 use crate::bsp::{Bsp, NodeIdx, PeerId};
+use fx_graph::dyncon::ChurnTrace;
 use fx_graph::{pareto_sample, CsrGraph, GraphBuilder};
 use rand::Rng;
 
@@ -251,14 +252,33 @@ impl Overlay {
     /// [`Overlay::churn`] under a full churn policy (sessions and
     /// targeted departures). With the default policy this is exactly
     /// the original memoryless churn, same random stream.
+    ///
+    /// When a churn trace is recording ([`Overlay::start_trace`]),
+    /// each operation advances the trace clock by one timestep, so a
+    /// run of `ops` operations yields `ops + 1` query times (the
+    /// pre-churn baseline plus one per op).
     pub fn churn_with<R: Rng + ?Sized>(&mut self, ops: usize, policy: &ChurnPolicy, rng: &mut R) {
         for _ in 0..ops {
+            self.bsp.trace_tick();
             if rng.gen_bool(policy.join_bias) || self.num_peers() <= 2 {
                 self.join_with(policy, rng);
             } else {
                 self.leave_with(policy, rng);
             }
         }
+    }
+
+    /// Starts recording peer-level churn events, seeding the trace
+    /// with the current overlay as the `t = 0` baseline (see
+    /// [`Bsp::start_recording`]). Recording costs O(1) per adjacency
+    /// delta and nothing when off.
+    pub fn start_trace(&mut self) {
+        self.bsp.start_recording();
+    }
+
+    /// Detaches and returns the recorded churn trace, if recording.
+    pub fn take_trace(&mut self) -> Option<ChurnTrace> {
+        self.bsp.take_trace()
     }
 
     /// Snapshots the neighbor graph: one node per peer (dense ids in
@@ -507,6 +527,34 @@ mod tests {
         o.churn(100, 0.5, &mut rng);
         assert!(o.adj_updates() > before, "churn performs adjacency work");
         assert!(o.peak_degree() >= *o.zone_degrees().iter().max().unwrap());
+    }
+
+    #[test]
+    fn recorded_trace_is_stream_invisible_and_ends_at_snapshot() {
+        use fx_graph::components::component_stats_with;
+        use fx_graph::Scratch;
+        let mut a = SmallRng::seed_from_u64(31);
+        let mut b = SmallRng::seed_from_u64(31);
+        let mut plain = Overlay::with_peers(2, 40, &mut a);
+        let mut traced = Overlay::with_peers(2, 40, &mut b);
+        traced.start_trace();
+        plain.churn(100, 0.5, &mut a);
+        traced.churn(100, 0.5, &mut b);
+        // recording must not perturb the churn stream
+        assert_eq!(
+            plain.graph().0.edges().collect::<Vec<_>>(),
+            traced.graph().0.edges().collect::<Vec<_>>()
+        );
+        let trace = traced.take_trace().expect("recording was on").finalize();
+        assert_eq!(trace.horizon, 101, "baseline + one step per op");
+        let curve = fx_graph::dyncon::solve_curve(&trace);
+        // the last timestep must equal the live snapshot graph
+        let (g, _) = traced.graph();
+        let n = g.num_nodes();
+        let stats = component_stats_with(&g, &NodeSet::full(n), &mut Scratch::new());
+        assert_eq!(curve.alive[100] as usize, traced.num_peers());
+        assert_eq!(curve.largest[100] as usize, stats.largest);
+        assert_eq!(curve.components[100] as usize, stats.count);
     }
 
     #[test]

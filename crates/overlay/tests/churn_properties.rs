@@ -1,10 +1,32 @@
 //! Property tests for the CAN overlay: arbitrary churn sequences must
-//! preserve the structural invariants CAN relies on.
+//! preserve the structural invariants CAN relies on, and the recorded
+//! churn trace — solved offline by `fx_graph::dyncon` — must replay
+//! the exact connectivity of every intermediate snapshot.
 
-use fx_overlay::Overlay;
+use fx_graph::components::component_stats_with;
+use fx_graph::dyncon::{resweep_curve, solve_curve};
+use fx_graph::{NodeSet, Scratch};
+use fx_overlay::{ChurnPolicy, Overlay};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// `(alive, largest, components, isolated)` of the live overlay
+/// adjacency, recomputed from scratch.
+fn live_snapshot(ov: &Overlay, scratch: &mut Scratch) -> (u32, u32, u32, u32) {
+    let (g, _) = ov.graph();
+    let alive = NodeSet::full(g.num_nodes());
+    let stats = component_stats_with(&g, &alive, scratch);
+    let isolated = (0..g.num_nodes() as u32)
+        .filter(|&v| g.neighbors(v).is_empty())
+        .count();
+    (
+        g.num_nodes() as u32,
+        stats.largest as u32,
+        stats.count as u32,
+        isolated as u32,
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -52,6 +74,66 @@ proptest! {
                 "overlay graph disconnected"
             );
             prop_assert!(g.min_degree() >= 1);
+        }
+    }
+
+    /// The tentpole cross-validation: for any dimension, departure
+    /// policy, session model, and churn schedule (one bulk
+    /// `churn_with` call or op-by-op stepwise calls), the offline
+    /// dyncon solve of the recorded trace is identical to the
+    /// per-snapshot `component_stats_with` re-sweep oracle — and at
+    /// stepwise schedules, to the live overlay's own connectivity
+    /// after every single op.
+    #[test]
+    fn recorded_traces_solve_to_exact_snapshot_connectivity(
+        d in 1usize..=3,
+        seed in 0u64..1_000,
+        ops in 1usize..40,
+        degree_targeted in proptest::bool::ANY,
+        pareto in proptest::bool::ANY,
+        stepwise in proptest::bool::ANY,
+    ) {
+        let policy = ChurnPolicy {
+            join_bias: 0.5,
+            session_alpha: pareto.then_some(1.5),
+            degree_targeted,
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ov = Overlay::with_peers_policy(d, 10, &policy, &mut rng);
+        let mut scratch = Scratch::new();
+        let mut snapshots = vec![live_snapshot(&ov, &mut scratch)];
+        ov.start_trace();
+        if stepwise {
+            for _ in 0..ops {
+                ov.churn_with(1, &policy, &mut rng);
+                snapshots.push(live_snapshot(&ov, &mut scratch));
+            }
+        } else {
+            ov.churn_with(ops, &policy, &mut rng);
+        }
+        let trace = ov.take_trace().expect("recording was on").finalize();
+        prop_assert_eq!(trace.horizon as usize, ops + 1, "one query time per op, plus t = 0");
+        let curve = solve_curve(&trace);
+        // dyncon ≡ the per-snapshot re-sweep oracle, whole curve
+        let oracle = resweep_curve(&trace, &mut scratch);
+        prop_assert_eq!(&curve, &oracle);
+        // …and ≡ the live overlay's own connectivity at every
+        // timestep the schedule let us observe
+        let observed: Vec<usize> = if stepwise { (0..=ops).collect() } else { vec![0] };
+        for t in observed {
+            let (alive, largest, comps, isolated) = snapshots[t];
+            prop_assert_eq!(curve.alive[t], alive, "alive at t={}", t);
+            prop_assert_eq!(curve.largest[t], largest, "largest at t={}", t);
+            prop_assert_eq!(curve.components[t], comps, "components at t={}", t);
+            prop_assert_eq!(curve.isolated[t], isolated, "isolated at t={}", t);
+        }
+        if !stepwise {
+            // bulk schedules still pin the final timestep
+            let (alive, largest, comps, isolated) = live_snapshot(&ov, &mut scratch);
+            prop_assert_eq!(curve.alive[ops], alive);
+            prop_assert_eq!(curve.largest[ops], largest);
+            prop_assert_eq!(curve.components[ops], comps);
+            prop_assert_eq!(curve.isolated[ops], isolated);
         }
     }
 

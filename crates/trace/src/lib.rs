@@ -50,10 +50,12 @@ pub enum Target {
     Faults = 5,
     /// Chaos fault injection (`fx-chaos` sites firing).
     Chaos = 6,
+    /// Offline dynamic connectivity (`fx_graph::dyncon` solves).
+    Dyncon = 7,
 }
 
 /// Number of distinct [`Target`]s.
-pub const NUM_TARGETS: usize = 7;
+pub const NUM_TARGETS: usize = 8;
 
 impl Target {
     /// All targets, in discriminant order.
@@ -65,6 +67,7 @@ impl Target {
         Target::Percolation,
         Target::Faults,
         Target::Chaos,
+        Target::Dyncon,
     ];
 
     /// The filter-grammar name of this target.
@@ -77,6 +80,7 @@ impl Target {
             Target::Percolation => "percolation",
             Target::Faults => "faults",
             Target::Chaos => "chaos",
+            Target::Dyncon => "dyncon",
         }
     }
 
