@@ -65,6 +65,10 @@ pub struct RunSummary {
     pub retried: u64,
     /// Corrupt journal lines skipped on load (their cells re-run).
     pub corrupt: usize,
+    /// Journal records served from the content-addressed cell store
+    /// (`cache_hit = 1`) rather than recomputed. 0 unless
+    /// `[params] store` is set.
+    pub cache_hits: usize,
     /// Aggregates over all journaled results.
     pub aggregates: Vec<GroupAggregate>,
     /// Files written (journal + artifacts).
@@ -103,6 +107,17 @@ pub fn journal_for(spec: &CampaignSpec, opts: &RunOptions) -> Journal {
 pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String> {
     let cells = shard_cells(expand(spec)?, opts)?;
     let journal = journal_for(spec, opts);
+    // `[params] store`: open (or create) the shared content-addressed
+    // result store. Opening recovers crash-safely — corrupt entries
+    // are skipped and counted, and the affected cells simply
+    // recompute below.
+    let store = match &spec.params.store {
+        Some(dir) => Some(
+            fx_store::Store::open(dir)
+                .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
     let loaded = journal.load_report()?;
     let existing = loaded.results;
     // only successful records count as done: quarantined cells re-run
@@ -157,13 +172,34 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
         // checkpoint granularity.
         let pool = Pool { threads, batch: 1 };
         let append_failures = AtomicUsize::new(0);
+        let served = AtomicUsize::new(0);
         let heartbeat = Heartbeat::new(executed);
         pool.for_each(
             executed,
             (
                 |i: usize| {
                     let (cell, base) = pending[i];
-                    run_cell_resilient(spec, cell, base)
+                    if let Some(store) = &store {
+                        if let Some(hit) = store_lookup(store, spec, cell) {
+                            served.fetch_add(1, Ordering::Relaxed);
+                            return hit;
+                        }
+                    }
+                    let result = run_cell_resilient(spec, cell, base);
+                    if let Some(store) = &store {
+                        // memoize clean successes only: quarantined or
+                        // timed-out cells must never be served to a
+                        // campaign that might complete them. A failed
+                        // publish (disk full, chaos) is non-fatal —
+                        // the result just stays unmemoized.
+                        if result.failed == 0 && result.metric("timed_out").is_none() {
+                            let _ = store.put(
+                                crate::store_key::store_key(spec, cell),
+                                &fx_json::to_string(&result),
+                            );
+                        }
+                    }
+                    result
                 },
                 |_first: usize, batch: Vec<(usize, CellResult)>| {
                     for (_, result) in batch {
@@ -201,6 +237,14 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
                 spec.name
             );
         }
+        if store.is_some() {
+            // one greppable line — the store-dedup CI job keys off it
+            eprintln!(
+                "campaign {} store: {}/{executed} cells served from cache",
+                spec.name,
+                served.into_inner()
+            );
+        }
     }
 
     // reload so aggregation sees exactly what is durable on disk,
@@ -211,6 +255,33 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<RunSummary, String>
         .artifacts
         .extend(write_trace_artifacts(&output_dir(spec, opts), opts.quiet)?);
     Ok(summary)
+}
+
+/// Consults the content-addressed store for `cell`. A hit is decoded,
+/// re-labeled with *this* campaign's cell identity (the store key is
+/// canonical across spec files, so the stored `graph` spelling may
+/// differ from ours while naming the same scenario), and marked
+/// `cache_hit = 1`. Anything suspect — undecodable payload, a failed
+/// or timed-out record that should never have been published — is
+/// treated as a miss and recomputed, never served.
+pub(crate) fn store_lookup(
+    store: &fx_store::Store,
+    spec: &CampaignSpec,
+    cell: &Cell,
+) -> Option<CellResult> {
+    let payload = store.get(crate::store_key::store_key(spec, cell))?;
+    let mut result: CellResult = fx_json::from_str(&payload).ok()?;
+    if result.failed != 0 || result.metric("timed_out").is_some() {
+        return None;
+    }
+    result.key = cell.key();
+    result.graph = cell.graph.clone();
+    result.fault = cell.fault.to_string();
+    result.algo = cell.algo.to_string();
+    result.replicate = cell.replicate;
+    result.seed = cell.seed;
+    result.cache_hit = 1;
+    Some(result)
 }
 
 /// Live stderr progress: a rate/ETA/timeout line every ~2 s while
@@ -345,6 +416,7 @@ fn finish(
     let failed = results.iter().filter(|r| r.failed != 0).count();
     let retried: u64 = results.iter().map(|r| r.attempts.saturating_sub(1)).sum();
     let corrupt = loaded.corrupt;
+    let cache_hits = results.iter().filter(|r| r.cache_hit != 0).count();
 
     let dir = output_dir(spec, opts);
     std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
@@ -396,6 +468,7 @@ fn finish(
         failed,
         retried,
         corrupt,
+        cache_hits,
         aggregates,
         artifacts: vec![journal.path().to_path_buf(), csv_path, json_path],
     })

@@ -81,6 +81,12 @@ pub struct CellResult {
     /// a re-run never replays the exact chaos decisions that
     /// quarantined it.
     pub attempts: u64,
+    /// `1` when this record was served from the content-addressed
+    /// cell store (`[params] store`) instead of being recomputed; `0`
+    /// for a freshly executed cell. Informational like `wall_ms` —
+    /// never a metric, never aggregated — so a fully-cached re-run
+    /// stays bit-identical to the cold run that populated the store.
+    pub cache_hit: u64,
 }
 
 // `phase_ms` and the quarantine fields are in the `default` block so
@@ -100,7 +106,8 @@ fx_json::impl_json_object!(CellResult {
     phase_ms,
     failed,
     error,
-    attempts
+    attempts,
+    cache_hit
 });
 
 impl CellResult {
@@ -173,7 +180,7 @@ fn prune_epsilon(params: &Params) -> f64 {
 
 /// The effective parameters of a cell: the campaign `[params]` with
 /// the declaring grid's overrides applied.
-fn cell_params(spec: &CampaignSpec, cell: &Cell) -> Params {
+pub fn cell_params(spec: &CampaignSpec, cell: &Cell) -> Params {
     spec.params.with_overrides(&spec.grids[cell.grid].overrides)
 }
 
@@ -477,6 +484,7 @@ pub fn run_cell_cancelable(spec: &CampaignSpec, cell: &Cell, token: &CancelToken
         failed: 0,
         error: String::new(),
         attempts: 1,
+        cache_hit: 0,
     }
 }
 
@@ -584,7 +592,26 @@ pub fn run_cell_resilient(spec: &CampaignSpec, cell: &Cell, base_attempt: u64) -
         failed: 1,
         error: last_error,
         attempts: base_attempt + retries as u64 + 1,
+        cache_hit: 0,
     }
+}
+
+/// Executes one cell under an external token with panic isolation but
+/// **no retries**: one attempt, panics rendered as `Err` with the
+/// quiet-hook suppression `run_cell_resilient` uses. The `fxnet serve`
+/// compute pool runs cells through this — a serve retry is the
+/// client's decision (the 5xx answer says so), not the server's.
+pub(crate) fn run_cell_isolated(
+    spec: &CampaignSpec,
+    cell: &Cell,
+    token: &CancelToken,
+) -> Result<CellResult, String> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    install_quiet_panic_hook();
+    SUPPRESS_PANIC_OUTPUT.with(|c| c.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_cell_cancelable(spec, cell, token)));
+    SUPPRESS_PANIC_OUTPUT.with(|c| c.set(false));
+    outcome.map_err(|payload| panic_message(payload.as_ref()))
 }
 
 /// Construction-level metrics every cell of a derived scenario

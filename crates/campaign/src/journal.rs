@@ -417,6 +417,7 @@ mod tests {
             failed: 0,
             error: String::new(),
             attempts: 1,
+            cache_hit: 0,
         }
     }
 

@@ -81,6 +81,7 @@
 //! | `[params] timeout_ms` | per-cell wall-clock budget (cells past it are cancelled cooperatively and journaled `timed_out`) | unbounded |
 //! | `[params] retries` | per-cell retry budget: a panicking cell is re-attempted this many times before being quarantined | 2 |
 //! | `[params] churn_curves` | survival-curve engine for churn traces: `dyncon` (offline segment-tree + rollback-union-find solve), `oracle` (per-snapshot re-sweeps, bit-identical metrics), `off` | `dyncon` |
+//! | `[params] store` | content-addressed cell-result store directory (`fx-store`): successful cells are published and later runs with overlapping grids are served from it (journaled `cache_hit = 1`, bit-identical aggregates); `off` disables | `off` |
 //!
 //! ¹ root-level axes may be omitted when at least one `[grid-…]`
 //! table declares a grid.
@@ -121,17 +122,21 @@ pub mod engine;
 pub mod exec;
 pub mod grid;
 pub mod journal;
+pub mod serve;
 pub mod spec;
+pub mod store_key;
 pub mod toml;
 
 pub use agg::{aggregate, GroupAggregate, Welford};
 pub use engine::{journal_for, report, run, RunOptions, RunSummary};
-pub use exec::{run_cell, run_cell_cancelable, run_cell_resilient, CellResult};
+pub use exec::{cell_params, run_cell, run_cell_cancelable, run_cell_resilient, CellResult};
 pub use grid::{cell_seed, expand, shard_of, Cell};
 pub use journal::{
     merge_journals, merge_journals_checked, Journal, JournalWriter, LoadReport, MergeSummary,
     DEFAULT_SYNC_EVERY,
 };
+pub use serve::{serve, ServeOptions, Server};
 pub use spec::{
     Algo, CampaignSpec, ChurnCurves, FaultSpec, GridOverrides, GridSpec, Params, TargetBy,
 };
+pub use store_key::{store_identity, store_key};

@@ -251,6 +251,15 @@ pub struct Params {
     /// this is a speed (and cross-validation) knob, never a
     /// statistics knob.
     pub churn_curves: ChurnCurves,
+    /// Content-addressed cell-result store directory (`fx-store`).
+    /// When set, the engine consults the store before running a cell
+    /// and publishes every success, so overlapping grids across
+    /// campaigns/shards/machines dedup automatically. Served results
+    /// are journaled with `cache_hit = 1` — an informational field
+    /// like `wall_ms`, never an aggregated metric — and are
+    /// bit-identical to a fresh run by the determinism contract.
+    /// `None` (spec value `"off"`, the default) disables the store.
+    pub store: Option<std::path::PathBuf>,
 }
 
 impl Default for Params {
@@ -268,6 +277,7 @@ impl Default for Params {
             timeout_ms: None,
             retries: 2,
             churn_curves: ChurnCurves::Dyncon,
+            store: None,
         }
     }
 }
@@ -517,6 +527,16 @@ impl CampaignSpec {
                 }
             }
         }
+        if let Some(value) = doc.get_in("params", "store") {
+            match value.as_str() {
+                Some("off") => params.store = None,
+                Some("") => {
+                    return Err("params.store must be a directory path or \"off\"".into());
+                }
+                Some(path) => params.store = Some(std::path::PathBuf::from(path)),
+                None => return Err("params.store must be a directory path or \"off\"".into()),
+            }
+        }
         if let Some(table) = doc.tables.get("params") {
             const KNOWN: &[&str] = &[
                 "k",
@@ -531,6 +551,7 @@ impl CampaignSpec {
                 "timeout_ms",
                 "retries",
                 "churn_curves",
+                "store",
             ];
             for key in table.keys() {
                 if !KNOWN.contains(&key.as_str()) {

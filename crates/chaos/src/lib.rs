@@ -20,6 +20,9 @@
 //!   (before or after the algorithm phase, chosen deterministically).
 //! * `io_error:p` — with probability `p`, a journal append fails with
 //!   an I/O error.
+//! * `store_io:p` — with probability `p`, a cell-store read or append
+//!   fails with an I/O error (the store degrades to a cache miss and
+//!   recomputes; it never serves a torn read).
 //! * `slow:p[,ms]` — with probability `p`, an executor worker chunk is
 //!   delayed by `ms` milliseconds (default 5). The optional bare-number
 //!   token after `slow:p` is the delay.
@@ -58,14 +61,16 @@ pub enum Site {
     IoError = 1,
     /// Artificial delay in an executor worker chunk (`fx_graph::par`).
     Slow = 2,
+    /// I/O error on a cell-store read or append (`fx_store`).
+    StoreIo = 3,
 }
 
 /// Number of distinct [`Site`]s.
-pub const NUM_SITES: usize = 3;
+pub const NUM_SITES: usize = 4;
 
 impl Site {
     /// All sites, in discriminant order.
-    pub const ALL: [Site; NUM_SITES] = [Site::CellPanic, Site::IoError, Site::Slow];
+    pub const ALL: [Site; NUM_SITES] = [Site::CellPanic, Site::IoError, Site::Slow, Site::StoreIo];
 
     /// The `FXNET_CHAOS` clause name of this site.
     pub fn as_str(self) -> &'static str {
@@ -73,6 +78,7 @@ impl Site {
             Site::CellPanic => "cell_panic",
             Site::IoError => "io_error",
             Site::Slow => "slow",
+            Site::StoreIo => "store_io",
         }
     }
 
@@ -101,12 +107,14 @@ pub const DEFAULT_SLOW_MS: u64 = 5;
 static TRACE_FIRED_CELL_PANIC: Counter = Counter::new(Target::Chaos, "fired_cell_panic");
 static TRACE_FIRED_IO_ERROR: Counter = Counter::new(Target::Chaos, "fired_io_error");
 static TRACE_FIRED_SLOW: Counter = Counter::new(Target::Chaos, "fired_slow");
+static TRACE_FIRED_STORE_IO: Counter = Counter::new(Target::Chaos, "fired_store_io");
 
 fn trace_counter(site: Site) -> &'static Counter {
     match site {
         Site::CellPanic => &TRACE_FIRED_CELL_PANIC,
         Site::IoError => &TRACE_FIRED_IO_ERROR,
         Site::Slow => &TRACE_FIRED_SLOW,
+        Site::StoreIo => &TRACE_FIRED_STORE_IO,
     }
 }
 

@@ -69,6 +69,19 @@ commands:
                                                  record was corrupt; --health
                                                  prints the failed/retried/
                                                  corrupt-cell table)
+  serve      --spec FILE [--addr HOST:PORT] [--http-threads N]
+             [--compute-threads N] [--queue-cap N] [--timeout-ms MS]
+                                                memoizing HTTP cell-query daemon:
+                                                GET /v1/cell?scenario=S&fault=F&
+                                                algo=A[&replicate=N] (plus
+                                                /v1/health, /v1/stats). Warm
+                                                queries answer from the spec's
+                                                [params] store; misses are
+                                                single-flighted through a bounded
+                                                priority queue and published back
+                                                to the store. A full queue answers
+                                                429 + Retry-After instead of
+                                                accepting unbounded work.
 
 global:     --threads N   worker threads (or FXNET_THREADS; default: cores, ≤ 16)
 resilience: panicking cells retry up to [params] retries times (default 2),
@@ -78,9 +91,12 @@ resilience: panicking cells retry up to [params] retries times (default 2),
             FXNET_JOURNAL_SYNC=N  fsync the journal every N records (default 64;
             0 disables periodic sync — faster, but a power loss can lose up to
             one OS write-back window of finished cells; they simply re-run)
+store:      [params] store = DIR  content-addressed cell-result store: campaign
+            runs and `serve` publish successful cells and later overlapping runs
+            are served from it (journaled cache_hit=1, bit-identical aggregates)
 chaos:      FXNET_CHAOS=site:p,...  deterministic fault injection for testing
-            the resilience path (sites: cell_panic, io_error, slow[:p,ms];
-            seed:N reseeds decisions). Example:
+            the resilience path (sites: cell_panic, io_error, slow[:p,ms],
+            store_io; seed:N reseeds decisions). Example:
             FXNET_CHAOS=cell_panic:0.2,io_error:0.05,slow:0.1,5,seed:7
 lanes:      FXNET_MC_LANES=1|..|64  Monte-Carlo trials packed per machine word
             (overrides [params] trial_batch; 1 forces the scalar path; results
@@ -90,7 +106,8 @@ curves:     [params] churn_curves = dyncon|oracle|off  survival-curve engine for
             solve of the recorded trace; oracle: per-snapshot re-sweeps, same
             bits, O(ops·(V+E)); off skips curves — speed knob, never science)
 tracing:    FXNET_TRACE=target[=level],...  structured telemetry (targets: par,
-            campaign, cell, overlay, percolation, faults, chaos, dyncon; `all`;
+            campaign, cell, overlay, percolation, faults, chaos, dyncon, serve,
+            store; `all`;
             level 2 adds hot-path histograms). Traced campaign runs write
             trace.jsonl + trace.chrome.json next to the journal.
 
@@ -333,6 +350,33 @@ fn run_campaign(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_serve(args: &Args) -> Result<(), String> {
+    let spec_path = args.get("spec").ok_or("missing --spec FILE")?;
+    let spec = CampaignSpec::load(std::path::Path::new(spec_path))?;
+    let defaults = fx_campaign::ServeOptions::default();
+    let opts = fx_campaign::ServeOptions {
+        addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
+        http_threads: args.get_parsed("http-threads", defaults.http_threads)?,
+        compute_threads: args.get_parsed("compute-threads", defaults.compute_threads)?,
+        queue_cap: args.get_parsed("queue-cap", defaults.queue_cap)?,
+        request_timeout_ms: args.get_parsed("timeout-ms", defaults.request_timeout_ms)?,
+    };
+    let cells = fx_campaign::expand(&spec)?.len();
+    let server = fx_campaign::serve(&spec, &opts)?;
+    outln!(
+        "fxnet serve: campaign {} on http://{} — {} grid cell(s), store {}",
+        spec.name,
+        server.addr(),
+        cells,
+        match &spec.params.store {
+            Some(dir) => dir.display().to_string(),
+            None => "off (every query recomputes)".to_string(),
+        }
+    );
+    server.join();
+    Ok(())
+}
+
 fn show_bounds(label: &str, b: &ExpansionBounds) {
     let upper = if b.upper.is_finite() {
         format!("{:.6}", b.upper)
@@ -364,6 +408,7 @@ fn run(args: &Args) -> Result<(), String> {
         }
     }
     match args.command.as_deref() {
+        Some("serve") => run_serve(args),
         Some("expansion") => {
             let (net, seed) = build_network(args)?;
             let mut rng = SmallRng::seed_from_u64(seed);

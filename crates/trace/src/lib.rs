@@ -52,10 +52,14 @@ pub enum Target {
     Chaos = 6,
     /// Offline dynamic connectivity (`fx_graph::dyncon` solves).
     Dyncon = 7,
+    /// The `fxnet serve` HTTP daemon (requests, queue, single-flight).
+    Serve = 8,
+    /// The content-addressed cell-result store (`fx-store`).
+    Store = 9,
 }
 
 /// Number of distinct [`Target`]s.
-pub const NUM_TARGETS: usize = 8;
+pub const NUM_TARGETS: usize = 10;
 
 impl Target {
     /// All targets, in discriminant order.
@@ -68,6 +72,8 @@ impl Target {
         Target::Faults,
         Target::Chaos,
         Target::Dyncon,
+        Target::Serve,
+        Target::Store,
     ];
 
     /// The filter-grammar name of this target.
@@ -81,6 +87,8 @@ impl Target {
             Target::Faults => "faults",
             Target::Chaos => "chaos",
             Target::Dyncon => "dyncon",
+            Target::Serve => "serve",
+            Target::Store => "store",
         }
     }
 

@@ -188,6 +188,172 @@ algorithms = ["prune", "expansion-cert"]
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------------------
+// store_io: chaos on the content-addressed cell store
+// ---------------------------------------------------------------------------
+
+/// A store-backed grid for the `store_io` site: reads and appends on
+/// the cell store fail with probability p. The invariant is the same
+/// as for the journal sites — a store I/O fault may cost cache hits
+/// (the cell recomputes) but can never change a bit of the
+/// aggregates, because a failed read is a miss and a torn read never
+/// parses.
+fn store_grid(store: &Path) -> String {
+    format!(
+        r#"
+name = "chaos-store"
+seed = 13
+replicates = 2
+graphs = ["torus:5,5", "hypercube:3"]
+faults = ["none", "random:0.1"]
+algorithms = ["prune", "expansion-cert"]
+
+[params]
+store = "{}"
+"#,
+        store.display()
+    )
+}
+
+#[test]
+fn store_io_chaos_degrades_to_recompute_never_divergence() {
+    let _guard = lock();
+    fx_chaos::set_config("");
+
+    // Baseline: clean cold run, store populated, then a clean warm
+    // run that serves 100% from cache.
+    let store = temp_dir("store-io-store");
+    let grid = store_grid(&store);
+    let cold_dir = temp_dir("store-io-cold");
+    let cold = run(&spec_in(&grid, &cold_dir), &opts(2)).unwrap();
+    assert!(cold.complete);
+    assert_eq!(cold.cache_hits, 0);
+    let baseline = std::fs::read(cold_dir.join("aggregates.json")).unwrap();
+
+    let warm_dir = temp_dir("store-io-warm");
+    let warm = run(&spec_in(&grid, &warm_dir), &opts(2)).unwrap();
+    assert_eq!(warm.cache_hits, warm.total_cells, "clean store serves 100%");
+    assert_eq!(
+        baseline,
+        std::fs::read(warm_dir.join("aggregates.json")).unwrap()
+    );
+
+    // store_io chaos at both thread counts: reads degrade to misses
+    // (recompute), appends degrade to lost memoization — aggregates
+    // must not move by a bit either way.
+    let fired_before = fx_chaos::fired(Site::StoreIo);
+    for threads in [1usize, 2] {
+        let dir = temp_dir(&format!("store-io-t{threads}"));
+        let spec = spec_in(&grid, &dir);
+        fx_chaos::set_config("store_io:0.5,seed:11");
+        let summary = run(&spec, &opts(threads)).unwrap();
+        fx_chaos::set_config("");
+        assert!(summary.complete);
+        assert!(
+            summary.cache_hits < summary.total_cells,
+            "store_io:0.5 should have cost at least one hit"
+        );
+        assert_eq!(
+            baseline,
+            std::fs::read(dir.join("aggregates.json")).unwrap(),
+            "aggregates diverge under store_io chaos at threads={threads}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        fx_chaos::fired(Site::StoreIo) > fired_before,
+        "store_io chaos never actually fired — the invariant was vacuous"
+    );
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// The serve-side soak: responses from a daemon running over a
+/// chaos-degraded store — and over a store whose tail was torn off by
+/// a simulated `kill -9` mid-append — must be byte-identical to the
+/// responses from a clean store. (The CI `serve-soak` job additionally
+/// kills and restarts a real `fxnet serve` process under
+/// `FXNET_CHAOS=store_io:0.2` and diffs live HTTP responses.)
+#[test]
+fn serve_responses_survive_store_chaos_and_torn_tails_unchanged() {
+    use fault_expansion::campaign::{expand, serve, ServeOptions};
+    use std::io::{Read, Write};
+
+    let _guard = lock();
+    fx_chaos::set_config("");
+    let store = temp_dir("serve-soak-store");
+    let grid = store_grid(&store);
+    let out = temp_dir("serve-soak-out");
+    let spec = spec_in(&grid, &out);
+    assert!(run(&spec, &opts(2)).unwrap().complete);
+    let cells = expand(&spec).unwrap();
+
+    let fetch_all = |spec: &CampaignSpec| -> Vec<String> {
+        let server = serve(
+            spec,
+            &ServeOptions {
+                addr: "127.0.0.1:0".into(),
+                compute_threads: 2,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let bodies = cells
+            .iter()
+            .map(|cell| {
+                let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+                s.set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                    .unwrap();
+                s.write_all(
+                    format!(
+                        "GET /v1/cell?scenario={}&fault={}&algo={}&replicate={} \
+                         HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                        cell.graph, cell.fault, cell.algo, cell.replicate
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+                let mut raw = String::new();
+                s.read_to_string(&mut raw).unwrap();
+                assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+                raw.split_once("\r\n\r\n").unwrap().1.to_string()
+            })
+            .collect();
+        server.shutdown();
+        bodies
+    };
+
+    // Clean-store responses are the reference bytes.
+    let clean = fetch_all(&spec);
+
+    // Chaos-degraded store: some lookups fail → recompute → same bytes.
+    let fired_before = fx_chaos::fired(Site::StoreIo);
+    fx_chaos::set_config("store_io:0.5,seed:23");
+    let chaotic = fetch_all(&spec);
+    fx_chaos::set_config("");
+    assert!(fx_chaos::fired(Site::StoreIo) > fired_before);
+    assert_eq!(clean, chaotic, "store_io chaos changed a served byte");
+
+    // kill -9 shape: tear the tail off every shard file, then restart
+    // the daemon over the damaged store. Recovery truncates the torn
+    // records, the missing cells recompute, the bytes do not move.
+    for entry in std::fs::read_dir(&store).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "jsonl") {
+            let bytes = std::fs::read(&path).unwrap();
+            if bytes.len() > 7 {
+                std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+            }
+        }
+    }
+    let recovered = fetch_all(&spec);
+    assert_eq!(clean, recovered, "torn-tail recovery changed a served byte");
+
+    let _ = std::fs::remove_dir_all(&store);
+    let _ = std::fs::remove_dir_all(&out);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
